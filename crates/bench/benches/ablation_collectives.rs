@@ -1,0 +1,52 @@
+//! Ablation: collective algorithm variants (§5.3 — "there is no unique
+//! algorithm for any collective operation").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smpi_bench::common::{griffon_rp, smpi_world};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_scatter_variants");
+    g.sample_size(10);
+    let chunk = 16 * 1024; // 128 KiB chunks
+    for (name, which) in [("binomial", 0u8), ("linear", 1), ("chain", 2)] {
+        g.bench_function(name, |b| {
+            let world = smpi_world(griffon_rp());
+            b.iter(|| {
+                world.run(16, move |ctx| {
+                    let comm = ctx.world();
+                    let data: Option<Vec<f64>> =
+                        (ctx.rank() == 0).then(|| vec![0.0; 16 * chunk]);
+                    match which {
+                        0 => ctx.scatter(data.as_deref(), chunk, 0, &comm),
+                        1 => ctx.scatter_linear(data.as_deref(), chunk, 0, &comm),
+                        _ => ctx.scatter_chain(data.as_deref(), chunk, 0, &comm),
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_allgather_variants");
+    g.sample_size(10);
+    for (name, rdb) in [("recursive_doubling", true), ("ring", false)] {
+        g.bench_function(name, |b| {
+            let world = smpi_world(griffon_rp());
+            b.iter(|| {
+                world.run(16, move |ctx| {
+                    let comm = ctx.world();
+                    let mine = vec![ctx.rank() as f64; 4096];
+                    if rdb {
+                        ctx.allgather_rdb(&mine, &comm)
+                    } else {
+                        ctx.allgather_ring(&mine, &comm)
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

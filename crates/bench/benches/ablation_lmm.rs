@@ -1,0 +1,53 @@
+//! Ablation: cost of the max-min solver (DESIGN.md §7).
+//!
+//! The kernel re-solves from scratch on every flow-set change; this bench
+//! quantifies that choice across problem sizes, and separately the cost of
+//! one full network re-share inside the engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use surf_sim::{MaxMinProblem, Simulation, TransferModel};
+
+/// A cluster-like instance: `n` flows, each crossing its source access
+/// link, a shared backbone, and its destination access link.
+fn cluster_problem(n: usize) -> MaxMinProblem {
+    let mut p = MaxMinProblem::new();
+    let backbone = p.add_constraint(1.25e9);
+    let links: Vec<_> = (0..2 * n).map(|_| p.add_constraint(125e6)).collect();
+    for i in 0..n {
+        p.add_variable(f64::INFINITY, &[links[2 * i], backbone, links[2 * i + 1]]);
+    }
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lmm_solve");
+    for n in [16usize, 64, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = cluster_problem(n);
+            b.iter(|| p.solve())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_engine_reshare");
+    g.sample_size(20);
+    for n in [16usize, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                // n concurrent flows through one shared link: every start
+                // triggers a re-share, every completion another.
+                let mut sim = Simulation::new();
+                let l = sim.add_link(125e6, 1e-6);
+                for _ in 0..n {
+                    sim.start_transfer(&[l], 1e6, &TransferModel::ideal());
+                }
+                while sim.advance_to_next().is_some() {}
+                sim.now()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benches for Figs. 7–12: simulation cost of the scatter and all-to-all
+//! scenarios on both backends (the workloads behind the accuracy figures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smpi_bench::common::{griffon_rp, openmpi_world, smpi_world, smpi_world_no_contention};
+use smpi_workloads::{timed_alltoall, timed_scatter};
+
+fn bench(c: &mut Criterion) {
+    let chunk = 64 * 1024; // 512 KiB per rank: a quick but non-trivial run
+
+    let mut g = c.benchmark_group("fig07_09_scatter_16procs");
+    g.sample_size(10);
+    g.bench_function("smpi", |b| {
+        let world = smpi_world(griffon_rp());
+        b.iter(|| world.run(16, move |ctx| timed_scatter(ctx, chunk)))
+    });
+    g.bench_function("smpi_no_contention", |b| {
+        let world = smpi_world_no_contention(griffon_rp());
+        b.iter(|| world.run(16, move |ctx| timed_scatter(ctx, chunk)))
+    });
+    g.bench_function("packet_openmpi", |b| {
+        let world = openmpi_world(griffon_rp());
+        b.iter(|| world.run(16, move |ctx| timed_scatter(ctx, chunk)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig11_12_alltoall_16procs");
+    g.sample_size(10);
+    let small = 8 * 1024; // 64 KiB blocks keep the packet side affordable
+    g.bench_function("smpi", |b| {
+        let world = smpi_world(griffon_rp());
+        b.iter(|| world.run(16, move |ctx| timed_alltoall(ctx, small)))
+    });
+    g.bench_function("packet_openmpi", |b| {
+        let world = openmpi_world(griffon_rp());
+        b.iter(|| world.run(16, move |ctx| timed_alltoall(ctx, small)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

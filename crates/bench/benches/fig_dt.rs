@@ -1,0 +1,34 @@
+//! Benches for Figs. 15–16: simulation cost of the NAS DT benchmark,
+//! including the 448-process shuffle graph that only SMPI can host on one
+//! node (§7.2).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smpi_bench::common::smpi_world;
+use smpi_bench::fig_dt::dt_platform;
+use smpi_workloads::{build_graph, dt_rank, DtClass, DtGraph};
+
+fn run(class: DtClass, shape: DtGraph) {
+    let graph = Arc::new(build_graph(class, shape));
+    let world = smpi_world(dt_platform(graph.num_nodes()));
+    let g = Arc::clone(&graph);
+    world.run(graph.num_nodes(), move |ctx| dt_rank(ctx, &g, class));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_16_dt");
+    g.sample_size(10);
+    // Class S keeps criterion iteration counts tractable; the full classes
+    // are exercised by the repro binary.
+    g.bench_function("smpi_dt_S_wh", |b| b.iter(|| run(DtClass::S, DtGraph::Wh)));
+    g.bench_function("smpi_dt_S_bh", |b| b.iter(|| run(DtClass::S, DtGraph::Bh)));
+    g.bench_function("smpi_dt_S_sh", |b| b.iter(|| run(DtClass::S, DtGraph::Sh)));
+    g.bench_function("smpi_dt_A_bh_21procs", |b| {
+        b.iter(|| run(DtClass::A, DtGraph::Bh))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benches for Figs. 3–5: how fast can the two backends simulate the
+//! ping-pong sweep, and how expensive is model fitting.
+//!
+//! These quantify the speed half of the paper's claims: the flow-level
+//! backend should be dramatically faster than the packet-level one for the
+//! same scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smpi_bench::common::{
+    calibration_route, calibration_samples, griffon_rp, openmpi_world, smpi_world,
+};
+use smpi_calibrate::{fit_piecewise, pingpong};
+
+fn sizes() -> Vec<u64> {
+    vec![1, 1024, 65536, 1 << 20]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_pingpong");
+    g.sample_size(10);
+
+    g.bench_function("smpi_flow_backend", |b| {
+        let world = smpi_world(griffon_rp());
+        b.iter(|| pingpong(&world, 0, 1, &sizes(), 1))
+    });
+
+    g.bench_function("packet_backend", |b| {
+        let world = openmpi_world(griffon_rp());
+        b.iter(|| pingpong(&world, 0, 1, &sizes(), 1))
+    });
+
+    g.bench_function("fit_piecewise_3seg", |b| {
+        let samples = calibration_samples();
+        let route = calibration_route();
+        b.iter(|| fit_piecewise(samples, 3, route))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

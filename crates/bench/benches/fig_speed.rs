@@ -1,0 +1,45 @@
+//! Benches for Figs. 17–18: the speed claims themselves.
+//!
+//! Fig. 17's quantity *is* a wall-clock measurement of the simulator, so the
+//! bench measures exactly what the figure plots: how long the SMPI
+//! simulation of the scatter takes. Fig. 18's bench shows simulation time
+//! falling with the sampling ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smpi_bench::common::{griffon_rp, smpi_world};
+use smpi_workloads::{ep_rank, timed_scatter, EpConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_scatter_simulation_time");
+    g.sample_size(10);
+    for mib in [4u64, 16] {
+        let chunk = (mib as usize * 1024 * 1024) / 8;
+        g.bench_with_input(BenchmarkId::from_parameter(mib), &chunk, |b, &chunk| {
+            let world = smpi_world(griffon_rp());
+            b.iter(|| world.run(16, move |ctx| timed_scatter(ctx, chunk)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig18_ep_sampling_ratio");
+    g.sample_size(10);
+    for ratio in [1.0f64, 0.5, 0.25] {
+        let cfg = EpConfig {
+            total_pairs: 1 << 20,
+            blocks_per_rank: 32,
+            sampling_ratio: ratio,
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}pct", ratio * 100.0)),
+            &cfg,
+            |b, &cfg| {
+                let world = smpi_world(griffon_rp()).cpu_factor(1.0);
+                b.iter(|| world.run(4, move |ctx| ep_rank(ctx, cfg)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benches of the substrates: raw event throughput of the two
+//! simulation kernels and of the actor layer. These bound every figure's
+//! runtime from below.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smpi_platform::{flat_cluster, ClusterConfig, HostIx, RoutedPlatform};
+use surf_sim::{Simulation, TransferModel};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_throughput");
+
+    g.bench_function("surf_1000_sequential_transfers", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let l = sim.add_link(125e6, 1e-6);
+            for _ in 0..1000 {
+                sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+                sim.advance_to_next();
+            }
+            sim.now()
+        })
+    });
+
+    g.bench_function("packet_1MiB_message_2hops", |b| {
+        let rp = RoutedPlatform::new(flat_cluster("b", 2, &ClusterConfig::default()));
+        b.iter(|| {
+            let mut net = packetnet::PacketNet::new(&rp, packetnet::PacketConfig::default());
+            net.start_message(&rp, HostIx(0), HostIx(1), 1 << 20);
+            net.run_to_completion()
+        })
+    });
+
+    g.bench_function("simix_1000_simcall_roundtrips", |b| {
+        b.iter(|| {
+            let mut sx = simix::Simix::<u32, u32>::new();
+            sx.spawn(|h| {
+                for i in 0..1000u32 {
+                    h.simcall(i);
+                }
+            });
+            loop {
+                let evs = sx.run_ready();
+                if evs.is_empty() {
+                    break;
+                }
+                for ev in evs {
+                    if let simix::ActorEvent::Request(id, n) = ev {
+                        sx.resolve(id, n);
+                    }
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

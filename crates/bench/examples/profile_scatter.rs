@@ -1,0 +1,19 @@
+use smpi_bench::common::*;
+use smpi_workloads::timed_scatter;
+use std::time::Instant;
+
+fn main() {
+    let mibs: Vec<usize> = std::env::args().skip(1).map(|s| s.parse().unwrap()).collect();
+    for mib in if mibs.is_empty() { vec![32, 48, 64] } else { mibs } {
+        let chunk = mib * 1024 * 1024 / 8;
+        let t0 = Instant::now();
+        let world = smpi_world(griffon_rp());
+        let rep = world.run(16, move |ctx| timed_scatter(ctx, chunk));
+        println!(
+            "{mib} MiB: wall={:.2}s sim={:.4}s outer={:.2}s",
+            rep.wall.as_secs_f64(),
+            rep.sim_time,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

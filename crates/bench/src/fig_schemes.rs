@@ -1,0 +1,93 @@
+//! Structural figures: communication schemes.
+//!
+//! * Fig. 6 — the binomial tree of a 16-process scatter;
+//! * Fig. 10 — the pairwise all-to-all steps for 4 processes;
+//! * Figs. 13–14 — the DT BH and WH task graphs for class A.
+//!
+//! These figures carry no timing; regenerating them validates that the
+//! implemented algorithms move data along exactly the edges the paper draws.
+
+use smpi::pairwise_peers;
+use smpi::tree;
+use smpi_workloads::{build_graph, DtClass, DtGraph};
+
+/// Fig. 6: edges of the binomial scatter tree for 16 processes, in send
+/// order (root first, largest subtree first).
+pub fn fig6() -> String {
+    let mut out = String::from("# Fig. 6 — binomial tree scatter, 16 processes\n");
+    for (from, to) in tree::edges(16) {
+        let span = tree::subtree_span(to, 16);
+        out.push_str(&format!("{from} -> {to}   ({span} chunk(s))\n"));
+    }
+    out
+}
+
+/// Fig. 10: the four steps of the pairwise all-to-all with 4 processes.
+pub fn fig10() -> String {
+    let p = 4;
+    let mut out = String::from("# Fig. 10 — pairwise all-to-all, 4 processes\n");
+    for step in 0..p {
+        out.push_str(&format!("step {}:", step + 1));
+        for r in 0..p {
+            let (to, _) = pairwise_peers(r, p, step);
+            out.push_str(&format!("  {r}->{to}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Figs. 13–14: the DT class-A BH and WH communication graphs.
+pub fn fig13_14() -> String {
+    let mut out = String::new();
+    for (name, shape) in [("Fig. 13 — DT BH", DtGraph::Bh), ("Fig. 14 — DT WH", DtGraph::Wh)] {
+        let g = build_graph(DtClass::A, shape);
+        out.push_str(&format!(
+            "# {name}, class A ({} processes, {} sources, {} sink(s))\n",
+            g.num_nodes(),
+            g.sources().len(),
+            g.sinks().len()
+        ));
+        for (r, succ) in g.succ.iter().enumerate() {
+            if !succ.is_empty() {
+                out.push_str(&format!(
+                    "{r} -> {}\n",
+                    succ.iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig6_root_sends_largest_first() {
+        let s = super::fig6();
+        let first = s.lines().nth(1).unwrap();
+        assert!(first.starts_with("0 -> 8"), "got {first:?}");
+        assert!(first.contains("(8 chunk(s))"));
+        // 15 edges for 16 processes.
+        assert_eq!(s.lines().count(), 16);
+    }
+
+    #[test]
+    fn fig10_has_four_permutation_steps() {
+        let s = super::fig10();
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("step 1:  0->0  1->1  2->2  3->3"));
+        assert!(s.contains("step 2:  0->1  1->2  2->3  3->0"));
+    }
+
+    #[test]
+    fn fig13_counts() {
+        let s = super::fig13_14();
+        assert!(s.contains("21 processes, 16 sources, 1 sink(s)"));
+        assert!(s.contains("21 processes, 1 sources, 16 sink(s)"));
+    }
+}

@@ -1,0 +1,115 @@
+//! The Fig. 3 pipeline in miniature: calibrate on the packet-level griffon,
+//! fit the three models, and verify the paper's accuracy ordering.
+
+use std::sync::Arc;
+
+use smpi::{MpiProfile, World};
+use smpi_calibrate::{fit_best_affine, fit_default_affine, fit_piecewise, pingpong, RouteRef};
+use smpi_metrics::ErrorSummary;
+use smpi_platform::{griffon, HostIx, RoutedPlatform};
+
+fn griffon_rp() -> Arc<RoutedPlatform> {
+    Arc::new(RoutedPlatform::new(griffon()))
+}
+
+fn sparse_sizes() -> Vec<u64> {
+    // A smaller sweep than the default for test speed: still log-dense.
+    let mut v = Vec::new();
+    let mut s: u64 = 1;
+    while s <= 1 << 23 {
+        v.push(s);
+        v.push(s * 3 / 2);
+        s *= 2;
+    }
+    v.sort_unstable();
+    v.dedup();
+    v.retain(|&x| x >= 1);
+    v
+}
+
+#[test]
+fn piecewise_model_beats_affine_models_on_real_pingpong() {
+    let rp = griffon_rp();
+    let truth_world = World::testbed(Arc::clone(&rp), MpiProfile::openmpi_like());
+    let sizes = sparse_sizes();
+    let samples = pingpong(&truth_world, 0, 1, &sizes, 1);
+    let route = RouteRef {
+        latency: rp.latency(HostIx(0), HostIx(1)),
+        bandwidth: rp.bandwidth(HostIx(0), HostIx(1)),
+    };
+
+    let truth: Vec<f64> = samples.iter().map(|s| s.time).collect();
+    let pw = fit_piecewise(&samples, 3, route);
+    let best = fit_best_affine(&samples, route);
+    let default = fit_default_affine(&samples, route);
+
+    let predict = |m: &surf_sim::TransferModel| -> Vec<f64> {
+        smpi_calibrate::predict(m, &samples, route)
+    };
+    let e_pw = ErrorSummary::compare(&predict(&pw), &truth);
+    let e_best = ErrorSummary::compare(&predict(&best), &truth);
+    let e_def = ErrorSummary::compare(&predict(&default), &truth);
+
+    eprintln!("piecewise: {e_pw}\nbest-fit : {e_best}\ndefault  : {e_def}");
+
+    // The paper's ordering (Fig. 3): piece-wise < best-fit < default.
+    assert!(e_pw.mean < e_best.mean, "piecewise {e_pw} vs best {e_best}");
+    assert!(e_best.mean < e_def.mean, "best {e_best} vs default {e_def}");
+    // And its magnitude: piece-wise lands under ~10% average error.
+    assert!(e_pw.mean < 0.12, "piecewise too inaccurate: {e_pw}");
+}
+
+#[test]
+fn smpi_pingpong_tracks_the_model_closed_form() {
+    // Simulating the ping-pong on the SMPI (flow) backend must agree with
+    // the fitted model's closed form: single flow, no contention.
+    let rp = griffon_rp();
+    let truth_world = World::testbed(Arc::clone(&rp), MpiProfile::openmpi_like());
+    let sizes: Vec<u64> = vec![1, 100, 10_000, 100_000, 1 << 20, 1 << 23];
+    let cal_sizes = sparse_sizes();
+    let samples = pingpong(&truth_world, 0, 1, &cal_sizes, 1);
+    let route = RouteRef {
+        latency: rp.latency(HostIx(0), HostIx(1)),
+        bandwidth: rp.bandwidth(HostIx(0), HostIx(1)),
+    };
+    let model = fit_piecewise(&samples, 3, route);
+
+    let smpi_world = World::smpi(Arc::clone(&rp), model.clone());
+    let sim = pingpong(&smpi_world, 0, 1, &sizes, 1);
+    for s in &sim {
+        let closed = model.predict(s.bytes as f64, route.latency, route.bandwidth);
+        let ratio = s.time / closed;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "engine vs closed form at {} B: {} vs {closed}",
+            s.bytes,
+            s.time
+        );
+    }
+}
+
+#[test]
+fn griffon_calibration_transfers_to_gdx() {
+    // Fig. 4: calibrate on griffon, predict gdx (same-switch pair).
+    let gr = griffon_rp();
+    let truth_gr = World::testbed(Arc::clone(&gr), MpiProfile::openmpi_like());
+    let cal = pingpong(&truth_gr, 0, 1, &sparse_sizes(), 1);
+    let route_gr = RouteRef {
+        latency: gr.latency(HostIx(0), HostIx(1)),
+        bandwidth: gr.bandwidth(HostIx(0), HostIx(1)),
+    };
+    let model = fit_piecewise(&cal, 3, route_gr);
+
+    let gdx = Arc::new(RoutedPlatform::new(smpi_platform::gdx()));
+    let truth_gdx = World::testbed(Arc::clone(&gdx), MpiProfile::openmpi_like());
+    let samples = pingpong(&truth_gdx, 0, 1, &sparse_sizes(), 1);
+    let route_gdx = RouteRef {
+        latency: gdx.latency(HostIx(0), HostIx(1)),
+        bandwidth: gdx.bandwidth(HostIx(0), HostIx(1)),
+    };
+    let truth: Vec<f64> = samples.iter().map(|s| s.time).collect();
+    let pred = smpi_calibrate::predict(&model, &samples, route_gdx);
+    let e = ErrorSummary::compare(&pred, &truth);
+    eprintln!("gdx with griffon calibration: {e}");
+    assert!(e.mean < 0.25, "transferred calibration too inaccurate: {e}");
+}

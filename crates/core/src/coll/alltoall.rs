@@ -1,0 +1,126 @@
+//! Many-to-many collectives: the pairwise exchange algorithm of Fig. 10.
+//!
+//! The pairwise algorithm runs in `p` steps; at step `s`, rank `r` sends its
+//! block for rank `(r + s) mod p` and receives from rank `(r − s) mod p`
+//! (step 0 is the local copy). Every step is a full permutation of
+//! concurrent transfers — the pattern whose contention behaviour Figs. 11
+//! and 12 evaluate.
+
+use super::TAG_ALLTOALL;
+use crate::comm::Comm;
+use crate::ctx::Ctx;
+use crate::datatype::Datatype;
+
+/// The send/receive peers of one pairwise step (relative to rank `r` among
+/// `p`): `(send_to, recv_from)`. Exposed for the Fig. 10 scheme generator.
+pub fn pairwise_peers(r: usize, p: usize, step: usize) -> (usize, usize) {
+    ((r + step) % p, (r + p - step) % p)
+}
+
+impl Ctx<'_> {
+    /// `MPI_Alltoall` (pairwise): `send` holds `p` equal blocks of
+    /// `send.len() / p` elements, block `i` destined to rank `i`; returns
+    /// the received blocks in source-rank order.
+    pub fn alltoall<T: Datatype>(&self, send: &[T], comm: &Comm) -> Vec<T> {
+        let p = comm.size();
+        assert_eq!(send.len() % p, 0, "alltoall buffer not divisible by p");
+        let chunk = send.len() / p;
+        let counts = vec![chunk; p];
+        self.alltoallv(send, &counts, &counts, comm)
+    }
+
+    /// `MPI_Alltoallv` (pairwise): `send_counts[i]` elements go to rank `i`;
+    /// `recv_counts[i]` elements arrive from rank `i`. Returns the received
+    /// data concatenated in source-rank order.
+    pub fn alltoallv<T: Datatype>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+        comm: &Comm,
+    ) -> Vec<T> {
+        let p = comm.size();
+        assert_eq!(send_counts.len(), p);
+        assert_eq!(recv_counts.len(), p);
+        assert_eq!(send.len(), send_counts.iter().sum::<usize>());
+        let r = self.comm_rank(comm);
+
+        let send_offsets: Vec<usize> = prefix(send_counts);
+        let recv_offsets: Vec<usize> = prefix(recv_counts);
+        let total_recv: usize = recv_counts.iter().sum();
+        let mut out = vec![T::default(); total_recv];
+
+        // Step 0: local block.
+        out[recv_offsets[r]..recv_offsets[r] + recv_counts[r]]
+            .copy_from_slice(&send[send_offsets[r]..send_offsets[r] + send_counts[r]]);
+
+        for step in 1..p {
+            let (to, from) = pairwise_peers(r, p, step);
+            let outgoing = &send[send_offsets[to]..send_offsets[to] + send_counts[to]];
+            let mut incoming = vec![T::default(); recv_counts[from]];
+            self.sendrecv(
+                outgoing,
+                to,
+                TAG_ALLTOALL,
+                &mut incoming,
+                from as i32,
+                TAG_ALLTOALL,
+                comm,
+            );
+            out[recv_offsets[from]..recv_offsets[from] + recv_counts[from]]
+                .copy_from_slice(&incoming);
+        }
+        out
+    }
+}
+
+fn prefix(counts: &[usize]) -> Vec<usize> {
+    counts
+        .iter()
+        .scan(0usize, |acc, &c| {
+            let o = *acc;
+            *acc += c;
+            Some(o)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure10_schedule_for_4_processes() {
+        // Step 1 with 4 processes: 0->1, 1->2, 2->3, 3->0.
+        for r in 0..4 {
+            let (to, from) = pairwise_peers(r, 4, 1);
+            assert_eq!(to, (r + 1) % 4);
+            assert_eq!(from, (r + 3) % 4);
+        }
+        // Step 0 is the identity (self exchange).
+        assert_eq!(pairwise_peers(2, 4, 0), (2, 2));
+    }
+
+    #[test]
+    fn every_step_is_a_permutation() {
+        for p in [2usize, 3, 5, 8, 16] {
+            for step in 0..p {
+                let mut seen_to = vec![false; p];
+                for r in 0..p {
+                    let (to, from) = pairwise_peers(r, p, step);
+                    assert!(!seen_to[to]);
+                    seen_to[to] = true;
+                    // Reciprocity: if I send to X at step s, X receives from me.
+                    assert_eq!(pairwise_peers(to, p, step).1, r);
+                    let _ = from;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_offsets() {
+        assert_eq!(prefix(&[3, 1, 4]), vec![0, 3, 4]);
+        assert_eq!(prefix(&[]), Vec::<usize>::new());
+    }
+}

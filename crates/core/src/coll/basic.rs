@@ -1,0 +1,58 @@
+//! Barrier and broadcast.
+
+use super::{tree, TAG_BARRIER, TAG_BCAST};
+use crate::comm::Comm;
+use crate::ctx::Ctx;
+use crate::datatype::Datatype;
+
+impl Ctx<'_> {
+    /// `MPI_Barrier`: dissemination algorithm — ⌈log₂ p⌉ rounds of
+    /// zero-byte exchanges with exponentially growing stride.
+    pub fn barrier(&self, comm: &Comm) {
+        let p = comm.size();
+        let r = self.comm_rank(comm);
+        let mut k = 1usize;
+        let empty: [u8; 0] = [];
+        let mut sink: [u8; 0] = [];
+        while k < p {
+            let to = (r + k) % p;
+            let from = (r + p - k) % p;
+            self.sendrecv(
+                &empty,
+                to,
+                TAG_BARRIER,
+                &mut sink,
+                from as i32,
+                TAG_BARRIER,
+                comm,
+            );
+            k <<= 1;
+        }
+    }
+
+    /// `MPI_Bcast` over a binomial tree: `buf` holds the payload on `root`
+    /// and receives it everywhere else (all callers pass the same length).
+    pub fn bcast<T: Datatype>(&self, buf: &mut [T], root: usize, comm: &Comm) {
+        let p = comm.size();
+        if p == 1 {
+            return;
+        }
+        let r = self.comm_rank(comm);
+        let v = (r + p - root) % p; // relative rank
+        if v != 0 {
+            let parent = (tree::parent(v) + root) % p;
+            let status = self.recv(buf, parent as i32, TAG_BCAST, comm);
+            debug_assert_eq!(status.count::<T>(), buf.len());
+        }
+        for c in tree::children(v, p) {
+            let child = (c + root) % p;
+            self.send(buf, child, TAG_BCAST, comm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exercised end-to-end in the crate's integration tests (they need a
+    // full World); the tree shape itself is unit-tested in `tree`.
+}

@@ -1,0 +1,303 @@
+//! Scatter, gather and allgather families.
+//!
+//! `scatter`/`gather` use the binomial tree of Fig. 6 (the algorithm whose
+//! accuracy Figs. 7–9 evaluate); the `v` variants are linear, as in MPICH2;
+//! `allgather` uses recursive doubling on power-of-two communicators and a
+//! ring otherwise.
+
+use super::{tree, TAG_ALLGATHER, TAG_GATHER, TAG_SCATTER};
+use crate::comm::Comm;
+use crate::ctx::Ctx;
+use crate::datatype::Datatype;
+
+impl Ctx<'_> {
+    /// `MPI_Scatter` (binomial tree): `send` on the root holds `p * chunk`
+    /// elements ordered by destination rank; every rank gets its `chunk`.
+    pub fn scatter<T: Datatype>(
+        &self,
+        send: Option<&[T]>,
+        chunk: usize,
+        root: usize,
+        comm: &Comm,
+    ) -> Vec<T> {
+        let p = comm.size();
+        let r = self.comm_rank(comm);
+        let v = (r + p - root) % p;
+
+        // Working buffer holds this node's whole subtree in *relative* rank
+        // order.
+        let mut block: Vec<T>;
+        if r == root {
+            let data = send.expect("root must supply the scatter buffer");
+            assert_eq!(data.len(), p * chunk, "scatter buffer size mismatch");
+            if root == 0 {
+                // Rotation is the identity: send slices of `data` directly
+                // (avoids duplicating a potentially huge root buffer).
+                for c in tree::children(0, p) {
+                    let child_span = tree::subtree_span(c, p);
+                    self.send(&data[c * chunk..(c + child_span) * chunk], c, TAG_SCATTER, comm);
+                }
+                return data[..chunk].to_vec();
+            }
+            // Rotate into relative order so block[v*chunk..] belongs to
+            // relative rank v.
+            block = Vec::with_capacity(p * chunk);
+            for rel in 0..p {
+                let abs = (root + rel) % p;
+                block.extend_from_slice(&data[abs * chunk..(abs + 1) * chunk]);
+            }
+        } else {
+            let span = tree::subtree_span(v, p);
+            block = vec![T::default(); span * chunk];
+            let parent = (tree::parent(v) + root) % p;
+            let status = self.recv(&mut block, parent as i32, TAG_SCATTER, comm);
+            debug_assert_eq!(status.count::<T>(), block.len());
+        }
+
+        // Forward each child its subtree slice (largest subtree first, as
+        // the root does in the paper's Fig. 6 description).
+        for c in tree::children(v, p) {
+            let child_span = tree::subtree_span(c, p);
+            let off = (c - v) * chunk;
+            let child = (c + root) % p;
+            self.send(&block[off..off + child_span * chunk], child, TAG_SCATTER, comm);
+        }
+        block.truncate(chunk);
+        block
+    }
+
+    /// `MPI_Gather` (binomial tree, the reverse of [`Ctx::scatter`]): every rank
+    /// contributes `send`; the root returns the concatenation in rank order.
+    pub fn gather<T: Datatype>(&self, send: &[T], root: usize, comm: &Comm) -> Option<Vec<T>> {
+        let p = comm.size();
+        let chunk = send.len();
+        let r = self.comm_rank(comm);
+        let v = (r + p - root) % p;
+        let span = tree::subtree_span(v, p);
+
+        let mut block = vec![T::default(); span * chunk];
+        block[..chunk].copy_from_slice(send);
+        // Collect children smallest-first (reverse send order of scatter).
+        for c in tree::children(v, p).into_iter().rev() {
+            let child_span = tree::subtree_span(c, p);
+            let off = (c - v) * chunk;
+            let child = (c + root) % p;
+            let status = self.recv(
+                &mut block[off..off + child_span * chunk],
+                child as i32,
+                TAG_GATHER,
+                comm,
+            );
+            debug_assert_eq!(status.count::<T>(), child_span * chunk);
+        }
+        if v == 0 {
+            // Rotate back to absolute rank order.
+            let mut out = vec![T::default(); p * chunk];
+            for rel in 0..p {
+                let abs = (root + rel) % p;
+                out[abs * chunk..(abs + 1) * chunk]
+                    .copy_from_slice(&block[rel * chunk..(rel + 1) * chunk]);
+            }
+            Some(out)
+        } else {
+            let parent = (tree::parent(v) + root) % p;
+            self.send(&block, parent, TAG_GATHER, comm);
+            None
+        }
+    }
+
+    /// `MPI_Scatterv` (linear): the root sends rank `i` its `counts[i]`
+    /// elements; every rank passes its own expected count as `my_count`.
+    pub fn scatterv<T: Datatype>(
+        &self,
+        send: Option<&[T]>,
+        counts: Option<&[usize]>,
+        my_count: usize,
+        root: usize,
+        comm: &Comm,
+    ) -> Vec<T> {
+        let p = comm.size();
+        let r = self.comm_rank(comm);
+        if r == root {
+            let data = send.expect("root must supply the scatterv buffer");
+            let counts = counts.expect("root must supply scatterv counts");
+            assert_eq!(counts.len(), p);
+            assert_eq!(data.len(), counts.iter().sum::<usize>());
+            assert_eq!(my_count, counts[root]);
+            let mut offset = 0usize;
+            let mut own = Vec::new();
+            let mut pending = Vec::new();
+            for (i, &c) in counts.iter().enumerate() {
+                let piece = &data[offset..offset + c];
+                offset += c;
+                if i == r {
+                    own = piece.to_vec();
+                } else {
+                    pending.push(self.isend(piece, i, TAG_SCATTER, comm));
+                }
+            }
+            self.wait_all_sends(pending);
+            own
+        } else {
+            let (data, _) = self.recv_vec::<T>(root as i32, TAG_SCATTER, my_count, comm);
+            data
+        }
+    }
+
+    /// `MPI_Gatherv` (linear): the root returns the concatenation of every
+    /// rank's contribution, sized by `counts` on the root.
+    pub fn gatherv<T: Datatype>(
+        &self,
+        send: &[T],
+        counts: Option<&[usize]>,
+        root: usize,
+        comm: &Comm,
+    ) -> Option<Vec<T>> {
+        let p = comm.size();
+        let r = self.comm_rank(comm);
+        if r == root {
+            let counts = counts.expect("root must supply gatherv counts");
+            assert_eq!(counts.len(), p);
+            assert_eq!(send.len(), counts[root]);
+            let offsets: Vec<usize> = counts
+                .iter()
+                .scan(0usize, |acc, &c| {
+                    let o = *acc;
+                    *acc += c;
+                    Some(o)
+                })
+                .collect();
+            let total: usize = counts.iter().sum();
+            let mut out = vec![T::default(); total];
+            out[offsets[root]..offsets[root] + counts[root]].copy_from_slice(send);
+            let mut reqs = Vec::new();
+            for i in 0..p {
+                if i != root {
+                    reqs.push((i, self.irecv::<T>(i as i32, TAG_GATHER, counts[i], comm)));
+                }
+            }
+            for (i, req) in reqs {
+                let (data, _) = self.wait_recv(req, comm);
+                assert_eq!(data.len(), counts[i]);
+                out[offsets[i]..offsets[i] + counts[i]].copy_from_slice(&data);
+            }
+            Some(out)
+        } else {
+            self.send(send, root, TAG_GATHER, comm);
+            None
+        }
+    }
+
+    /// `MPI_Allgather`: recursive doubling on power-of-two sizes, ring
+    /// otherwise. Every rank contributes `send` (equal lengths) and gets the
+    /// concatenation in rank order.
+    pub fn allgather<T: Datatype>(&self, send: &[T], comm: &Comm) -> Vec<T> {
+        if comm.size().is_power_of_two() {
+            self.allgather_rdb(send, comm)
+        } else {
+            self.allgather_ring(send, comm)
+        }
+    }
+
+    /// Recursive-doubling allgather (requires power-of-two ranks).
+    pub fn allgather_rdb<T: Datatype>(&self, send: &[T], comm: &Comm) -> Vec<T> {
+        let p = comm.size();
+        assert!(p.is_power_of_two());
+        let chunk = send.len();
+        let r = self.comm_rank(comm);
+        let mut out = vec![T::default(); p * chunk];
+        out[r * chunk..(r + 1) * chunk].copy_from_slice(send);
+        // Invariant: before a round with stride k, each rank holds the k
+        // blocks of its k-rank subcube [r & !(k-1), r & !(k-1) + k).
+        let mut k = 1usize;
+        while k < p {
+            let partner = r ^ k;
+            let my_base = r & !(k - 1);
+            let partner_base = partner & !(k - 1);
+            let outgoing = out[my_base * chunk..(my_base + k) * chunk].to_vec();
+            let mut incoming = vec![T::default(); k * chunk];
+            self.sendrecv(
+                &outgoing,
+                partner,
+                TAG_ALLGATHER,
+                &mut incoming,
+                partner as i32,
+                TAG_ALLGATHER,
+                comm,
+            );
+            out[partner_base * chunk..(partner_base + k) * chunk].copy_from_slice(&incoming);
+            k <<= 1;
+        }
+        out
+    }
+
+    /// Ring allgather (works for any communicator size): p-1 steps, each
+    /// forwarding the most recently received block to the right neighbour.
+    pub fn allgather_ring<T: Datatype>(&self, send: &[T], comm: &Comm) -> Vec<T> {
+        let p = comm.size();
+        let chunk = send.len();
+        let r = self.comm_rank(comm);
+        let mut out = vec![T::default(); p * chunk];
+        out[r * chunk..(r + 1) * chunk].copy_from_slice(send);
+        let right = (r + 1) % p;
+        let left = (r + p - 1) % p;
+        for s in 0..p.saturating_sub(1) {
+            let send_block = (r + p - s) % p;
+            let recv_block = (r + p - s - 1) % p;
+            let outgoing = out[send_block * chunk..(send_block + 1) * chunk].to_vec();
+            let mut incoming = vec![T::default(); chunk];
+            self.sendrecv(
+                &outgoing,
+                right,
+                TAG_ALLGATHER,
+                &mut incoming,
+                left as i32,
+                TAG_ALLGATHER,
+                comm,
+            );
+            out[recv_block * chunk..(recv_block + 1) * chunk].copy_from_slice(&incoming);
+        }
+        out
+    }
+
+    /// `MPI_Allgatherv` (ring): contributions of varying sizes; `counts[i]`
+    /// is rank `i`'s length, known everywhere.
+    pub fn allgatherv<T: Datatype>(&self, send: &[T], counts: &[usize], comm: &Comm) -> Vec<T> {
+        let p = comm.size();
+        assert_eq!(counts.len(), p);
+        let r = self.comm_rank(comm);
+        assert_eq!(send.len(), counts[r]);
+        let offsets: Vec<usize> = counts
+            .iter()
+            .scan(0usize, |acc, &c| {
+                let o = *acc;
+                *acc += c;
+                Some(o)
+            })
+            .collect();
+        let total: usize = counts.iter().sum();
+        let mut out = vec![T::default(); total];
+        out[offsets[r]..offsets[r] + counts[r]].copy_from_slice(send);
+        let right = (r + 1) % p;
+        let left = (r + p - 1) % p;
+        for s in 0..p.saturating_sub(1) {
+            let send_block = (r + p - s) % p;
+            let recv_block = (r + p - s - 1) % p;
+            let outgoing =
+                out[offsets[send_block]..offsets[send_block] + counts[send_block]].to_vec();
+            let mut incoming = vec![T::default(); counts[recv_block]];
+            self.sendrecv(
+                &outgoing,
+                right,
+                TAG_ALLGATHER,
+                &mut incoming,
+                left as i32,
+                TAG_ALLGATHER,
+                comm,
+            );
+            out[offsets[recv_block]..offsets[recv_block] + counts[recv_block]]
+                .copy_from_slice(&incoming);
+        }
+        out
+    }
+}

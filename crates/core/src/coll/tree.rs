@@ -1,0 +1,123 @@
+//! Binomial-tree shape helpers.
+//!
+//! The binomial tree of Fig. 6 (for 16 processes):
+//!
+//! ```text
+//! 0 ── 8 ── 12 ── 14, 13
+//! │    │     └ 10 ── 11 …
+//! ├ 4, 2, 1 …
+//! ```
+//!
+//! In *relative* rank space (rank 0 = root): the parent of `v` clears `v`'s
+//! lowest set bit; the children of `v` are `v + 2^k` for every `2^k` smaller
+//! than `v`'s lowest set bit (all powers for the root), bounded by `p`.
+//! A node's subtree spans `[v, v + subtree_span(v, p))`, which is what makes
+//! the scatter/gather data movement of Figs. 6–9 work: process 0 sends 8
+//! chunks to process 8, 4 to process 4, and so on.
+
+/// Parent of relative rank `v` (`v != 0`): clear the lowest set bit.
+pub fn parent(v: usize) -> usize {
+    debug_assert!(v != 0, "the root has no parent");
+    v & (v - 1)
+}
+
+/// Children of relative rank `v` among `p` processes, **largest subtree
+/// first** (the order the root sends in the paper's description of Fig. 6).
+pub fn children(v: usize, p: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let limit = if v == 0 {
+        p.next_power_of_two()
+    } else {
+        v & v.wrapping_neg() // lowest set bit
+    };
+    let mut mask = limit >> 1;
+    while mask > 0 {
+        let child = v + mask;
+        if child < p {
+            out.push(child);
+        }
+        mask >>= 1;
+    }
+    out
+}
+
+/// Number of ranks in the subtree rooted at relative rank `v` (including
+/// `v` itself): `min(lowbit(v), p - v)`, with the whole tree for the root.
+pub fn subtree_span(v: usize, p: usize) -> usize {
+    if v == 0 {
+        p
+    } else {
+        let low = v & v.wrapping_neg();
+        low.min(p - v)
+    }
+}
+
+/// All edges `(from, to)` of the binomial tree over `p` relative ranks, in
+/// root-send order. Used to regenerate the communication scheme of Fig. 6.
+pub fn edges(p: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for v in 0..p {
+        for c in children(v, p) {
+            out.push((v, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_shape_for_16_processes() {
+        // Root sends to 8, 4, 2, 1 — in that order.
+        assert_eq!(children(0, 16), vec![8, 4, 2, 1]);
+        assert_eq!(children(8, 16), vec![12, 10, 9]);
+        assert_eq!(children(4, 16), vec![6, 5]);
+        assert_eq!(children(12, 16), vec![14, 13]);
+        assert_eq!(children(2, 16), vec![3]);
+        assert_eq!(children(15, 16), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn parents_invert_children() {
+        for p in [1usize, 2, 3, 5, 8, 16, 21, 48] {
+            for v in 0..p {
+                for c in children(v, p) {
+                    assert_eq!(parent(c), v, "p={p} v={v} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_spans_cover_the_tree() {
+        // The subtree spans of the root's children partition 1..p.
+        for p in [2usize, 3, 7, 16, 21, 100] {
+            let mut covered = vec![false; p];
+            covered[0] = true;
+            for c in children(0, p) {
+                for r in c..c + subtree_span(c, p) {
+                    assert!(!covered[r], "rank {r} covered twice (p={p})");
+                    covered[r] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "not all ranks covered (p={p})");
+        }
+    }
+
+    #[test]
+    fn root_subtree_is_everything() {
+        assert_eq!(subtree_span(0, 16), 16);
+        assert_eq!(subtree_span(8, 16), 8);
+        assert_eq!(subtree_span(12, 16), 4);
+        assert_eq!(subtree_span(8, 12), 4); // truncated by p
+    }
+
+    #[test]
+    fn edge_count_is_p_minus_one() {
+        for p in [1usize, 2, 5, 16, 31, 64] {
+            assert_eq!(edges(p).len(), p - 1 + usize::from(p == 0));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Predefined MPI datatypes.
+//!
+//! Application buffers are typed Rust slices; the wire carries raw bytes.
+//! The [`Datatype`] trait marks plain-old-data element types that can be
+//! safely reinterpreted to/from bytes, playing the role of the predefined
+//! MPI datatypes (`MPI_INT`, `MPI_DOUBLE`, …). Conversions are implemented
+//! with explicit little-endian-free `copy_from_slice` on byte views, so they
+//! are safe, endian-agnostic within a process, and allocation-free on the
+//! receive path.
+
+/// A plain-old-data element type usable in MPI messages.
+///
+/// # Safety-free by construction
+/// Implementations only use safe byte-copy conversions; no `unsafe` casts.
+pub trait Datatype: Copy + Default + Send + 'static {
+    /// Size of one element in bytes (`MPI_Type_size`).
+    const SIZE: usize;
+    /// Human-readable MPI-style name.
+    const NAME: &'static str;
+
+    /// Serializes one element into `out` (exactly `SIZE` bytes).
+    fn write_bytes(&self, out: &mut [u8]);
+    /// Deserializes one element from `input` (exactly `SIZE` bytes).
+    fn from_bytes(input: &[u8]) -> Self;
+}
+
+macro_rules! impl_datatype {
+    ($t:ty, $name:expr) => {
+        impl Datatype for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            const NAME: &'static str = $name;
+
+            fn write_bytes(&self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn from_bytes(input: &[u8]) -> Self {
+                <$t>::from_le_bytes(input.try_into().expect("element size"))
+            }
+        }
+    };
+}
+
+impl_datatype!(u8, "MPI_BYTE");
+impl_datatype!(i8, "MPI_CHAR");
+impl_datatype!(u16, "MPI_UNSIGNED_SHORT");
+impl_datatype!(i16, "MPI_SHORT");
+impl_datatype!(u32, "MPI_UNSIGNED");
+impl_datatype!(i32, "MPI_INT");
+impl_datatype!(u64, "MPI_UNSIGNED_LONG");
+impl_datatype!(i64, "MPI_LONG");
+impl_datatype!(f32, "MPI_FLOAT");
+impl_datatype!(f64, "MPI_DOUBLE");
+
+/// Serializes a typed slice into a fresh byte vector.
+pub fn to_bytes<T: Datatype>(data: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; data.len() * T::SIZE];
+    for (elem, chunk) in data.iter().zip(out.chunks_exact_mut(T::SIZE)) {
+        elem.write_bytes(chunk);
+    }
+    out
+}
+
+/// Deserializes bytes into a typed output slice. `bytes` may be shorter than
+/// the buffer (a short message); returns the number of elements written.
+/// Panics if `bytes` is not a whole number of elements or overflows `out`.
+pub fn from_bytes<T: Datatype>(bytes: &[u8], out: &mut [T]) -> usize {
+    assert!(
+        bytes.len() % T::SIZE == 0,
+        "message of {} bytes is not a whole number of {} elements",
+        bytes.len(),
+        T::NAME
+    );
+    let n = bytes.len() / T::SIZE;
+    assert!(
+        n <= out.len(),
+        "message of {n} elements overflows receive buffer of {}",
+        out.len()
+    );
+    for (chunk, slot) in bytes.chunks_exact(T::SIZE).zip(out.iter_mut()) {
+        *slot = T::from_bytes(chunk);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_c_expectations() {
+        assert_eq!(<u8 as Datatype>::SIZE, 1);
+        assert_eq!(<i32 as Datatype>::SIZE, 4);
+        assert_eq!(<f64 as Datatype>::SIZE, 8);
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        let data = [1.5f64, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
+        let bytes = to_bytes(&data);
+        assert_eq!(bytes.len(), 40);
+        let mut out = [0.0f64; 5];
+        assert_eq!(from_bytes(&bytes, &mut out), 5);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn roundtrip_i32_preserves_sign() {
+        let data = [i32::MIN, -1, 0, 1, i32::MAX];
+        let bytes = to_bytes(&data);
+        let mut out = [0i32; 5];
+        from_bytes(&bytes, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn short_message_fills_prefix() {
+        let bytes = to_bytes(&[7u32, 8]);
+        let mut out = [0u32; 4];
+        assert_eq!(from_bytes(&bytes, &mut out), 2);
+        assert_eq!(out, [7, 8, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_message_panics() {
+        let mut out = [0u32; 2];
+        from_bytes(&[1, 2, 3], &mut out);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let bytes = to_bytes(&[1u8, 2, 3]);
+        let mut out = [0u8; 2];
+        from_bytes(&bytes, &mut out);
+    }
+}

@@ -1,0 +1,167 @@
+//! Process groups (`MPI_Group`).
+//!
+//! A group is an ordered set of world ranks. SMPI supports "process groups,
+//! communicators, and their operations (except Comm_split)"; the classic
+//! group algebra is implemented here and communicators wrap a group plus a
+//! context id in [`crate::comm`].
+
+use std::sync::Arc;
+
+/// An ordered set of distinct world ranks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Group {
+    members: Arc<Vec<u32>>,
+}
+
+impl Group {
+    /// Builds a group from world ranks. Ranks must be distinct.
+    pub fn new(members: Vec<u32>) -> Self {
+        let mut seen = members.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), members.len(), "group members must be distinct");
+        Group {
+            members: Arc::new(members),
+        }
+    }
+
+    /// The group `{0, 1, …, n-1}` (the world group).
+    pub fn world(n: usize) -> Self {
+        Group::new((0..n as u32).collect())
+    }
+
+    /// Number of members (`MPI_Group_size`).
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` for the empty group.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// World rank of local rank `r` (`MPI_Group_translate_ranks` to world).
+    pub fn world_rank(&self, r: usize) -> u32 {
+        self.members[r]
+    }
+
+    /// Local rank of world rank `w` (`MPI_Group_rank`), if a member.
+    pub fn local_rank(&self, w: u32) -> Option<usize> {
+        self.members.iter().position(|&m| m == w)
+    }
+
+    /// Members in local-rank order.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// `MPI_Group_incl`: the sub-group of the listed local ranks, in order.
+    pub fn incl(&self, ranks: &[usize]) -> Group {
+        Group::new(ranks.iter().map(|&r| self.members[r]).collect())
+    }
+
+    /// `MPI_Group_excl`: all members except the listed local ranks,
+    /// preserving order.
+    pub fn excl(&self, ranks: &[usize]) -> Group {
+        let excluded: std::collections::HashSet<usize> = ranks.iter().copied().collect();
+        Group::new(
+            self.members
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !excluded.contains(i))
+                .map(|(_, &w)| w)
+                .collect(),
+        )
+    }
+
+    /// `MPI_Group_union`: members of `self`, then members of `other` not in
+    /// `self`, in `other`'s order.
+    pub fn union(&self, other: &Group) -> Group {
+        let mut out: Vec<u32> = self.members.as_ref().clone();
+        for &w in other.members.iter() {
+            if !out.contains(&w) {
+                out.push(w);
+            }
+        }
+        Group::new(out)
+    }
+
+    /// `MPI_Group_intersection`: members of `self` also in `other`, in
+    /// `self`'s order.
+    pub fn intersection(&self, other: &Group) -> Group {
+        Group::new(
+            self.members
+                .iter()
+                .copied()
+                .filter(|w| other.local_rank(*w).is_some())
+                .collect(),
+        )
+    }
+
+    /// `MPI_Group_difference`: members of `self` not in `other`.
+    pub fn difference(&self, other: &Group) -> Group {
+        Group::new(
+            self.members
+                .iter()
+                .copied()
+                .filter(|w| other.local_rank(*w).is_none())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_group_is_identity() {
+        let g = Group::world(4);
+        assert_eq!(g.size(), 4);
+        for r in 0..4 {
+            assert_eq!(g.world_rank(r), r as u32);
+            assert_eq!(g.local_rank(r as u32), Some(r));
+        }
+    }
+
+    #[test]
+    fn incl_and_excl() {
+        let g = Group::world(6);
+        let sub = g.incl(&[4, 2, 0]);
+        assert_eq!(sub.members(), &[4, 2, 0]);
+        assert_eq!(sub.local_rank(2), Some(1));
+        let rest = g.excl(&[4, 2, 0]);
+        assert_eq!(rest.members(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Group::new(vec![0, 1, 2, 3]);
+        let b = Group::new(vec![2, 3, 4, 5]);
+        assert_eq!(a.union(&b).members(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(a.intersection(&b).members(), &[2, 3]);
+        assert_eq!(a.difference(&b).members(), &[0, 1]);
+        assert_eq!(b.difference(&a).members(), &[4, 5]);
+    }
+
+    #[test]
+    fn empty_group() {
+        let g = Group::new(vec![]);
+        assert!(g.is_empty());
+        assert_eq!(g.size(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicates_rejected() {
+        Group::new(vec![1, 1]);
+    }
+
+    #[test]
+    fn incl_of_incl_composes() {
+        let g = Group::world(8);
+        let evens = g.incl(&[0, 2, 4, 6]);
+        let quarter = evens.incl(&[1, 3]); // world ranks 2, 6
+        assert_eq!(quarter.members(), &[2, 6]);
+    }
+}

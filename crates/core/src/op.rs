@@ -1,0 +1,171 @@
+//! Reduction operators (`MPI_Op`).
+//!
+//! Predefined operators plus user-defined ones (the paper lists "predefined
+//! and user-defined operators" in SMPI's supported subset). An operator
+//! combines an incoming contribution into an accumulator element-wise:
+//! `acc[i] = op(acc[i], contrib[i])` — the `MPI_Reduce` convention where the
+//! accumulator holds the value from the *higher* tree level.
+
+use crate::datatype::Datatype;
+
+/// An element-wise reduction operator over `T`.
+#[derive(Clone, Copy)]
+pub struct Op<T> {
+    /// MPI-style display name.
+    pub name: &'static str,
+    combine: fn(T, T) -> T,
+    /// Whether the operation is commutative (all predefined ops are; this
+    /// matters for which reduction trees are legal).
+    pub commutative: bool,
+}
+
+impl<T> std::fmt::Debug for Op<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Op({})", self.name)
+    }
+}
+
+impl<T: Datatype> Op<T> {
+    /// Defines a user operator.
+    pub fn user(name: &'static str, combine: fn(T, T) -> T, commutative: bool) -> Self {
+        Op {
+            name,
+            combine,
+            commutative,
+        }
+    }
+
+    /// Applies the operator to one pair.
+    pub fn apply(&self, acc: T, contrib: T) -> T {
+        (self.combine)(acc, contrib)
+    }
+
+    /// Reduces `contrib` into `acc` element-wise.
+    pub fn fold_into(&self, acc: &mut [T], contrib: &[T]) {
+        assert_eq!(acc.len(), contrib.len(), "reduction length mismatch");
+        for (a, &c) in acc.iter_mut().zip(contrib) {
+            *a = (self.combine)(*a, c);
+        }
+    }
+}
+
+/// `MPI_SUM` for any numeric datatype.
+pub fn sum<T: Datatype + std::ops::Add<Output = T>>() -> Op<T> {
+    Op {
+        name: "MPI_SUM",
+        combine: |a, b| a + b,
+        commutative: true,
+    }
+}
+
+/// `MPI_PROD`.
+pub fn prod<T: Datatype + std::ops::Mul<Output = T>>() -> Op<T> {
+    Op {
+        name: "MPI_PROD",
+        combine: |a, b| a * b,
+        commutative: true,
+    }
+}
+
+/// `MPI_MAX`.
+pub fn max<T: Datatype + PartialOrd>() -> Op<T> {
+    Op {
+        name: "MPI_MAX",
+        combine: |a, b| if b > a { b } else { a },
+        commutative: true,
+    }
+}
+
+/// `MPI_MIN`.
+pub fn min<T: Datatype + PartialOrd>() -> Op<T> {
+    Op {
+        name: "MPI_MIN",
+        combine: |a, b| if b < a { b } else { a },
+        commutative: true,
+    }
+}
+
+/// `MPI_LAND` (logical and) over integers: nonzero = true.
+pub fn land() -> Op<i32> {
+    Op {
+        name: "MPI_LAND",
+        combine: |a, b| i32::from(a != 0 && b != 0),
+        commutative: true,
+    }
+}
+
+/// `MPI_LOR` (logical or) over integers.
+pub fn lor() -> Op<i32> {
+    Op {
+        name: "MPI_LOR",
+        combine: |a, b| i32::from(a != 0 || b != 0),
+        commutative: true,
+    }
+}
+
+/// `MPI_BAND` (bitwise and).
+pub fn band() -> Op<u64> {
+    Op {
+        name: "MPI_BAND",
+        combine: |a, b| a & b,
+        commutative: true,
+    }
+}
+
+/// `MPI_BOR` (bitwise or).
+pub fn bor() -> Op<u64> {
+    Op {
+        name: "MPI_BOR",
+        combine: |a, b| a | b,
+        commutative: true,
+    }
+}
+
+/// `MPI_BXOR` (bitwise xor).
+pub fn bxor() -> Op<u64> {
+    Op {
+        name: "MPI_BXOR",
+        combine: |a, b| a ^ b,
+        commutative: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_ops() {
+        assert_eq!(sum::<i32>().apply(2, 3), 5);
+        assert_eq!(prod::<f64>().apply(2.0, 3.5), 7.0);
+        assert_eq!(max::<i32>().apply(2, 3), 3);
+        assert_eq!(min::<i32>().apply(2, 3), 2);
+        assert_eq!(land().apply(1, 0), 0);
+        assert_eq!(lor().apply(1, 0), 1);
+        assert_eq!(band().apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(bor().apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(bxor().apply(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn fold_into_is_elementwise() {
+        let mut acc = vec![1i32, 2, 3];
+        sum::<i32>().fold_into(&mut acc, &[10, 20, 30]);
+        assert_eq!(acc, [11, 22, 33]);
+    }
+
+    #[test]
+    fn user_op_non_commutative() {
+        // "Keep left" — order-sensitive, like MPI_REPLACE.
+        let keep_left = Op::<i32>::user("KEEP_LEFT", |a, _| a, false);
+        assert!(!keep_left.commutative);
+        assert_eq!(keep_left.apply(7, 9), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let mut acc = vec![1i32];
+        sum::<i32>().fold_into(&mut acc, &[1, 2]);
+    }
+}

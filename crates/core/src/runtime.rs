@@ -1,0 +1,787 @@
+//! The SMPI runtime: simcall protocol and the maestro progress engine.
+//!
+//! MPI ranks (simix actors) issue [`Simcall`]s; the maestro matches sends to
+//! receives, drives message state machines over the [`Fabric`], and resolves
+//! blocked ranks when their wait conditions hold. This is where the paper's
+//! protocol semantics live:
+//!
+//! * **matching** — per (context id, destination), receives match the
+//!   earliest compatible unmatched message in send-post order (MPI's
+//!   non-overtaking rule); `ANY_SOURCE`/`ANY_TAG` wildcards supported;
+//! * **eager** (≤ threshold) — the wire transfer starts at send post; the
+//!   sender's request completes after its injection delay, independent of
+//!   the receiver; an unexpected message waits, arrived, for its receive;
+//! * **rendezvous** (> threshold) — the transfer starts only once *both*
+//!   sides have posted (plus an RTS/CTS round-trip on profiles that model
+//!   it); sender and receiver complete together;
+//! * per-message software overheads and the receive-side copy penalty of the
+//!   active [`MpiProfile`].
+
+use std::collections::HashMap;
+
+use simix::{ActorEvent, ActorId, Simix};
+use smpi_platform::HostIx;
+
+use crate::fabric::{Fabric, FabricToken, MpiProfile};
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Wildcard source for receives (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: i32 = -1;
+/// Wildcard tag for receives (`MPI_ANY_TAG`).
+pub const ANY_TAG: i32 = -1;
+
+/// Identifier of a pending communication request (`MPI_Request`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u64);
+
+/// How a wait-class simcall completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitMode {
+    /// Block until every request is complete (`MPI_Waitall`).
+    All,
+    /// Block until at least one completes; report exactly one (`MPI_Waitany`).
+    Any,
+    /// Block until at least one completes; report all complete (`MPI_Waitsome`).
+    Some,
+    /// Never block; report whatever is complete now (`MPI_Test*`).
+    Poll,
+}
+
+/// Completion record delivered back to the application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The completed request.
+    pub req: ReqId,
+    /// Index of the request in the waited slice.
+    pub index: usize,
+    /// World rank of the message source (receives; senders echo self).
+    pub source: u32,
+    /// Message tag.
+    pub tag: i32,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Received payload (receives only).
+    pub data: Option<Box<[u8]>>,
+}
+
+/// A request from a rank to the maestro.
+#[derive(Debug)]
+pub enum Simcall {
+    /// Post a send.
+    Isend {
+        /// Destination world rank.
+        dst: u32,
+        /// Context id of the communicator.
+        cid: u32,
+        /// Message tag (>= 0).
+        tag: i32,
+        /// Message payload.
+        payload: Box<[u8]>,
+    },
+    /// Post a data-less send of `bytes` (§3.2 technique #2: when CPU bursts
+    /// are bypassed, their arrays are unreferenced and need not move; only
+    /// the message *size* matters for timing).
+    IsendSized {
+        /// Destination world rank.
+        dst: u32,
+        /// Context id.
+        cid: u32,
+        /// Tag.
+        tag: i32,
+        /// Simulated message size in bytes.
+        bytes: u64,
+    },
+    /// Post a receive.
+    Irecv {
+        /// Source world rank or [`ANY_SOURCE`].
+        src: i32,
+        /// Context id.
+        cid: u32,
+        /// Tag or [`ANY_TAG`].
+        tag: i32,
+        /// Capacity of the receive buffer in bytes.
+        max_bytes: u64,
+    },
+    /// Wait for / test some requests.
+    Wait {
+        /// The requests, in application order.
+        reqs: Vec<ReqId>,
+        /// Blocking behaviour.
+        mode: WaitMode,
+    },
+    /// Burn `flops` on the rank's host.
+    Exec {
+        /// Amount of computation.
+        flops: f64,
+    },
+    /// Advance simulated time without consuming resources.
+    Sleep {
+        /// Seconds of simulated delay.
+        secs: f64,
+    },
+    /// Read the simulated clock (`MPI_Wtime`).
+    Now,
+}
+
+/// The maestro's answer to a simcall.
+#[derive(Debug)]
+pub enum SimResp {
+    /// Handle for a freshly posted Isend/Irecv.
+    Req(ReqId),
+    /// Completions for a Wait/Poll.
+    Done(Vec<Completion>),
+    /// The simulated time.
+    Now(f64),
+    /// Exec/Sleep finished.
+    Unit,
+}
+
+/// The simix runtime specialized to the SMPI protocol.
+pub type Sx = Simix<Simcall, SimResp>;
+/// Actor-side handle specialized to the SMPI protocol.
+pub type SxHandle = simix::ActorHandle<Simcall, SimResp>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MsgId(u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MsgState {
+    /// Created; rendezvous messages sit here until matched.
+    Posted,
+    /// Pre-transfer delay (send overhead / handshake) in progress.
+    PreDelay,
+    /// Wire transfer in progress.
+    InFlight,
+    /// Post-transfer delay (copy + recv overhead) in progress.
+    PostDelay,
+    /// Fully arrived at the receiver.
+    Arrived,
+}
+
+#[derive(Debug)]
+struct Message {
+    tag: i32,
+    src: u32,
+    dst: u32,
+    bytes: u64,
+    payload: Option<Box<[u8]>>,
+    state: MsgState,
+    eager: bool,
+    send_req: ReqId,
+    recv_req: Option<ReqId>,
+}
+
+#[derive(Debug)]
+enum ReqKind {
+    Send,
+    Recv {
+        src: i32,
+        tag: i32,
+        max_bytes: u64,
+        msg: Option<MsgId>,
+    },
+}
+
+#[derive(Debug)]
+struct Request {
+    kind: ReqKind,
+    complete: bool,
+    /// Filled when complete; taken when reported to the application.
+    record: Option<(u32, i32, u64, Option<Box<[u8]>>)>,
+}
+
+#[derive(Debug)]
+enum TokenUse {
+    /// Message advanced to the next stage when this token completes.
+    MsgPre(MsgId),
+    MsgWire(MsgId),
+    MsgPost(MsgId),
+    /// Eager sender-side injection finished.
+    SenderDone(MsgId),
+    /// An Exec/Sleep simcall of this actor finished.
+    ActorDelay(ActorId),
+}
+
+#[derive(Debug)]
+struct Waiting {
+    reqs: Vec<ReqId>,
+    mode: WaitMode,
+}
+
+/// The progress engine. Owns the fabric and all protocol state; the
+/// [`crate::world::World`] runner wires it to a `Simix` instance.
+pub struct Runtime {
+    fabric: Box<dyn Fabric>,
+    profile: MpiProfile,
+    /// World rank -> host placement.
+    placement: Vec<HostIx>,
+    next_req: u64,
+    next_msg: u64,
+    requests: HashMap<ReqId, Request>,
+    messages: HashMap<MsgId, Message>,
+    tokens: HashMap<FabricToken, TokenUse>,
+    /// Unmatched messages per (cid, dst), in send-post order.
+    pending_msgs: HashMap<(u32, u32), Vec<MsgId>>,
+    /// Unmatched posted receives per (cid, dst), in post order.
+    posted_recvs: HashMap<(u32, u32), Vec<ReqId>>,
+    /// Ranks blocked in a Wait.
+    waiting: HashMap<ActorId, Waiting>,
+    /// Actors whose Exec/Sleep finished, to be resolved on the next pass.
+    delayed_actors: Vec<ActorId>,
+    /// Simulated completion time of each rank (actor id = world rank).
+    finish_times: Vec<f64>,
+    /// Event trace, when enabled.
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Runtime {
+    /// Creates a runtime over a fabric for `nranks` ranks placed on hosts
+    /// round-robin (`placement[r]` is rank r's host).
+    pub fn new(fabric: Box<dyn Fabric>, profile: MpiProfile, placement: Vec<HostIx>) -> Self {
+        let n = placement.len();
+        Runtime {
+            fabric,
+            profile,
+            placement,
+            next_req: 0,
+            next_msg: 0,
+            requests: HashMap::new(),
+            messages: HashMap::new(),
+            tokens: HashMap::new(),
+            pending_msgs: HashMap::new(),
+            posted_recvs: HashMap::new(),
+            waiting: HashMap::new(),
+            delayed_actors: Vec::new(),
+            finish_times: vec![0.0; n],
+            trace: None,
+        }
+    }
+
+    /// Enables event tracing (see [`crate::trace`]).
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded trace (empty if tracing was off).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    fn record(&mut self, kind: TraceKind) {
+        if let Some(trace) = &mut self.trace {
+            let time = self.fabric.now().as_secs();
+            trace.push(TraceEvent { time, kind });
+        }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.fabric.now().as_secs()
+    }
+
+    /// Per-rank completion times (valid after [`drive`](Self::drive)).
+    pub fn finish_times(&self) -> &[f64] {
+        &self.finish_times
+    }
+
+    /// Runs the simulation to completion: alternates between running ready
+    /// ranks and advancing the fabric until every rank has finished.
+    pub fn drive(&mut self, sx: &mut Sx) {
+        let mut alive = sx.num_actors();
+        loop {
+            let events = sx.run_ready();
+            for ev in events {
+                match ev {
+                    ActorEvent::Finished(id) => {
+                        self.finish_times[id.0 as usize] = self.now();
+                        self.record(TraceKind::RankFinished { rank: id.0 });
+                        alive -= 1;
+                    }
+                    ActorEvent::Request(id, call) => {
+                        self.handle_simcall(sx, id, call);
+                    }
+                }
+            }
+            if alive == 0 {
+                break;
+            }
+            // A simcall in this batch may have completed requests of a
+            // waiter from an earlier batch.
+            self.resolve_waiters(sx);
+            if sx.has_runnable() {
+                continue;
+            }
+            // No runnable rank: advance simulated time until one wakes.
+            match self.fabric.advance() {
+                Some((_, tokens)) => {
+                    for tok in tokens {
+                        self.on_token(tok);
+                    }
+                    self.resolve_waiters(sx);
+                }
+                None => {
+                    panic!(
+                        "deadlock: {alive} rank(s) blocked with no event in \
+                         flight (unmatched send/recv?)"
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_simcall(&mut self, sx: &mut Sx, actor: ActorId, call: Simcall) {
+        match call {
+            Simcall::Isend {
+                dst,
+                cid,
+                tag,
+                payload,
+            } => {
+                assert!(tag >= 0, "send tags must be non-negative");
+                let bytes = payload.len() as u64;
+                let req = self.post_send(actor.0, dst, cid, tag, Some(payload), bytes);
+                sx.resolve(actor, SimResp::Req(req));
+            }
+            Simcall::IsendSized {
+                dst,
+                cid,
+                tag,
+                bytes,
+            } => {
+                assert!(tag >= 0, "send tags must be non-negative");
+                let req = self.post_send(actor.0, dst, cid, tag, None, bytes);
+                sx.resolve(actor, SimResp::Req(req));
+            }
+            Simcall::Irecv {
+                src,
+                cid,
+                tag,
+                max_bytes,
+            } => {
+                let req = self.post_recv(actor.0, src, cid, tag, max_bytes);
+                sx.resolve(actor, SimResp::Req(req));
+            }
+            Simcall::Wait { reqs, mode } => {
+                self.waiting.insert(actor, Waiting { reqs, mode });
+                // resolve_waiters (called right after the batch) may resolve
+                // immediately — Poll always does.
+            }
+            Simcall::Exec { flops } => {
+                self.record(TraceKind::ExecStarted {
+                    rank: actor.0,
+                    flops,
+                });
+                let host = self.placement[actor.0 as usize];
+                let tok = self.fabric.start_exec(host, flops);
+                self.tokens.insert(tok, TokenUse::ActorDelay(actor));
+            }
+            Simcall::Sleep { secs } => {
+                let tok = self.fabric.start_sleep(secs);
+                self.tokens.insert(tok, TokenUse::ActorDelay(actor));
+            }
+            Simcall::Now => {
+                sx.resolve(actor, SimResp::Now(self.now()));
+            }
+        }
+    }
+
+    fn alloc_req(&mut self, kind: ReqKind) -> ReqId {
+        let id = ReqId(self.next_req);
+        self.next_req += 1;
+        self.requests.insert(
+            id,
+            Request {
+                kind,
+                complete: false,
+                record: None,
+            },
+        );
+        id
+    }
+
+    fn post_send(
+        &mut self,
+        src: u32,
+        dst: u32,
+        cid: u32,
+        tag: i32,
+        payload: Option<Box<[u8]>>,
+        bytes: u64,
+    ) -> ReqId {
+        let send_req = self.alloc_req(ReqKind::Send);
+        let eager = self.profile.is_eager(bytes);
+        self.record(TraceKind::SendPosted {
+            src,
+            dst,
+            tag,
+            bytes,
+            eager,
+        });
+        let mid = MsgId(self.next_msg);
+        self.next_msg += 1;
+        self.messages.insert(
+            mid,
+            Message {
+                tag,
+                src,
+                dst,
+                bytes,
+                payload,
+                state: MsgState::Posted,
+                eager,
+                send_req,
+                recv_req: None,
+            },
+        );
+
+        // Try to match an already-posted receive.
+        if let Some(req) = self.find_matching_recv(cid, dst, src, tag) {
+            self.bind(mid, req);
+        } else {
+            self.pending_msgs.entry((cid, dst)).or_default().push(mid);
+        }
+
+        if eager {
+            // Eager: the wire starts regardless of matching.
+            self.begin_wire(mid);
+            // Sender-side completion: injection delay, or immediate.
+            let pre = self.profile.send_overhead;
+            let inj = if self.profile.injection_rate.is_finite() {
+                bytes as f64 / self.profile.injection_rate
+            } else {
+                0.0
+            };
+            if pre + inj > 0.0 {
+                let tok = self.fabric.start_sleep(pre + inj);
+                self.tokens.insert(tok, TokenUse::SenderDone(mid));
+            } else {
+                self.complete_send(mid);
+            }
+        } else if self.messages[&mid].recv_req.is_some() {
+            // Rendezvous already matched: begin the handshake.
+            self.begin_rendezvous(mid);
+        }
+        send_req
+    }
+
+    fn post_recv(&mut self, dst: u32, src: i32, cid: u32, tag: i32, max_bytes: u64) -> ReqId {
+        self.record(TraceKind::RecvPosted { dst, src, tag });
+        let req = self.alloc_req(ReqKind::Recv {
+            src,
+            tag,
+            max_bytes,
+            msg: None,
+        });
+        // Match the earliest compatible pending message (send-post order).
+        let key = (cid, dst);
+        let matched = self.pending_msgs.get(&key).and_then(|msgs| {
+            msgs.iter()
+                .position(|mid| {
+                    let m = &self.messages[mid];
+                    m.recv_req.is_none() && env_matches(src, tag, m.src, m.tag)
+                })
+                .map(|pos| msgs[pos])
+        });
+        if let Some(mid) = matched {
+            let msgs = self.pending_msgs.get_mut(&key).unwrap();
+            msgs.retain(|&m| m != mid);
+            self.bind(mid, req);
+            let m = &self.messages[&mid];
+            if m.eager {
+                if m.state == MsgState::Arrived {
+                    self.complete_recv(mid);
+                }
+                // else: completes when the arrival chain finishes.
+            } else {
+                self.begin_rendezvous(mid);
+            }
+        } else {
+            self.posted_recvs.entry(key).or_default().push(req);
+        }
+        req
+    }
+
+    /// Finds and removes the earliest posted receive matching an incoming
+    /// message envelope.
+    fn find_matching_recv(&mut self, cid: u32, dst: u32, src: u32, tag: i32) -> Option<ReqId> {
+        let key = (cid, dst);
+        // Split-borrow: the queue is mutated while requests are read.
+        let requests = &self.requests;
+        let recvs = self.posted_recvs.get_mut(&key)?;
+        let pos = recvs.iter().position(|rid| match &requests[rid].kind {
+            ReqKind::Recv {
+                src: rsrc,
+                tag: rtag,
+                ..
+            } => env_matches(*rsrc, *rtag, src, tag),
+            ReqKind::Send => unreachable!("send in recv queue"),
+        })?;
+        Some(recvs.remove(pos))
+    }
+
+    /// Binds a message to a receive request (both directions).
+    fn bind(&mut self, mid: MsgId, req: ReqId) {
+        let m = self.messages.get_mut(&mid).unwrap();
+        debug_assert!(m.recv_req.is_none());
+        m.recv_req = Some(req);
+        let (bytes, max) = match &mut self.requests.get_mut(&req).unwrap().kind {
+            ReqKind::Recv { msg, max_bytes, .. } => {
+                debug_assert!(msg.is_none());
+                *msg = Some(mid);
+                (m.bytes, *max_bytes)
+            }
+            ReqKind::Send => unreachable!("binding a message to a send"),
+        };
+        assert!(
+            bytes <= max,
+            "MPI_ERR_TRUNCATE: message of {bytes} bytes into a {max}-byte buffer"
+        );
+    }
+
+    /// Starts the wire transfer (or local copy) for a message.
+    fn begin_wire(&mut self, mid: MsgId) {
+        let m = self.messages.get_mut(&mid).unwrap();
+        let pre = self.profile.send_overhead;
+        if m.src == m.dst {
+            // Self-message: a memcpy-rate delay covers the whole path.
+            let d = pre + m.bytes as f64 / self.profile.self_rate + self.profile.recv_overhead;
+            m.state = MsgState::PostDelay;
+            let tok = self.fabric.start_sleep(d);
+            self.tokens.insert(tok, TokenUse::MsgPost(mid));
+            return;
+        }
+        if pre > 0.0 {
+            m.state = MsgState::PreDelay;
+            let tok = self.fabric.start_sleep(pre);
+            self.tokens.insert(tok, TokenUse::MsgPre(mid));
+        } else {
+            self.start_transfer_now(mid);
+        }
+    }
+
+    /// Starts the rendezvous chain once both sides are posted.
+    fn begin_rendezvous(&mut self, mid: MsgId) {
+        let m = self.messages.get_mut(&mid).unwrap();
+        debug_assert!(!m.eager && m.recv_req.is_some());
+        debug_assert_eq!(m.state, MsgState::Posted);
+        if m.src == m.dst {
+            self.begin_wire(mid);
+            return;
+        }
+        let mut delay = self.profile.send_overhead;
+        if self.profile.rendezvous_handshake {
+            // RTS + CTS round trip before data flows.
+            delay += 2.0 * self
+                .fabric
+                .control_latency(self.placement[m.src as usize], self.placement[m.dst as usize]);
+        }
+        if delay > 0.0 {
+            m.state = MsgState::PreDelay;
+            let tok = self.fabric.start_sleep(delay);
+            self.tokens.insert(tok, TokenUse::MsgPre(mid));
+        } else {
+            self.start_transfer_now(mid);
+        }
+    }
+
+    fn start_transfer_now(&mut self, mid: MsgId) {
+        let m = self.messages.get_mut(&mid).unwrap();
+        m.state = MsgState::InFlight;
+        let src = self.placement[m.src as usize];
+        let dst = self.placement[m.dst as usize];
+        // Implementation pipelining efficiency: the wire carries
+        // bytes / efficiency effective volume (MpiProfile docs).
+        let bytes = (m.bytes as f64 / self.profile.wire_efficiency).ceil() as u64;
+        let (msrc, mdst) = (m.src, m.dst);
+        let tok = self.fabric.start_transfer(src, dst, bytes);
+        self.tokens.insert(tok, TokenUse::MsgWire(mid));
+        self.record(TraceKind::TransferStarted {
+            src: msrc,
+            dst: mdst,
+            bytes,
+        });
+    }
+
+    fn on_token(&mut self, tok: FabricToken) {
+        let usage = self
+            .tokens
+            .remove(&tok)
+            .expect("completion for unknown token");
+        match usage {
+            TokenUse::MsgPre(mid) => self.start_transfer_now(mid),
+            TokenUse::MsgWire(mid) => {
+                let m = &self.messages[&mid];
+                let mut post = self.profile.recv_overhead;
+                if m.eager {
+                    if let Some(rate) = self.profile.copy_rate {
+                        post += m.bytes as f64 / rate;
+                    }
+                }
+                if post > 0.0 {
+                    self.messages.get_mut(&mid).unwrap().state = MsgState::PostDelay;
+                    let t = self.fabric.start_sleep(post);
+                    self.tokens.insert(t, TokenUse::MsgPost(mid));
+                } else {
+                    self.arrive(mid);
+                }
+            }
+            TokenUse::MsgPost(mid) => self.arrive(mid),
+            TokenUse::SenderDone(mid) => self.complete_send(mid),
+            TokenUse::ActorDelay(actor) => {
+                // Resolution is deferred to the waiter pass; Exec/Sleep use a
+                // dedicated path because there is no ReqId involved.
+                self.delayed_actors.push(actor);
+            }
+        }
+    }
+
+    fn arrive(&mut self, mid: MsgId) {
+        let m = self.messages.get_mut(&mid).unwrap();
+        m.state = MsgState::Arrived;
+        let matched = m.recv_req.is_some();
+        let eager = m.eager;
+        let (src, dst, tag, bytes) = (m.src, m.dst, m.tag, m.bytes);
+        self.record(TraceKind::Delivered {
+            src,
+            dst,
+            tag,
+            bytes,
+        });
+        if matched {
+            self.complete_recv(mid);
+            if !eager {
+                // Rendezvous: synchronous sender completes with arrival.
+                self.complete_send(mid);
+            }
+        }
+        // Unmatched eager message: stays Arrived in pending_msgs until a
+        // receive claims it.
+    }
+
+    fn complete_send(&mut self, mid: MsgId) {
+        let m = &self.messages[&mid];
+        let req = m.send_req;
+        let (src, tag, bytes) = (m.src, m.tag, m.bytes);
+        let r = self.requests.get_mut(&req).unwrap();
+        debug_assert!(!r.complete, "send completed twice");
+        r.complete = true;
+        r.record = Some((src, tag, bytes, None));
+        self.gc_message(mid);
+    }
+
+    fn complete_recv(&mut self, mid: MsgId) {
+        let (req, payload, src, tag, bytes) = {
+            let m = self.messages.get_mut(&mid).unwrap();
+            debug_assert_eq!(m.state, MsgState::Arrived);
+            (
+                m.recv_req.expect("recv bound"),
+                m.payload.take(),
+                m.src,
+                m.tag,
+                m.bytes,
+            )
+        };
+        let r = self.requests.get_mut(&req).unwrap();
+        debug_assert!(!r.complete, "recv completed twice");
+        r.complete = true;
+        r.record = Some((src, tag, bytes, payload));
+        self.gc_message(mid);
+    }
+
+    /// Drops a message once both sides have completed. Requests vanish from
+    /// the table once their completion has been reported, so a missing
+    /// request counts as complete.
+    fn gc_message(&mut self, mid: MsgId) {
+        let m = &self.messages[&mid];
+        let done =
+            |req: ReqId| -> bool { self.requests.get(&req).map(|r| r.complete).unwrap_or(true) };
+        let send_done = done(m.send_req);
+        let recv_done = m.recv_req.map(done).unwrap_or(false);
+        if send_done && recv_done {
+            self.messages.remove(&mid);
+        }
+    }
+
+    /// Resolves every waiting actor whose condition now holds; returns
+    /// whether any was resolved.
+    fn resolve_waiters(&mut self, sx: &mut Sx) -> bool {
+        // Exec/Sleep completions first.
+        let mut any = false;
+        for actor in std::mem::take(&mut self.delayed_actors) {
+            sx.resolve(actor, SimResp::Unit);
+            any = true;
+        }
+        let actors: Vec<ActorId> = self.waiting.keys().copied().collect();
+        let mut ready = Vec::new();
+        for actor in actors {
+            let w = &self.waiting[&actor];
+            let complete_count = w
+                .reqs
+                .iter()
+                .filter(|r| self.requests[r].complete)
+                .count();
+            let satisfied = match w.mode {
+                WaitMode::All => complete_count == w.reqs.len(),
+                WaitMode::Any | WaitMode::Some => complete_count > 0,
+                WaitMode::Poll => true,
+            };
+            if satisfied {
+                ready.push(actor);
+            }
+        }
+        ready.sort();
+        for actor in ready {
+            let w = self.waiting.remove(&actor).unwrap();
+            let completions = self.collect_completions(&w);
+            sx.resolve(actor, SimResp::Done(completions));
+            any = true;
+        }
+        any
+    }
+
+    fn collect_completions(&mut self, w: &Waiting) -> Vec<Completion> {
+        let mut out = Vec::new();
+        for (index, &rid) in w.reqs.iter().enumerate() {
+            let r = self.requests.get_mut(&rid).unwrap();
+            if !r.complete {
+                continue;
+            }
+            let (source, tag, bytes, data) = r.record.take().expect("completed request has record");
+            out.push(Completion {
+                req: rid,
+                index,
+                source,
+                tag,
+                bytes,
+                data,
+            });
+            self.requests.remove(&rid);
+            if w.mode == WaitMode::Any {
+                break; // exactly one for Waitany
+            }
+        }
+        out
+    }
+}
+
+/// `true` if an envelope `(msg_src, msg_tag)` matches a receive's
+/// specification (wildcards allowed).
+fn env_matches(want_src: i32, want_tag: i32, msg_src: u32, msg_tag: i32) -> bool {
+    (want_src == ANY_SOURCE || want_src == msg_src as i32)
+        && (want_tag == ANY_TAG || want_tag == msg_tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_matching_rules() {
+        assert!(env_matches(ANY_SOURCE, ANY_TAG, 3, 7));
+        assert!(env_matches(3, 7, 3, 7));
+        assert!(!env_matches(2, 7, 3, 7));
+        assert!(!env_matches(3, 8, 3, 7));
+        assert!(env_matches(3, ANY_TAG, 3, 7));
+        assert!(env_matches(ANY_SOURCE, 7, 3, 7));
+    }
+}

@@ -1,0 +1,265 @@
+//! RAM folding (`SMPI_SHARED_MALLOC`, paper §3.2) and memory accounting.
+//!
+//! Single-node on-line simulation of `m` ranks would need `m ×` the
+//! application's per-rank footprint. Technique #1 of \[3\] (Adve et al.)
+//! replaces per-rank arrays by one shared array: with folding enabled,
+//! [`Ctx::shared_malloc`] returns every rank the *same* buffer for the same
+//! allocation site, cutting the requirement from `m·s` to `s`. The
+//! application then computes with corrupted data — acceptable for
+//! non-data-dependent codes, exactly the paper's trade-off.
+//!
+//! The [`MemoryTracker`] accounts both the **actual** footprint (what this
+//! simulation really allocated) and the **logical** footprint (what an
+//! unfolded simulation would have needed), which is how Fig. 16's
+//! with/without-folding bars are produced from a single run.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::ctx::Ctx;
+use crate::datatype::Datatype;
+
+/// Tracks simulated-application memory usage (bytes): current and peak, both
+/// actual (folded) and logical (unfolded).
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    inner: Mutex<MemInner>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct MemInner {
+    current: u64,
+    peak: u64,
+    logical_current: u64,
+    logical_peak: u64,
+}
+
+/// Snapshot of the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Peak bytes actually allocated by the simulation for app buffers.
+    pub peak_bytes: u64,
+    /// Peak bytes an unfolded simulation would have allocated.
+    pub logical_peak_bytes: u64,
+}
+
+impl MemoryReport {
+    /// Folding factor: logical / actual (1.0 when folding is off).
+    pub fn folding_factor(&self) -> f64 {
+        if self.peak_bytes == 0 {
+            1.0
+        } else {
+            self.logical_peak_bytes as f64 / self.peak_bytes as f64
+        }
+    }
+}
+
+impl MemoryTracker {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an allocation.
+    pub fn allocate(&self, actual: u64, logical: u64) {
+        let mut m = self.inner.lock();
+        m.current += actual;
+        m.peak = m.peak.max(m.current);
+        m.logical_current += logical;
+        m.logical_peak = m.logical_peak.max(m.logical_current);
+    }
+
+    /// Records a deallocation.
+    pub fn release(&self, actual: u64, logical: u64) {
+        let mut m = self.inner.lock();
+        m.current = m.current.saturating_sub(actual);
+        m.logical_current = m.logical_current.saturating_sub(logical);
+    }
+
+    /// Current + peak usage.
+    pub fn report(&self) -> MemoryReport {
+        let m = self.inner.lock();
+        MemoryReport {
+            peak_bytes: m.peak,
+            logical_peak_bytes: m.logical_peak,
+        }
+    }
+}
+
+/// Type-erased entry of the folded heap.
+type HeapEntry = Arc<dyn std::any::Any + Send + Sync>;
+
+/// The folded allocation table, keyed by allocation site.
+#[derive(Default)]
+pub struct SharedHeap {
+    inner: Mutex<HashMap<String, HeapEntry>>,
+}
+
+impl std::fmt::Debug for SharedHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedHeap({} sites)", self.inner.lock().len())
+    }
+}
+
+impl SharedHeap {
+    /// Empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T: Datatype>(&self, site: &str, len: usize) -> (Arc<Mutex<Vec<T>>>, bool) {
+        let mut map = self.inner.lock();
+        if let Some(entry) = map.get(site) {
+            let arc = entry
+                .clone()
+                .downcast::<Mutex<Vec<T>>>()
+                .expect("shared_malloc site reused with a different element type");
+            assert_eq!(
+                arc.lock().len(),
+                len,
+                "shared_malloc site {site:?} reused with a different length"
+            );
+            (arc, false)
+        } else {
+            let arc = Arc::new(Mutex::new(vec![T::default(); len]));
+            map.insert(site.to_string(), arc.clone() as HeapEntry);
+            (arc, true)
+        }
+    }
+}
+
+/// A buffer returned by [`Ctx::shared_malloc`]. With folding on, all ranks
+/// using the same site observe (and clobber) the same storage. Access goes
+/// through a lock; it is never contended because ranks run one at a time.
+pub struct SharedSlice<T: Datatype> {
+    data: Arc<Mutex<Vec<T>>>,
+    tracker: Arc<TrackerRef>,
+    actual: u64,
+    logical: u64,
+}
+
+/// Keeps the tracker alive and lets `SharedSlice` release on drop.
+struct TrackerRef {
+    shared: Arc<crate::state::SharedState>,
+}
+
+impl<T: Datatype> SharedSlice<T> {
+    /// Locks the buffer for reading/writing.
+    pub fn lock(&self) -> MutexGuard<'_, Vec<T>> {
+        self.data.lock()
+    }
+
+    /// Buffer length in elements.
+    pub fn len(&self) -> usize {
+        self.data.lock().len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Datatype> Drop for SharedSlice<T> {
+    fn drop(&mut self) {
+        self.tracker
+            .shared
+            .memory
+            .release(self.actual, self.logical);
+    }
+}
+
+impl Ctx<'_> {
+    /// `SMPI_SHARED_MALLOC`: allocates `len` elements for allocation site
+    /// `site`. With folding enabled, all ranks share one buffer per site
+    /// (`SMPI_FREE` is the handle's `Drop`). Without folding each rank gets
+    /// a private buffer, so the tracker exposes the true unfolded footprint.
+    pub fn shared_malloc<T: Datatype>(&self, site: &str, len: usize) -> SharedSlice<T> {
+        let bytes = (len * T::SIZE) as u64;
+        let (data, actual) = if self.shared.config.ram_folding {
+            let (arc, fresh) = self.shared.heap.get_or_insert::<T>(site, len);
+            (arc, if fresh { bytes } else { 0 })
+        } else {
+            (Arc::new(Mutex::new(vec![T::default(); len])), bytes)
+        };
+        self.shared.memory.allocate(actual, bytes);
+        SharedSlice {
+            data,
+            tracker: Arc::new(TrackerRef {
+                shared: Arc::clone(&self.shared),
+            }),
+            actual,
+            logical: bytes,
+        }
+    }
+
+    /// A tracked private allocation (ordinary rank-local buffer that should
+    /// count towards the footprint of Fig. 16).
+    pub fn tracked_vec<T: Datatype>(&self, len: usize) -> SharedSlice<T> {
+        let bytes = (len * T::SIZE) as u64;
+        self.shared.memory.allocate(bytes, bytes);
+        SharedSlice {
+            data: Arc::new(Mutex::new(vec![T::default(); len])),
+            tracker: Arc::new(TrackerRef {
+                shared: Arc::clone(&self.shared),
+            }),
+            actual: bytes,
+            logical: bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_accounts_peaks() {
+        let t = MemoryTracker::new();
+        t.allocate(100, 400);
+        t.allocate(50, 50);
+        t.release(100, 400);
+        t.allocate(20, 20);
+        let r = t.report();
+        assert_eq!(r.peak_bytes, 150);
+        assert_eq!(r.logical_peak_bytes, 450);
+        assert!((r.folding_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let t = MemoryTracker::new();
+        t.release(10, 10);
+        assert_eq!(t.report().peak_bytes, 0);
+    }
+
+    #[test]
+    fn heap_folds_same_site() {
+        let h = SharedHeap::new();
+        let (a, fresh_a) = h.get_or_insert::<f64>("s", 8);
+        let (b, fresh_b) = h.get_or_insert::<f64>("s", 8);
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        a.lock()[0] = 42.0;
+        assert_eq!(b.lock()[0], 42.0);
+    }
+
+    #[test]
+    fn heap_distinguishes_sites() {
+        let h = SharedHeap::new();
+        let (a, _) = h.get_or_insert::<u32>("a", 4);
+        let (b, _) = h.get_or_insert::<u32>("b", 4);
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic]
+    fn heap_rejects_len_mismatch() {
+        let h = SharedHeap::new();
+        let _ = h.get_or_insert::<u32>("a", 4);
+        let _ = h.get_or_insert::<u32>("a", 8);
+    }
+}

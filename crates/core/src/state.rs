@@ -1,0 +1,63 @@
+//! State shared by all ranks of one simulation.
+//!
+//! Because ranks execute strictly one at a time (see `simix`), these
+//! structures see no real contention; the mutexes exist to satisfy Rust's
+//! aliasing rules across the rank threads, exactly as the paper's
+//! hash-tables behind the `SMPI_*` macros are safe under SimGrid's
+//! sequential scheduler.
+
+use crate::comm::CommRegistry;
+use crate::sampling::SampleStore;
+use crate::shared_mem::{MemoryTracker, SharedHeap};
+
+/// Per-run configuration visible to ranks.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Multiplier from host wall-clock seconds to simulated seconds for
+    /// measured CPU bursts (§3.1: "a factor by which CPU burst durations can
+    /// be scaled to account for a performance differential between the host
+    /// node and the nodes of the target platform").
+    pub cpu_factor: f64,
+    /// Whether `shared_malloc` folds allocations across ranks (§3.2
+    /// technique #1). When `false`, every rank gets a private buffer and the
+    /// tracker shows the unfolded footprint.
+    pub ram_folding: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            cpu_factor: 1.0,
+            ram_folding: true,
+        }
+    }
+}
+
+/// Everything ranks share: context-id registry, sampling tables, the folded
+/// heap and the memory accountant.
+#[derive(Debug)]
+pub struct SharedState {
+    /// Context-id agreement for communicator creation.
+    pub registry: CommRegistry,
+    /// CPU-burst sampling tables (`SMPI_SAMPLE_*`).
+    pub sampling: SampleStore,
+    /// Folded allocations (`SMPI_SHARED_MALLOC`).
+    pub heap: SharedHeap,
+    /// Logical/actual memory accounting for Fig. 16.
+    pub memory: MemoryTracker,
+    /// Run configuration.
+    pub config: RunConfig,
+}
+
+impl SharedState {
+    /// Fresh state for a run.
+    pub fn new(config: RunConfig) -> Self {
+        SharedState {
+            registry: CommRegistry::new(),
+            sampling: SampleStore::new(),
+            heap: SharedHeap::new(),
+            memory: MemoryTracker::new(),
+            config,
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Launching simulations: platform + backend + ranks.
+//!
+//! [`World::run`] is the `smpirun` equivalent: it spawns one actor per MPI
+//! rank, hands each a [`Ctx`], and drives the maestro until every rank
+//! finishes. The report carries everything the paper's figures need —
+//! simulated time, per-rank completion times (Figs. 7 and 11), wall-clock
+//! simulation time (Figs. 17 and 18) and the memory accounting (Fig. 16).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use packetnet::PacketConfig;
+use smpi_platform::{HostIx, RoutedPlatform};
+use surf_sim::{EngineConfig, TransferModel};
+
+use crate::ctx::Ctx;
+use crate::fabric::{Fabric, MpiProfile, PacketFabric, SurfFabric};
+use crate::runtime::{Runtime, Sx};
+use crate::shared_mem::MemoryReport;
+use crate::state::{RunConfig, SharedState};
+use crate::trace::TraceEvent;
+
+/// Which network substrate to simulate on.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// SMPI proper: the flow-level kernel with a transfer model.
+    Surf {
+        /// Point-to-point model (typically from calibration).
+        model: TransferModel,
+        /// Kernel configuration (contention on/off, TCP window).
+        engine: EngineConfig,
+    },
+    /// The packet-level ground-truth substrate.
+    Packet {
+        /// Framing parameters.
+        config: PacketConfig,
+    },
+}
+
+/// A configured simulation world.
+#[derive(Clone)]
+pub struct World {
+    rp: Arc<RoutedPlatform>,
+    backend: Backend,
+    profile: MpiProfile,
+    run_config: RunConfig,
+    placement: Option<Vec<HostIx>>,
+    tracing: bool,
+}
+
+/// Results of one run.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Simulated time at which the last rank finished, seconds.
+    pub sim_time: f64,
+    /// Wall-clock time the simulation itself took (the "simulation time"
+    /// axis of Figs. 17–18).
+    pub wall: Duration,
+    /// Simulated completion time of each rank.
+    pub finish_times: Vec<f64>,
+    /// Value returned by each rank's body.
+    pub results: Vec<R>,
+    /// Application memory accounting.
+    pub memory: MemoryReport,
+    /// Recorded event trace (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl World {
+    /// Creates a world over a platform.
+    pub fn new(rp: Arc<RoutedPlatform>, backend: Backend, profile: MpiProfile) -> Self {
+        World {
+            rp,
+            backend,
+            profile,
+            run_config: RunConfig::default(),
+            placement: None,
+            tracing: false,
+        }
+    }
+
+    /// Convenience: SMPI on this platform with a model and default engine.
+    pub fn smpi(rp: Arc<RoutedPlatform>, model: TransferModel) -> Self {
+        World::new(
+            rp,
+            Backend::Surf {
+                model,
+                engine: EngineConfig::default(),
+            },
+            MpiProfile::smpi(),
+        )
+    }
+
+    /// Convenience: the emulated "real" cluster with an MPI personality.
+    pub fn testbed(rp: Arc<RoutedPlatform>, profile: MpiProfile) -> Self {
+        World::new(
+            rp,
+            Backend::Packet {
+                config: PacketConfig::default(),
+            },
+            profile,
+        )
+    }
+
+    /// Sets the measured-CPU-burst scaling factor (§3.1).
+    pub fn cpu_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite());
+        self.run_config.cpu_factor = factor;
+        self
+    }
+
+    /// Enables or disables RAM folding (§3.2). Default: enabled.
+    pub fn ram_folding(mut self, enabled: bool) -> Self {
+        self.run_config.ram_folding = enabled;
+        self
+    }
+
+    /// Clones this world with an explicit rank placement (see
+    /// [`place`](Self::place)); used by drivers that re-run the same world
+    /// between different host pairs.
+    pub fn clone_for_placement(&self, hosts: Vec<usize>) -> World {
+        self.clone().place(hosts)
+    }
+
+    /// Enables communication tracing: the run report's `trace` carries a
+    /// timestamped event per protocol transition (see [`crate::trace`]).
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Pins rank `r` to host `hosts[r]` instead of the default round-robin
+    /// placement (used e.g. to calibrate between two specific nodes of a
+    /// hierarchical cluster).
+    pub fn place(mut self, hosts: Vec<usize>) -> Self {
+        let n = self.rp.platform().num_hosts();
+        assert!(hosts.iter().all(|&h| h < n), "placement host out of range");
+        self.placement = Some(hosts.into_iter().map(|h| HostIx(h as u32)).collect());
+        self
+    }
+
+    fn build_fabric(&self) -> Box<dyn Fabric> {
+        match &self.backend {
+            Backend::Surf { model, engine } => Box::new(SurfFabric::new(
+                Arc::clone(&self.rp),
+                model.clone(),
+                engine.clone(),
+            )),
+            Backend::Packet { config } => {
+                Box::new(PacketFabric::new(Arc::clone(&self.rp), *config))
+            }
+        }
+    }
+
+    /// Runs `body` on `nranks` MPI ranks (placed round-robin over the
+    /// platform's hosts) and returns the run report with each rank's result.
+    pub fn run<R, F>(&self, nranks: usize, body: F) -> RunReport<R>
+    where
+        R: Send + 'static,
+        F: Fn(&Ctx) -> R + Send + Sync + 'static,
+    {
+        assert!(nranks > 0, "need at least one rank");
+        let hosts = self.rp.platform().num_hosts();
+        assert!(hosts > 0, "platform has no hosts");
+        let placement: Vec<HostIx> = match &self.placement {
+            Some(p) => {
+                assert_eq!(p.len(), nranks, "placement length != rank count");
+                p.clone()
+            }
+            None => (0..nranks).map(|r| HostIx((r % hosts) as u32)).collect(),
+        };
+
+        let shared = Arc::new(SharedState::new(self.run_config.clone()));
+        let results: Arc<parking_lot::Mutex<Vec<Option<R>>>> =
+            Arc::new(parking_lot::Mutex::new((0..nranks).map(|_| None).collect()));
+
+        let mut sx: Sx = Sx::new();
+        let body = Arc::new(body);
+        for rank in 0..nranks {
+            let body = Arc::clone(&body);
+            let shared = Arc::clone(&shared);
+            let results = Arc::clone(&results);
+            sx.spawn(move |handle| {
+                let ctx = Ctx::new(handle, nranks, shared);
+                let out = body(&ctx);
+                results.lock()[rank] = Some(out);
+            });
+        }
+
+        let mut runtime = Runtime::new(self.build_fabric(), self.profile.clone(), placement);
+        if self.tracing {
+            runtime.enable_tracing();
+        }
+        let start = Instant::now();
+        runtime.drive(&mut sx);
+        let wall = start.elapsed();
+
+        let results = Arc::try_unwrap(results)
+            .unwrap_or_else(|_| panic!("rank bodies leaked the result store"))
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every rank stores a result"))
+            .collect();
+
+        RunReport {
+            sim_time: runtime.now(),
+            wall,
+            finish_times: runtime.finish_times().to_vec(),
+            results,
+            memory: shared.memory.report(),
+            trace: runtime.take_trace(),
+        }
+    }
+}

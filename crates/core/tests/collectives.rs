@@ -1,0 +1,438 @@
+//! Correctness of every collective against sequential references, on both
+//! backends and for power-of-two and odd communicator sizes.
+
+use std::sync::Arc;
+
+use smpi::{op, MpiProfile, World};
+use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
+use surf_sim::TransferModel;
+
+fn worlds(n: usize) -> [World; 2] {
+    let rp = Arc::new(RoutedPlatform::new(flat_cluster(
+        "t",
+        n,
+        &ClusterConfig::default(),
+    )));
+    [
+        World::smpi(Arc::clone(&rp), TransferModel::ideal()),
+        World::testbed(rp, MpiProfile::mpich2_like()),
+    ]
+}
+
+const SIZES: [usize; 4] = [1, 2, 5, 8];
+
+#[test]
+fn barrier_completes_everywhere() {
+    for p in SIZES {
+        for world in worlds(p) {
+            let report = world.run(p, |ctx| {
+                ctx.barrier(&ctx.world());
+                ctx.wtime()
+            });
+            assert_eq!(report.results.len(), p);
+        }
+    }
+}
+
+#[test]
+fn barrier_actually_synchronizes() {
+    // Rank 0 sleeps; everyone's post-barrier time must be >= the sleep.
+    for world in worlds(4) {
+        let report = world.run(4, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.sleep(1.0);
+            }
+            ctx.barrier(&ctx.world());
+            ctx.wtime()
+        });
+        for &t in &report.results {
+            assert!(t >= 1.0, "barrier leaked a rank early ({t})");
+        }
+    }
+}
+
+#[test]
+fn bcast_from_every_root() {
+    for p in [2usize, 5, 8] {
+        for world in worlds(p) {
+            for root in [0, p - 1] {
+                let report = world.run(p, move |ctx| {
+                    let comm = ctx.world();
+                    let mut buf = vec![0.0f64; 64];
+                    if ctx.rank() == root {
+                        buf.iter_mut().enumerate().for_each(|(i, x)| *x = i as f64);
+                    }
+                    ctx.bcast(&mut buf, root, &comm);
+                    buf[63]
+                });
+                assert!(report.results.iter().all(|&v| v == 63.0));
+            }
+        }
+    }
+}
+
+#[test]
+fn scatter_distributes_chunks() {
+    for p in SIZES {
+        for world in worlds(p) {
+            for root in [0, p / 2] {
+                let report = world.run(p, move |ctx| {
+                    let comm = ctx.world();
+                    let chunk = 16;
+                    let data: Option<Vec<f64>> = (ctx.rank() == root)
+                        .then(|| (0..p * chunk).map(|i| i as f64).collect());
+                    let mine = ctx.scatter(data.as_deref(), chunk, root, &comm);
+                    assert_eq!(mine.len(), chunk);
+                    mine[0]
+                });
+                for (r, &v) in report.results.iter().enumerate() {
+                    assert_eq!(v, (r * 16) as f64, "rank {r} got wrong chunk");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gather_collects_in_rank_order() {
+    for p in SIZES {
+        for world in worlds(p) {
+            for root in [0, p - 1] {
+                let report = world.run(p, move |ctx| {
+                    let comm = ctx.world();
+                    let mine = vec![ctx.rank() as u32; 4];
+                    ctx.gather(&mine, root, &comm)
+                });
+                for (r, res) in report.results.iter().enumerate() {
+                    if r == root {
+                        let all = res.as_ref().unwrap();
+                        assert_eq!(all.len(), p * 4);
+                        for (i, &v) in all.iter().enumerate() {
+                            assert_eq!(v as usize, i / 4);
+                        }
+                    } else {
+                        assert!(res.is_none());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scatterv_gatherv_roundtrip() {
+    for p in [2usize, 5] {
+        for world in worlds(p) {
+            let report = world.run(p, move |ctx| {
+                let comm = ctx.world();
+                let r = ctx.rank();
+                let counts: Vec<usize> = (0..p).map(|i| i + 1).collect();
+                let total: usize = counts.iter().sum();
+                let data: Option<Vec<i64>> =
+                    (r == 0).then(|| (0..total as i64).collect());
+                let mine = ctx.scatterv(
+                    data.as_deref(),
+                    (r == 0).then_some(&counts[..]),
+                    counts[r],
+                    0,
+                    &comm,
+                );
+                assert_eq!(mine.len(), r + 1);
+                // Send it straight back.
+                let back = ctx.gatherv(&mine, (r == 0).then_some(&counts[..]), 0, &comm);
+                (mine, back)
+            });
+            let (_, back) = &report.results[0];
+            let total: i64 = (0..p as i64).map(|i| i + 1).sum();
+            assert_eq!(back.as_ref().unwrap().len(), total as usize);
+            assert_eq!(
+                back.as_ref().unwrap(),
+                &(0..total).collect::<Vec<i64>>(),
+                "gatherv(scatterv(x)) != x"
+            );
+        }
+    }
+}
+
+#[test]
+fn allgather_all_sizes() {
+    for p in SIZES {
+        for world in worlds(p) {
+            let report = world.run(p, |ctx| {
+                let comm = ctx.world();
+                let mine = vec![ctx.rank() as u16; 3];
+                ctx.allgather(&mine, &comm)
+            });
+            for res in &report.results {
+                assert_eq!(res.len(), p * 3);
+                for (i, &v) in res.iter().enumerate() {
+                    assert_eq!(v as usize, i / 3);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn allgather_variants_agree() {
+    let p = 8;
+    for world in worlds(p) {
+        let report = world.run(p, |ctx| {
+            let comm = ctx.world();
+            let mine = vec![ctx.rank() as u32 * 7];
+            let rdb = ctx.allgather_rdb(&mine, &comm);
+            let ring = ctx.allgather_ring(&mine, &comm);
+            (rdb, ring)
+        });
+        for (rdb, ring) in &report.results {
+            assert_eq!(rdb, ring);
+        }
+    }
+}
+
+#[test]
+fn allgatherv_uneven() {
+    for p in [3usize, 6] {
+        for world in worlds(p) {
+            let report = world.run(p, move |ctx| {
+                let comm = ctx.world();
+                let r = ctx.rank();
+                let counts: Vec<usize> = (0..p).map(|i| 2 * i + 1).collect();
+                let mine = vec![r as i32; counts[r]];
+                ctx.allgatherv(&mine, &counts, &comm)
+            });
+            let expect: Vec<i32> = (0..p as i32)
+                .flat_map(|i| std::iter::repeat(i).take(2 * i as usize + 1))
+                .collect();
+            for res in &report.results {
+                assert_eq!(res, &expect);
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_sum_and_max() {
+    for p in SIZES {
+        for world in worlds(p) {
+            let report = world.run(p, move |ctx| {
+                let comm = ctx.world();
+                let r = ctx.rank() as i64;
+                let sums = ctx.reduce(&[r, 2 * r], &op::sum::<i64>(), 0, &comm);
+                let maxs = ctx.reduce(&[r], &op::max::<i64>(), 0, &comm);
+                (sums, maxs)
+            });
+            let expect_sum: i64 = (0..p as i64).sum();
+            let (sums, maxs) = &report.results[0];
+            assert_eq!(sums.as_ref().unwrap(), &[expect_sum, 2 * expect_sum]);
+            assert_eq!(maxs.as_ref().unwrap(), &[p as i64 - 1]);
+            for r in 1..p {
+                assert!(report.results[r].0.is_none());
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_non_commutative_preserves_rank_order() {
+    // Matrix multiply of 2x2 matrices is non-commutative; MPI requires
+    // evaluation in rank order. Encode a 2x2 matrix as [a, b, c, d] and
+    // fold with matrix multiplication via a user op on a flattened pair —
+    // here we cheat with "string-like" composition on integers:
+    // f(a, b) = a * 10 + b is left-associative-sensitive.
+    for p in [2usize, 5, 8] {
+        for world in worlds(p) {
+            let concat = smpi::Op::<i64>::user("CONCAT", |a, b| a * 10 + b, false);
+            let report = world.run(p, move |ctx| {
+                let comm = ctx.world();
+                let r = ctx.rank() as i64 + 1;
+                ctx.reduce(&[r], &concat, 0, &comm)
+            });
+            // 1 ⊕ 2 ⊕ … ⊕ p with f(a,b) = 10a + b → the decimal digits in
+            // rank order.
+            let expect: i64 = (1..=p as i64).fold(0, |acc, d| {
+                if acc == 0 {
+                    d
+                } else {
+                    acc * 10 + d
+                }
+            });
+            assert_eq!(report.results[0].as_ref().unwrap(), &[expect]);
+        }
+    }
+}
+
+#[test]
+fn allreduce_matches_reduce_plus_bcast() {
+    for p in SIZES {
+        for world in worlds(p) {
+            let report = world.run(p, move |ctx| {
+                let comm = ctx.world();
+                let r = ctx.rank() as f64;
+                ctx.allreduce(&[r, r * r], &op::sum::<f64>(), &comm)
+            });
+            let s: f64 = (0..p).map(|i| i as f64).sum();
+            let s2: f64 = (0..p).map(|i| (i * i) as f64).sum();
+            for res in &report.results {
+                assert_eq!(res, &[s, s2]);
+            }
+        }
+    }
+}
+
+#[test]
+fn scan_computes_inclusive_prefixes() {
+    for p in SIZES {
+        for world in worlds(p) {
+            let report = world.run(p, move |ctx| {
+                let comm = ctx.world();
+                let r = ctx.rank() as i64;
+                ctx.scan(&[r + 1], &op::sum::<i64>(), &comm)
+            });
+            for (r, res) in report.results.iter().enumerate() {
+                let expect: i64 = (1..=r as i64 + 1).sum();
+                assert_eq!(res, &[expect], "rank {r}");
+            }
+        }
+    }
+}
+
+#[test]
+fn scan_non_commutative_order() {
+    // keep_left / keep_right are associative but not commutative, so they
+    // detect any operand-order mistake: an inclusive scan with keep_left
+    // yields x₀ everywhere, with keep_right it yields xᵣ.
+    for p in [4usize, 7] {
+        for world in worlds(p) {
+            let keep_left = smpi::Op::<i64>::user("KEEP_LEFT", |a, _| a, false);
+            let keep_right = smpi::Op::<i64>::user("KEEP_RIGHT", |_, b| b, false);
+            let report = world.run(p, move |ctx| {
+                let comm = ctx.world();
+                let x = ctx.rank() as i64 + 100;
+                let l = ctx.scan(&[x], &keep_left, &comm);
+                let r = ctx.scan(&[x], &keep_right, &comm);
+                (l[0], r[0])
+            });
+            for (r, &(l, rr)) in report.results.iter().enumerate() {
+                assert_eq!(l, 100, "rank {r}: keep_left scan must give x0");
+                assert_eq!(rr, r as i64 + 100, "rank {r}: keep_right scan must give x_r");
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_scatter_segments() {
+    for p in [2usize, 4, 5] {
+        for world in worlds(p) {
+            let report = world.run(p, move |ctx| {
+                let comm = ctx.world();
+                let counts: Vec<usize> = (0..p).map(|i| i + 1).collect();
+                let total: usize = counts.iter().sum();
+                let r = ctx.rank() as i64;
+                let data: Vec<i64> = (0..total as i64).map(|i| i + r).collect();
+                ctx.reduce_scatter(&data, &counts, &op::sum::<i64>(), &comm)
+            });
+            // Element j of the reduced vector is p*j + sum(0..p).
+            let ranks_sum: i64 = (0..p as i64).sum();
+            let mut offset = 0usize;
+            for (r, res) in report.results.iter().enumerate() {
+                assert_eq!(res.len(), r + 1);
+                for (k, &v) in res.iter().enumerate() {
+                    let j = (offset + k) as i64;
+                    assert_eq!(v, p as i64 * j + ranks_sum);
+                }
+                offset += r + 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn alltoall_transposes() {
+    for p in SIZES {
+        for world in worlds(p) {
+            let report = world.run(p, move |ctx| {
+                let comm = ctx.world();
+                let r = ctx.rank();
+                // Block for rank j = [r * 100 + j].
+                let send: Vec<i32> = (0..p).map(|j| (r * 100 + j) as i32).collect();
+                ctx.alltoall(&send, &comm)
+            });
+            for (r, res) in report.results.iter().enumerate() {
+                let expect: Vec<i32> = (0..p).map(|j| (j * 100 + r) as i32).collect();
+                assert_eq!(res, &expect, "rank {r}");
+            }
+        }
+    }
+}
+
+#[test]
+fn alltoallv_uneven() {
+    for p in [2usize, 4] {
+        for world in worlds(p) {
+            let report = world.run(p, move |ctx| {
+                let comm = ctx.world();
+                let r = ctx.rank();
+                // Rank r sends j+1 copies of (r*10 + j) to rank j.
+                let send_counts: Vec<usize> = (0..p).map(|j| j + 1).collect();
+                let recv_counts: Vec<usize> = vec![r + 1; p];
+                let send: Vec<i32> = (0..p)
+                    .flat_map(|j| std::iter::repeat((r * 10 + j) as i32).take(j + 1))
+                    .collect();
+                ctx.alltoallv(&send, &send_counts, &recv_counts, &comm)
+            });
+            for (r, res) in report.results.iter().enumerate() {
+                let expect: Vec<i32> = (0..p)
+                    .flat_map(|j| std::iter::repeat((j * 10 + r) as i32).take(r + 1))
+                    .collect();
+                assert_eq!(res, &expect, "rank {r}");
+            }
+        }
+    }
+}
+
+#[test]
+fn collectives_on_sub_communicators() {
+    for world in worlds(6) {
+        let report = world.run(6, |ctx| {
+            let world_comm = ctx.world();
+            let evens = world_comm.group().incl(&[0, 2, 4]);
+            let odds = world_comm.group().excl(&[0, 2, 4]);
+            let my_group = if ctx.rank() % 2 == 0 { &evens } else { &odds };
+            let sub = ctx.comm_create(&world_comm, my_group);
+            let r = ctx.rank() as i32;
+            let sum = ctx.allreduce(&[r], &op::sum::<i32>(), &sub);
+            sum[0]
+        });
+        assert_eq!(report.results, vec![6, 9, 6, 9, 6, 9]);
+    }
+}
+
+#[test]
+fn variant_algorithms_produce_identical_data() {
+    for world in worlds(8) {
+        let report = world.run(8, |ctx| {
+            let comm = ctx.world();
+            let chunk = 8;
+            let data: Option<Vec<f32>> =
+                (ctx.rank() == 0).then(|| (0..8 * chunk).map(|i| i as f32).collect());
+            let binomial = ctx.scatter(data.as_deref(), chunk, 0, &comm);
+            let linear = ctx.scatter_linear(data.as_deref(), chunk, 0, &comm);
+            let chain = ctx.scatter_chain(data.as_deref(), chunk, 0, &comm);
+            assert_eq!(binomial, linear);
+            assert_eq!(binomial, chain);
+            let mut b1 = vec![0u8; 32];
+            let mut b2 = vec![0u8; 32];
+            if ctx.rank() == 3 {
+                b1 = (0..32).map(|i| i as u8).collect();
+                b2 = b1.clone();
+            }
+            ctx.bcast(&mut b1, 3, &comm);
+            ctx.bcast_linear(&mut b2, 3, &comm);
+            assert_eq!(b1, b2);
+            binomial[0]
+        });
+        assert_eq!(report.results.len(), 8);
+    }
+}

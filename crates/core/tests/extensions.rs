@@ -1,0 +1,178 @@
+//! Tests of the future-work extensions (§5.3, §8): comm_split, adaptive
+//! sampling, tuned collectives.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use smpi::{op, MpiProfile, World, UNDEFINED_COLOR};
+use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
+use surf_sim::TransferModel;
+
+fn worlds(n: usize) -> [World; 2] {
+    let rp = Arc::new(RoutedPlatform::new(flat_cluster(
+        "x",
+        n,
+        &ClusterConfig::default(),
+    )));
+    [
+        World::smpi(Arc::clone(&rp), TransferModel::ideal()),
+        World::testbed(rp, MpiProfile::openmpi_like()),
+    ]
+}
+
+#[test]
+fn comm_split_partitions_by_color() {
+    for world in worlds(8) {
+        let report = world.run(8, |ctx| {
+            let comm = ctx.world();
+            let color = (ctx.rank() % 3) as i32;
+            let sub = ctx.comm_split(&comm, color, 0).expect("member");
+            let r = ctx.rank() as i32;
+            let sum = ctx.allreduce(&[r], &op::sum::<i32>(), &sub);
+            (color, sub.size(), sum[0])
+        });
+        // Colors: 0 -> {0,3,6}, 1 -> {1,4,7}, 2 -> {2,5}.
+        let expect = [(0, 3, 9), (1, 3, 12), (2, 2, 7)];
+        for (r, &(color, size, sum)) in report.results.iter().enumerate() {
+            let (ec, es, esum) = expect[r % 3];
+            assert_eq!(color, ec);
+            assert_eq!(size, es, "rank {r}");
+            assert_eq!(sum, esum, "rank {r}");
+        }
+    }
+}
+
+#[test]
+fn comm_split_key_orders_ranks() {
+    for world in worlds(4) {
+        let report = world.run(4, |ctx| {
+            let comm = ctx.world();
+            // Same color, reversed keys: rank 3 becomes rank 0 of the sub.
+            let key = -(ctx.rank() as i32);
+            let sub = ctx.comm_split(&comm, 0, key).unwrap();
+            ctx.comm_rank(&sub)
+        });
+        assert_eq!(report.results, vec![3, 2, 1, 0]);
+    }
+}
+
+#[test]
+fn comm_split_undefined_returns_none() {
+    for world in worlds(4) {
+        let report = world.run(4, |ctx| {
+            let comm = ctx.world();
+            let color = if ctx.rank() < 2 { 0 } else { UNDEFINED_COLOR };
+            let sub = ctx.comm_split(&comm, color, 0);
+            match sub {
+                Some(c) => {
+                    let s = ctx.allreduce(&[1i32], &op::sum::<i32>(), &c);
+                    s[0]
+                }
+                None => -1,
+            }
+        });
+        assert_eq!(report.results, vec![2, 2, -1, -1]);
+    }
+}
+
+#[test]
+fn sample_auto_stops_after_convergence() {
+    let executions = Arc::new(AtomicUsize::new(0));
+    let ex = Arc::clone(&executions);
+    let [world, _] = worlds(1);
+    world.run(1, move |ctx| {
+        for _ in 0..100 {
+            ctx.sample_auto("steady", 0.5, 50, || {
+                // A steady, measurable burst: converges quickly.
+                std::hint::black_box((0..20_000u64).sum::<u64>());
+                ex.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    let n = executions.load(Ordering::Relaxed);
+    assert!(n >= 3, "needs at least 3 measurements, got {n}");
+    assert!(n < 100, "never converged: {n} executions");
+}
+
+#[test]
+fn sample_auto_respects_max_budget() {
+    let executions = Arc::new(AtomicUsize::new(0));
+    let ex = Arc::clone(&executions);
+    let [world, _] = worlds(1);
+    world.run(1, move |ctx| {
+        for i in 0..50 {
+            ctx.sample_auto("noisy", 1e-12, 10, || {
+                // Extremely tight tolerance: budget must cap executions.
+                std::hint::black_box((0..(i + 1) * 1000).sum::<usize>());
+                ex.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert!(executions.load(Ordering::Relaxed) <= 11);
+}
+
+#[test]
+fn bcast_tuned_matches_bcast() {
+    for world in worlds(8) {
+        world.run(8, |ctx| {
+            let comm = ctx.world();
+            // Long message: triggers the scatter+allgather path.
+            let mut a: Vec<f64> = vec![0.0; 4096];
+            let mut b = a.clone();
+            if ctx.rank() == 2 {
+                for (i, x) in a.iter_mut().enumerate() {
+                    *x = i as f64;
+                }
+                b = a.clone();
+            }
+            ctx.bcast(&mut a, 2, &comm);
+            ctx.bcast_tuned(&mut b, 2, &comm);
+            assert_eq!(a, b);
+            // Short message: binomial path.
+            let mut c = [0u8; 16];
+            let mut d = [0u8; 16];
+            if ctx.rank() == 0 {
+                c = [7; 16];
+                d = [7; 16];
+            }
+            ctx.bcast(&mut c, 0, &comm);
+            ctx.bcast_tuned(&mut d, 0, &comm);
+            assert_eq!(c, d);
+        });
+    }
+}
+
+#[test]
+fn scatter_tuned_matches_scatter() {
+    for world in worlds(4) {
+        world.run(4, |ctx| {
+            let comm = ctx.world();
+            let chunk = 16; // 128 B: the linear path on 4 ranks
+            let data: Option<Vec<f64>> =
+                (ctx.rank() == 0).then(|| (0..4 * chunk).map(|i| i as f64).collect());
+            let a = ctx.scatter(data.as_deref(), chunk, 0, &comm);
+            let b = ctx.scatter_tuned(data.as_deref(), chunk, 0, &comm);
+            assert_eq!(a, b);
+        });
+    }
+}
+
+#[test]
+fn nested_splits_compose() {
+    let [world, _] = worlds(8);
+    let report = world.run(8, |ctx| {
+        let comm = ctx.world();
+        // Split into halves, then split each half by parity.
+        let half = ctx.comm_split(&comm, (ctx.rank() / 4) as i32, 0).unwrap();
+        let parity = ctx
+            .comm_split(&half, (ctx.comm_rank(&half) % 2) as i32, 0)
+            .unwrap();
+        let sum = ctx.allreduce(&[ctx.rank() as i32], &op::sum::<i32>(), &parity);
+        (parity.size(), sum[0])
+    });
+    // Halves {0..4} and {4..8}; parities {0,2}/{1,3} and {4,6}/{5,7}.
+    let expect = [(2, 2), (2, 4), (2, 2), (2, 4), (2, 10), (2, 12), (2, 10), (2, 12)];
+    for (r, (&got, &want)) in report.results.iter().zip(&expect).enumerate() {
+        assert_eq!(got, want, "rank {r}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Protocol-profile behaviour: the knobs that differentiate MPI
+//! personalities must have the documented effects on timing.
+
+use std::sync::Arc;
+
+use smpi::{Backend, MpiProfile, World};
+use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
+use surf_sim::{EngineConfig, TransferModel};
+
+fn rp() -> Arc<RoutedPlatform> {
+    Arc::new(RoutedPlatform::new(flat_cluster(
+        "pf",
+        2,
+        &ClusterConfig::default(),
+    )))
+}
+
+fn pingpong_time(profile: MpiProfile, bytes: usize) -> f64 {
+    let world = World::new(
+        rp(),
+        Backend::Surf {
+            model: TransferModel::ideal(),
+            engine: EngineConfig::default(),
+        },
+        profile,
+    );
+    world
+        .run(2, move |ctx| {
+            let comm = ctx.world();
+            let buf = vec![0u8; bytes];
+            let mut sink = vec![0u8; bytes];
+            let t0 = ctx.wtime();
+            if ctx.rank() == 0 {
+                ctx.send(&buf, 1, 0, &comm);
+                ctx.recv(&mut sink, 1, 0, &comm);
+            } else {
+                ctx.recv(&mut sink, 0, 0, &comm);
+                ctx.send(&buf, 0, 0, &comm);
+            }
+            ctx.wtime() - t0
+        })
+        .results[0]
+}
+
+#[test]
+fn send_overhead_adds_per_message_cost() {
+    let base = MpiProfile::smpi();
+    let mut with = MpiProfile::smpi();
+    with.send_overhead = 10e-6;
+    let t0 = pingpong_time(base, 100);
+    let t1 = pingpong_time(with, 100);
+    // Two messages per round trip, each paying the overhead.
+    let delta = t1 - t0;
+    assert!(
+        (delta - 20e-6).abs() < 2e-6,
+        "expected ~20us of overhead, got {delta}"
+    );
+}
+
+#[test]
+fn copy_rate_penalizes_eager_only() {
+    let mut slow_copy = MpiProfile::smpi();
+    slow_copy.copy_rate = Some(1e6); // absurdly slow: 1 MB/s
+    let base = MpiProfile::smpi();
+    // Eager message (under threshold): copy penalty applies.
+    let eager_delta = pingpong_time(slow_copy.clone(), 10_000) - pingpong_time(base.clone(), 10_000);
+    assert!(
+        eager_delta > 0.015,
+        "eager copy penalty missing: {eager_delta}"
+    );
+    // Rendezvous message: zero-copy, no penalty.
+    let rdv_delta =
+        pingpong_time(slow_copy, 100_000) - pingpong_time(base, 100_000);
+    assert!(
+        rdv_delta.abs() < 1e-3,
+        "rendezvous must be zero-copy: {rdv_delta}"
+    );
+}
+
+#[test]
+fn wire_efficiency_slows_large_messages_proportionally() {
+    let mut eff = MpiProfile::smpi();
+    eff.wire_efficiency = 0.5;
+    let t_full = pingpong_time(MpiProfile::smpi(), 1 << 20);
+    let t_half = pingpong_time(eff, 1 << 20);
+    let ratio = t_half / t_full;
+    assert!(
+        (ratio - 2.0).abs() < 0.05,
+        "halving efficiency must ~double the time: {ratio}"
+    );
+}
+
+#[test]
+fn eager_threshold_moves_the_protocol_switch() {
+    // With a tiny threshold, a 10 KB message behaves synchronously: the
+    // sender blocks until the receive is posted.
+    let mut tiny = MpiProfile::smpi();
+    tiny.eager_threshold = 1024;
+    let world = World::new(
+        rp(),
+        Backend::Surf {
+            model: TransferModel::ideal(),
+            engine: EngineConfig::default(),
+        },
+        tiny,
+    );
+    let report = world.run(2, |ctx| {
+        let comm = ctx.world();
+        if ctx.rank() == 0 {
+            let t0 = ctx.wtime();
+            ctx.send(&[0u8; 10_000], 1, 0, &comm);
+            ctx.wtime() - t0
+        } else {
+            ctx.sleep(1.0);
+            let _ = ctx.recv_vec::<u8>(0, 0, 10_000, &comm);
+            0.0
+        }
+    });
+    assert!(
+        report.results[0] >= 1.0,
+        "10 KB above a 1 KB threshold must rendezvous: {}",
+        report.results[0]
+    );
+}
+
+#[test]
+fn rendezvous_handshake_adds_round_trip() {
+    let mut hs = MpiProfile::smpi();
+    hs.rendezvous_handshake = true;
+    let t0 = pingpong_time(MpiProfile::smpi(), 1 << 20);
+    let t1 = pingpong_time(hs, 1 << 20);
+    // Two rendezvous messages per round trip, each paying ~2x control
+    // latency (2 x 100us route latency here).
+    let delta = t1 - t0;
+    assert!(
+        delta > 300e-6 && delta < 1e-3,
+        "handshake delta out of range: {delta}"
+    );
+}

@@ -1,0 +1,136 @@
+//! Tracing subsystem behaviour end-to-end.
+
+use std::sync::Arc;
+
+use smpi::trace::{self, TraceKind};
+use smpi::{MpiProfile, World};
+use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
+use surf_sim::TransferModel;
+
+fn world() -> World {
+    let rp = Arc::new(RoutedPlatform::new(flat_cluster(
+        "t",
+        2,
+        &ClusterConfig::default(),
+    )));
+    World::smpi(rp, TransferModel::ideal())
+}
+
+#[test]
+fn trace_is_empty_by_default() {
+    let report = world().run(2, |ctx| ctx.barrier(&ctx.world()));
+    assert!(report.trace.is_empty());
+}
+
+#[test]
+fn trace_records_a_send_recv_lifecycle() {
+    let report = world().tracing(true).run(2, |ctx| {
+        let comm = ctx.world();
+        if ctx.rank() == 0 {
+            ctx.send(&[1.0f64; 100], 1, 9, &comm);
+        } else {
+            let _ = ctx.recv_vec::<f64>(0, 9, 100, &comm);
+        }
+    });
+    let s = trace::stats(&report.trace);
+    assert_eq!(s.sends, 1);
+    assert_eq!(s.recvs, 1);
+    assert_eq!(s.delivered, 1);
+    assert_eq!(s.bytes_delivered, 800);
+    // Events are time-ordered.
+    for w in report.trace.windows(2) {
+        assert!(w[0].time <= w[1].time);
+    }
+    // The lifecycle is complete: post -> wire -> delivered -> finish.
+    let kinds: Vec<_> = report
+        .trace
+        .iter()
+        .map(|e| std::mem::discriminant(&e.kind))
+        .collect();
+    assert!(kinds.len() >= 5); // send, recv, wire, delivered, 2x finished
+    assert!(report
+        .trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::TransferStarted { .. })));
+    assert_eq!(
+        report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::RankFinished { .. }))
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn trace_distinguishes_eager_and_rendezvous() {
+    let report = world().tracing(true).run(2, |ctx| {
+        let comm = ctx.world();
+        if ctx.rank() == 0 {
+            ctx.send(&[0u8; 100], 1, 0, &comm); // eager
+            ctx.send(&vec![0u8; 100_000], 1, 1, &comm); // rendezvous
+        } else {
+            let _ = ctx.recv_vec::<u8>(0, 0, 100, &comm);
+            let _ = ctx.recv_vec::<u8>(0, 1, 100_000, &comm);
+        }
+    });
+    let protos: Vec<bool> = report
+        .trace
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::SendPosted { eager, .. } => Some(eager),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(protos, vec![true, false]);
+}
+
+#[test]
+fn trace_counts_collective_point_to_points() {
+    // A binomial bcast over 8 ranks must generate exactly 7 messages —
+    // the "collectives are sets of point-to-point communications" property
+    // (§4.2), visible in the trace.
+    let rp = Arc::new(RoutedPlatform::new(flat_cluster(
+        "t8",
+        8,
+        &ClusterConfig::default(),
+    )));
+    let report = World::smpi(rp, TransferModel::ideal())
+        .tracing(true)
+        .run(8, |ctx| {
+            let mut buf = [0u8; 64];
+            ctx.bcast(&mut buf, 0, &ctx.world());
+        });
+    let s = trace::stats(&report.trace);
+    assert_eq!(s.sends, 7);
+    assert_eq!(s.delivered, 7);
+}
+
+#[test]
+fn trace_records_exec() {
+    let report = world().tracing(true).run(2, |ctx| ctx.compute(1e6));
+    assert_eq!(
+        report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::ExecStarted { .. }))
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn trace_renders() {
+    let report = world().tracing(true).run(2, |ctx| {
+        let comm = ctx.world();
+        if ctx.rank() == 0 {
+            ctx.send(&[1u32], 1, 0, &comm);
+        } else {
+            let _ = ctx.recv_vec::<u32>(0, 0, 1, &comm);
+        }
+    });
+    let text = trace::render(&report.trace);
+    assert!(text.contains("send-post"));
+    assert!(text.contains("delivered"));
+    assert_eq!(text.lines().count(), report.trace.len());
+}

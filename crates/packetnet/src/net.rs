@@ -1,0 +1,587 @@
+//! The packet-level discrete-event network simulator.
+//!
+//! This engine plays the role of the *physical clusters* in the reproduction:
+//! the paper validates SMPI against real Grid'5000 runs, and the SimGrid flow
+//! model itself was validated against the packet-level GTNetS simulator. Here
+//! messages are cut into MTU-sized frames that traverse the platform
+//! **store-and-forward**: a frame is fully serialized onto a channel
+//! (`wire_bytes / bandwidth`), propagates (`latency`), must completely arrive
+//! at the next node, and only then competes for the next channel.
+//!
+//! Each link direction is a **channel** with round-robin fair queuing across
+//! flows — the packet-granularity analogue of TCP bandwidth sharing, and the
+//! mechanism that produces real contention behaviour at switch ports.
+//!
+//! The engine also offers `exec`/`sleep` actions so entire MPI applications
+//! can be timed against it; on the simulated "real" cluster every rank has a
+//! node of its own, so compute actions don't share.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use smpi_platform::spec::Dir;
+use smpi_platform::{HostIx, RoutedPlatform, SharingPolicy};
+use surf_sim::SimTime;
+
+use crate::config::PacketConfig;
+
+/// Handle to an ongoing packet-net action (message, exec or sleep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketActionId(u32);
+
+impl PacketActionId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw dense index of this action (stable for the lifetime of the
+    /// simulator; used by callers to key their own tables).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// One directional transmission channel (a link direction).
+#[derive(Debug, Default)]
+struct Channel {
+    /// Per-flow frame queues (flow = transfer action index).
+    queues: HashMap<u32, VecDeque<Frame>>,
+    /// Round-robin service order of flows with queued frames.
+    rr: VecDeque<u32>,
+    /// Whether a frame is currently being serialized.
+    busy: bool,
+}
+
+/// A frame in flight or queued.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// The transfer this frame belongs to.
+    transfer: u32,
+    /// Application payload bytes.
+    payload: u32,
+    /// Index of the hop this frame is about to cross (into the route).
+    hop: u16,
+}
+
+#[derive(Debug)]
+enum Pending {
+    Transfer {
+        route_channels: Vec<u32>,
+        frames_remaining: u64,
+    },
+    Delay,
+}
+
+#[derive(Debug)]
+struct ActionSlot {
+    pending: Pending,
+    done: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A channel finished serializing a frame and may start the next one.
+    ChannelIdle(u32),
+    /// A frame fully arrived at the node after `hop`.
+    Arrive(Frame),
+    /// A delay action (exec or sleep) finished.
+    DelayDone(PacketActionId),
+}
+
+/// The packet-level simulator over a routed platform.
+#[derive(Debug)]
+pub struct PacketNet {
+    config: PacketConfig,
+    now: SimTime,
+    /// Channel state; indexing derives from the platform links (two slots per
+    /// link: forward then reverse; `Shared` links alias both to forward).
+    channels: Vec<Channel>,
+    /// Per-channel (bandwidth, latency).
+    chan_bw: Vec<f64>,
+    chan_lat: Vec<f64>,
+    /// `true` when the channel never queues (FatPipe).
+    chan_fat: Vec<bool>,
+    shared_dirs: Vec<bool>,
+    actions: Vec<ActionSlot>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    events: Vec<Event>,
+    seq: u64,
+    /// Number of host compute speeds, for exec durations.
+    host_speeds: Vec<f64>,
+    /// Routes are translated to channel sequences lazily and memoized.
+    route_cache: HashMap<(HostIx, HostIx), (Vec<u32>, Vec<f64>)>,
+}
+
+impl PacketNet {
+    /// Builds the packet simulator for a platform.
+    pub fn new(rp: &RoutedPlatform, config: PacketConfig) -> Self {
+        let p = rp.platform();
+        let nlinks = p.num_links();
+        let mut channels = Vec::with_capacity(nlinks * 2);
+        let mut chan_bw = Vec::with_capacity(nlinks * 2);
+        let mut chan_lat = Vec::with_capacity(nlinks * 2);
+        let mut chan_fat = Vec::with_capacity(nlinks * 2);
+        let mut shared_dirs = Vec::with_capacity(nlinks);
+        for link in p.links() {
+            // Two slots per link; Shared aliases both directions to slot 0.
+            for _ in 0..2 {
+                channels.push(Channel::default());
+                chan_bw.push(link.bandwidth);
+                chan_lat.push(link.latency);
+                chan_fat.push(link.policy == SharingPolicy::FatPipe);
+            }
+            shared_dirs.push(matches!(
+                link.policy,
+                SharingPolicy::Shared | SharingPolicy::FatPipe
+            ));
+        }
+        let host_speeds = p.host_indices().map(|h| p.host_speed(h)).collect();
+        PacketNet {
+            config,
+            now: SimTime::ZERO,
+            channels,
+            chan_bw,
+            chan_lat,
+            chan_fat,
+            shared_dirs,
+            actions: Vec::new(),
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            seq: 0,
+            host_speeds,
+            route_cache: HashMap::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The framing configuration.
+    pub fn config(&self) -> &PacketConfig {
+        &self.config
+    }
+
+    fn channel_of(&self, link: u32, dir: Dir) -> u32 {
+        let base = link * 2;
+        if self.shared_dirs[link as usize] {
+            base
+        } else {
+            match dir {
+                Dir::Forward => base,
+                Dir::Reverse => base + 1,
+            }
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, event: Event) {
+        let ix = self.events.len() as u32;
+        self.events.push(event);
+        self.heap.push(Reverse((at, self.seq, ix)));
+        self.seq += 1;
+    }
+
+    fn route_channels(&mut self, rp: &RoutedPlatform, src: HostIx, dst: HostIx) -> (Vec<u32>, Vec<f64>) {
+        if let Some(cached) = self.route_cache.get(&(src, dst)) {
+            return cached.clone();
+        }
+        let hops = rp.route(src, dst);
+        assert!(
+            !hops.is_empty(),
+            "packet-net transfers require distinct hosts"
+        );
+        let chans: Vec<u32> = hops
+            .iter()
+            .map(|h| self.channel_of(h.link.0, h.dir))
+            .collect();
+        let lats: Vec<f64> = chans.iter().map(|&c| self.chan_lat[c as usize]).collect();
+        self.route_cache
+            .insert((src, dst), (chans.clone(), lats.clone()));
+        (chans, lats)
+    }
+
+    /// Starts a message of `bytes` from `src` to `dst`. Frames are enqueued
+    /// at the source channel immediately.
+    pub fn start_message(
+        &mut self,
+        rp: &RoutedPlatform,
+        src: HostIx,
+        dst: HostIx,
+        bytes: u64,
+    ) -> PacketActionId {
+        let (route_channels, _route_latencies) = self.route_channels(rp, src, dst);
+        let nframes = self.config.frame_count(bytes);
+        let id = PacketActionId(self.actions.len() as u32);
+        self.actions.push(ActionSlot {
+            pending: Pending::Transfer {
+                route_channels: route_channels.clone(),
+                frames_remaining: nframes,
+            },
+            done: false,
+        });
+
+        // Enqueue all frames at the first channel.
+        let full = self.config.mtu_payload as u64;
+        let first = route_channels[0];
+        let mut left = bytes;
+        for _ in 0..nframes {
+            let payload = left.min(full) as u32;
+            left = left.saturating_sub(full);
+            self.enqueue_frame(
+                first,
+                Frame {
+                    transfer: id.0,
+                    payload,
+                    hop: 0,
+                },
+            );
+        }
+        id
+    }
+
+    /// Starts a computation of `flops` on `host` (no sharing: one rank per
+    /// physical node on the emulated testbed).
+    pub fn start_exec(&mut self, host: HostIx, flops: f64) -> PacketActionId {
+        let speed = self.host_speeds[host.0 as usize];
+        self.start_sleep(flops / speed)
+    }
+
+    /// Starts a pure delay.
+    pub fn start_sleep(&mut self, seconds: f64) -> PacketActionId {
+        assert!(seconds >= 0.0 && seconds.is_finite());
+        let id = PacketActionId(self.actions.len() as u32);
+        self.actions.push(ActionSlot {
+            pending: Pending::Delay,
+            done: false,
+        });
+        self.schedule(self.now + seconds, Event::DelayDone(id));
+        id
+    }
+
+    /// `true` once the action completed.
+    pub fn is_done(&self, id: PacketActionId) -> bool {
+        self.actions[id.index()].done
+    }
+
+    fn enqueue_frame(&mut self, chan: u32, frame: Frame) {
+        if self.chan_fat[chan as usize] {
+            // FatPipe: serialize without queuing (infinite parallel lanes).
+            let ser = self.config.wire_bytes(frame.payload) as f64 / self.chan_bw[chan as usize];
+            let at = self.now + ser + self.chan_lat[chan as usize];
+            self.schedule(at, Event::Arrive(frame));
+            return;
+        }
+        let c = &mut self.channels[chan as usize];
+        let q = c.queues.entry(frame.transfer).or_default();
+        if q.is_empty() {
+            c.rr.push_back(frame.transfer);
+        }
+        q.push_back(frame);
+        if !c.busy {
+            self.transmit_next(chan);
+        }
+    }
+
+    /// Pops the next frame (round-robin across flows) and serializes it.
+    fn transmit_next(&mut self, chan: u32) {
+        let cix = chan as usize;
+        let (frame, now_busy) = {
+            let c = &mut self.channels[cix];
+            debug_assert!(!c.busy);
+            let flow = match c.rr.pop_front() {
+                Some(f) => f,
+                None => return,
+            };
+            let q = c.queues.get_mut(&flow).expect("flow queue exists");
+            let frame = q.pop_front().expect("queued flow has frames");
+            if q.is_empty() {
+                c.queues.remove(&flow);
+            } else {
+                c.rr.push_back(flow);
+            }
+            c.busy = true;
+            (frame, true)
+        };
+        debug_assert!(now_busy);
+        let ser = self.config.wire_bytes(frame.payload) as f64 / self.chan_bw[cix];
+        self.schedule(self.now + ser, Event::ChannelIdle(chan));
+        self.schedule(self.now + ser + self.chan_lat[cix], Event::Arrive(frame));
+    }
+
+    fn on_arrive(&mut self, frame: Frame) -> Option<PacketActionId> {
+        let aix = frame.transfer as usize;
+        let (next_chan, finished) = {
+            let slot = &mut self.actions[aix];
+            let Pending::Transfer {
+                route_channels,
+                frames_remaining,
+            } = &mut slot.pending
+            else {
+                unreachable!("frame belongs to a non-transfer action");
+            };
+            let next_hop = frame.hop as usize + 1;
+            if next_hop < route_channels.len() {
+                (Some(route_channels[next_hop]), false)
+            } else {
+                *frames_remaining -= 1;
+                (None, *frames_remaining == 0)
+            }
+        };
+        if let Some(chan) = next_chan {
+            self.enqueue_frame(
+                chan,
+                Frame {
+                    hop: frame.hop + 1,
+                    ..frame
+                },
+            );
+            None
+        } else if finished {
+            self.actions[aix].done = true;
+            Some(PacketActionId(frame.transfer))
+        } else {
+            None
+        }
+    }
+
+    /// Advances to the next instant at which at least one action completes,
+    /// returning the completed actions. Returns `None` when fully drained.
+    pub fn advance_to_next(&mut self) -> Option<(SimTime, Vec<PacketActionId>)> {
+        let mut completed = Vec::new();
+        while let Some(&Reverse((t, _, _))) = self.heap.peek() {
+            // Drain every event at instant `t`.
+            self.now = t;
+            while let Some(&Reverse((t2, _, eix))) = self.heap.peek() {
+                if t2 != t {
+                    break;
+                }
+                self.heap.pop();
+                match self.events[eix as usize] {
+                    Event::ChannelIdle(chan) => {
+                        self.channels[chan as usize].busy = false;
+                        self.transmit_next(chan);
+                    }
+                    Event::Arrive(frame) => {
+                        if let Some(done) = self.on_arrive(frame) {
+                            completed.push(done);
+                        }
+                    }
+                    Event::DelayDone(id) => {
+                        self.actions[id.index()].done = true;
+                        completed.push(id);
+                    }
+                }
+            }
+            if !completed.is_empty() {
+                return Some((self.now, completed));
+            }
+        }
+        None
+    }
+
+    /// Runs until quiescent, returning the final time.
+    pub fn run_to_completion(&mut self) -> SimTime {
+        while self.advance_to_next().is_some() {}
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
+
+    fn cluster(n: usize, bw: f64, lat: f64) -> RoutedPlatform {
+        RoutedPlatform::new(flat_cluster(
+            "t",
+            n,
+            &ClusterConfig {
+                link_bandwidth: bw,
+                link_latency: lat,
+                ..ClusterConfig::default()
+            },
+        ))
+    }
+
+    /// Closed form for a single pipelined message over equal-bandwidth hops:
+    /// the first channel serializes every frame back-to-back; on each further
+    /// hop the tail of the message is delayed by one more frame time. A short
+    /// trailing frame rides right behind the last full frame, so the per-hop
+    /// increment is a *full* frame serialization whenever full frames exist.
+    fn pipelined(cfg: &PacketConfig, bytes: u64, hops: usize, bw: f64, lat_total: f64) -> f64 {
+        let full_frames = bytes / cfg.mtu_payload as u64;
+        let rem = (bytes % cfg.mtu_payload as u64) as u32;
+        let full_ser = cfg.wire_bytes(cfg.mtu_payload) as f64 / bw;
+        let rem_ser = cfg.wire_bytes(rem) as f64 / bw;
+        let first_chan = full_frames as f64 * full_ser
+            + if rem > 0 || bytes == 0 { rem_ser } else { 0.0 };
+        let per_hop = if full_frames > 0 { full_ser } else { rem_ser };
+        first_chan + (hops - 1) as f64 * per_hop + lat_total
+    }
+
+    #[test]
+    fn single_frame_message_time() {
+        let rp = cluster(2, 125e6, 50e-6);
+        let cfg = PacketConfig::default();
+        let mut net = PacketNet::new(&rp, cfg);
+        let id = net.start_message(&rp, HostIx(0), HostIx(1), 1000);
+        let (t, done) = net.advance_to_next().unwrap();
+        assert_eq!(done, vec![id]);
+        let ser = cfg.wire_bytes(1000) as f64 / 125e6;
+        // Store-and-forward across 2 links: serialize twice, 2 latencies.
+        let expect = 2.0 * ser + 100e-6;
+        assert!((t.as_secs() - expect).abs() < 1e-12, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn multi_frame_message_pipelines() {
+        let rp = cluster(2, 125e6, 50e-6);
+        let cfg = PacketConfig::default();
+        let mut net = PacketNet::new(&rp, cfg);
+        let bytes = 10 * 1448 + 7;
+        net.start_message(&rp, HostIx(0), HostIx(1), bytes);
+        let (t, _) = net.advance_to_next().unwrap();
+        let expect = pipelined(&cfg, bytes, 2, 125e6, 100e-6);
+        assert!(
+            (t.as_secs() - expect).abs() < 1e-12,
+            "{} vs {}",
+            t.as_secs(),
+            expect
+        );
+    }
+
+    #[test]
+    fn zero_byte_message_still_sends_a_header_frame() {
+        let rp = cluster(2, 125e6, 10e-6);
+        let cfg = PacketConfig::default();
+        let mut net = PacketNet::new(&rp, cfg);
+        net.start_message(&rp, HostIx(0), HostIx(1), 0);
+        let (t, _) = net.advance_to_next().unwrap();
+        let expect = 2.0 * (90.0 / 125e6) + 20e-6;
+        assert!((t.as_secs() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_flows_into_same_destination_share_fairly() {
+        // Flows 1->0 and 2->0 share host 0's incoming channel: each message
+        // takes about twice as long as it would alone.
+        let rp = cluster(3, 125e6, 0.0);
+        let cfg = PacketConfig::default();
+        let bytes = 200 * 1448;
+        let mut alone = PacketNet::new(&rp, cfg);
+        alone.start_message(&rp, HostIx(1), HostIx(0), bytes);
+        let t_alone = alone.run_to_completion().as_secs();
+
+        let mut both = PacketNet::new(&rp, cfg);
+        both.start_message(&rp, HostIx(1), HostIx(0), bytes);
+        both.start_message(&rp, HostIx(2), HostIx(0), bytes);
+        let t_both = both.run_to_completion().as_secs();
+        let ratio = t_both / t_alone;
+        assert!(
+            (ratio - 2.0).abs() < 0.1,
+            "sharing ratio {ratio}, expected ~2"
+        );
+    }
+
+    #[test]
+    fn shared_cluster_links_contend_bidirectionally() {
+        // Cluster builders use Shared links: simultaneous opposite-direction
+        // messages share the capacity and take ~2x as long (the effect that
+        // drives Fig. 11).
+        let rp = cluster(2, 125e6, 0.0);
+        let cfg = PacketConfig::default();
+        let bytes = 100 * 1448;
+        let mut one = PacketNet::new(&rp, cfg);
+        one.start_message(&rp, HostIx(0), HostIx(1), bytes);
+        let t_one = one.run_to_completion().as_secs();
+
+        let mut both = PacketNet::new(&rp, cfg);
+        both.start_message(&rp, HostIx(0), HostIx(1), bytes);
+        both.start_message(&rp, HostIx(1), HostIx(0), bytes);
+        let t_both = both.run_to_completion().as_secs();
+        let ratio = t_both / t_one;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn split_duplex_directions_are_independent() {
+        use smpi_platform::{Platform, SharingPolicy};
+        let mut p = Platform::new();
+        let h0 = p.add_host("h0", 1e9);
+        let h1 = p.add_host("h1", 1e9);
+        let n0 = p.host_node(h0);
+        let n1 = p.host_node(h1);
+        p.link_between(n0, n1, "wire", 125e6, 0.0, SharingPolicy::SplitDuplex);
+        let rp = RoutedPlatform::new(p);
+        let cfg = PacketConfig::default();
+        let bytes = 100 * 1448;
+        let mut one = PacketNet::new(&rp, cfg);
+        one.start_message(&rp, HostIx(0), HostIx(1), bytes);
+        let t_one = one.run_to_completion().as_secs();
+
+        let mut duplex = PacketNet::new(&rp, cfg);
+        duplex.start_message(&rp, HostIx(0), HostIx(1), bytes);
+        duplex.start_message(&rp, HostIx(1), HostIx(0), bytes);
+        let t_duplex = duplex.run_to_completion().as_secs();
+        assert!(
+            (t_duplex - t_one).abs() < 1e-9,
+            "split duplex should not slow down: {t_duplex} vs {t_one}"
+        );
+    }
+
+    #[test]
+    fn exec_and_sleep_complete() {
+        let rp = cluster(2, 125e6, 0.0);
+        let mut net = PacketNet::new(&rp, PacketConfig::default());
+        let e = net.start_exec(HostIx(0), 2e9); // node speed 1e9 => 2 s
+        let s = net.start_sleep(0.5);
+        let (t1, d1) = net.advance_to_next().unwrap();
+        assert_eq!(d1, vec![s]);
+        assert!((t1.as_secs() - 0.5).abs() < 1e-12);
+        let (t2, d2) = net.advance_to_next().unwrap();
+        assert_eq!(d2, vec![e]);
+        assert!((t2.as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_conservation_over_random_messages() {
+        // All messages complete; completion count equals message count.
+        let rp = cluster(4, 125e6, 1e-6);
+        let mut net = PacketNet::new(&rp, PacketConfig::default());
+        let mut started = 0;
+        for (s, d, b) in [
+            (0u32, 1u32, 5000u64),
+            (1, 2, 123),
+            (2, 3, 1_000_000),
+            (3, 0, 0),
+            (0, 2, 777_777),
+            (1, 3, 1448),
+        ] {
+            net.start_message(&rp, HostIx(s), HostIx(d), b);
+            started += 1;
+        }
+        let mut completed = 0;
+        while let Some((_, done)) = net.advance_to_next() {
+            completed += done.len();
+        }
+        assert_eq!(completed, started);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let rp = cluster(4, 125e6, 1e-6);
+            let mut net = PacketNet::new(&rp, PacketConfig::default());
+            for (s, d, b) in [(0u32, 1u32, 50_000u64), (2, 1, 50_000), (3, 1, 80_000)] {
+                net.start_message(&rp, HostIx(s), HostIx(d), b);
+            }
+            let mut trace = Vec::new();
+            while let Some((t, done)) = net.advance_to_next() {
+                trace.push((t, done));
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the packet-level simulator.
+
+use proptest::prelude::*;
+use smpi_platform::{flat_cluster, ClusterConfig, HostIx, RoutedPlatform};
+use packetnet::{PacketConfig, PacketNet};
+
+fn cluster(n: usize) -> RoutedPlatform {
+    RoutedPlatform::new(flat_cluster(
+        "pp",
+        n,
+        &ClusterConfig {
+            link_bandwidth: 125e6,
+            link_latency: 20e-6,
+            ..ClusterConfig::default()
+        },
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every message completes, exactly once, and the clock is monotone.
+    #[test]
+    fn all_messages_complete_once(
+        msgs in proptest::collection::vec((0u32..6, 0u32..6, 0u64..2_000_000), 1..24)
+    ) {
+        let rp = cluster(6);
+        let mut net = PacketNet::new(&rp, PacketConfig::default());
+        let mut expected = Vec::new();
+        for &(s, d, b) in &msgs {
+            if s == d {
+                continue; // self-messages are the runtime's job
+            }
+            expected.push(net.start_message(&rp, HostIx(s), HostIx(d), b));
+        }
+        let mut done = Vec::new();
+        let mut last = net.now();
+        while let Some((t, ids)) = net.advance_to_next() {
+            prop_assert!(t >= last);
+            last = t;
+            done.extend(ids);
+        }
+        done.sort();
+        expected.sort();
+        prop_assert_eq!(done, expected);
+    }
+
+    /// Message time is monotone in size for a lone flow.
+    #[test]
+    fn time_monotone_in_size(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let (small, large) = (a.min(b), a.max(b));
+        let rp = cluster(2);
+        let time = |bytes: u64| {
+            let mut net = PacketNet::new(&rp, PacketConfig::default());
+            net.start_message(&rp, HostIx(0), HostIx(1), bytes);
+            net.run_to_completion().as_secs()
+        };
+        prop_assert!(time(small) <= time(large) + 1e-15);
+    }
+
+    /// A lone message is never faster than the ideal flow-model bound
+    /// (latency + payload/bandwidth): packets only add overhead.
+    #[test]
+    fn never_beats_the_fluid_bound(bytes in 1u64..4_000_000) {
+        let rp = cluster(2);
+        let mut net = PacketNet::new(&rp, PacketConfig::default());
+        net.start_message(&rp, HostIx(0), HostIx(1), bytes);
+        let t = net.run_to_completion().as_secs();
+        let fluid = 2.0 * 20e-6 + bytes as f64 / 125e6;
+        prop_assert!(
+            t >= fluid - 1e-12,
+            "packet sim too fast: {t} < fluid bound {fluid}"
+        );
+    }
+
+    /// Two equal flows into one destination finish together and take
+    /// roughly twice the lone-flow time (fair sharing).
+    #[test]
+    fn incast_fairness(kbytes in 128u64..512) {
+        let bytes = kbytes * 1024;
+        let rp = cluster(3);
+        let lone = {
+            let mut net = PacketNet::new(&rp, PacketConfig::default());
+            net.start_message(&rp, HostIx(1), HostIx(0), bytes);
+            net.run_to_completion().as_secs()
+        };
+        let mut net = PacketNet::new(&rp, PacketConfig::default());
+        net.start_message(&rp, HostIx(1), HostIx(0), bytes);
+        net.start_message(&rp, HostIx(2), HostIx(0), bytes);
+        let mut finishes = Vec::new();
+        while let Some((t, ids)) = net.advance_to_next() {
+            for _ in ids {
+                finishes.push(t.as_secs());
+            }
+        }
+        prop_assert_eq!(finishes.len(), 2);
+        let spread = (finishes[1] - finishes[0]).abs();
+        prop_assert!(spread <= lone * 0.05, "unfair finish spread {spread}");
+        // Fixed per-hop costs don't double, so the ratio sits slightly
+        // below 2 and approaches it with size.
+        let ratio = finishes[1] / lone;
+        prop_assert!((1.7..2.1).contains(&ratio), "sharing ratio {ratio}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Writes the paper's platform files to `platforms/` as XML.
+//!
+//! ```text
+//! cargo run -p smpi-platform --example export_platforms
+//! ```
+
+fn main() {
+    let out = std::path::Path::new("platforms");
+    std::fs::create_dir_all(out).expect("create platforms dir");
+    for (name, p) in [
+        ("griffon", smpi_platform::griffon()),
+        ("gdx", smpi_platform::gdx()),
+    ] {
+        let xml = smpi_platform::to_xml(&p);
+        let path = out.join(format!("{name}.xml"));
+        std::fs::write(&path, xml).expect("write platform file");
+        println!("wrote {} ({} hosts)", path.display(), p.num_hosts());
+    }
+}

@@ -1,0 +1,198 @@
+//! Materializing a platform into the flow-level SURF kernel.
+//!
+//! [`Materialized`] owns the mapping from platform indices to kernel ids and
+//! memoizes translated routes: route lookup is on the per-message hot path of
+//! an SMPI simulation, and host pairs repeat constantly (collectives), so a
+//! small cache removes the repeated BFS-walk translation cost.
+//!
+//! Sharing policies map as follows:
+//!
+//! * `Shared` — one kernel link, used by both directions (they contend);
+//! * `SplitDuplex` — two kernel links (up/down), each with the link's full
+//!   capacity, selected by the hop's traversal direction;
+//! * `FatPipe` — one kernel link marked un-contended.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use surf_sim::{HostId, LinkId, Simulation};
+
+use crate::routing::RoutedPlatform;
+use crate::spec::{Dir, HostIx, SharingPolicy};
+
+/// Per-platform-link kernel image.
+#[derive(Debug, Clone, Copy)]
+enum LinkImage {
+    /// One kernel link for both directions.
+    Single(LinkId),
+    /// Forward and reverse kernel links.
+    Duplex(LinkId, LinkId),
+}
+
+/// The kernel-side image of a platform.
+#[derive(Debug)]
+pub struct Materialized {
+    hosts: Vec<HostId>,
+    links: Vec<LinkImage>,
+    route_cache: RefCell<HashMap<(HostIx, HostIx), Vec<LinkId>>>,
+}
+
+impl Materialized {
+    /// Creates every host and link of `rp` inside `sim`.
+    pub fn build(rp: &RoutedPlatform, sim: &mut Simulation) -> Self {
+        let p = rp.platform();
+        let hosts = p
+            .host_indices()
+            .map(|h| sim.add_host(p.host_speed(h)))
+            .collect();
+        let links = p
+            .links()
+            .iter()
+            .map(|l| match l.policy {
+                SharingPolicy::Shared => LinkImage::Single(sim.add_link(l.bandwidth, l.latency)),
+                SharingPolicy::SplitDuplex => {
+                    let up = sim.add_link(l.bandwidth, l.latency);
+                    let down = sim.add_link(l.bandwidth, l.latency);
+                    LinkImage::Duplex(up, down)
+                }
+                SharingPolicy::FatPipe => {
+                    let id = sim.add_link(l.bandwidth, l.latency);
+                    sim.set_link_contended(id, false);
+                    LinkImage::Single(id)
+                }
+            })
+            .collect();
+        Materialized {
+            hosts,
+            links,
+            route_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Kernel host id of platform host `h`.
+    pub fn host(&self, h: HostIx) -> HostId {
+        self.hosts[h.0 as usize]
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Kernel link ids along the route from `src` to `dst` (memoized).
+    pub fn route(&self, rp: &RoutedPlatform, src: HostIx, dst: HostIx) -> Vec<LinkId> {
+        if let Some(r) = self.route_cache.borrow().get(&(src, dst)) {
+            return r.clone();
+        }
+        let route: Vec<LinkId> = rp
+            .route(src, dst)
+            .into_iter()
+            .map(|hop| match self.links[hop.link.0 as usize] {
+                LinkImage::Single(id) => id,
+                LinkImage::Duplex(up, down) => match hop.dir {
+                    Dir::Forward => up,
+                    Dir::Reverse => down,
+                },
+            })
+            .collect();
+        self.route_cache
+            .borrow_mut()
+            .insert((src, dst), route.clone());
+        route
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{flat_cluster, ClusterConfig};
+    use crate::spec::Platform;
+    use surf_sim::TransferModel;
+
+    #[test]
+    fn materialized_cluster_simulates_a_transfer() {
+        let rp = RoutedPlatform::new(flat_cluster("c", 2, &ClusterConfig::default()));
+        let mut sim = Simulation::new();
+        let m = Materialized::build(&rp, &mut sim);
+        assert_eq!(m.num_hosts(), 2);
+        let route = m.route(&rp, HostIx(0), HostIx(1));
+        assert_eq!(route.len(), 2);
+        sim.start_transfer(&route, 125e6, &TransferModel::ideal());
+        let (t, _) = sim.advance_to_next().unwrap();
+        // Two 50 µs links then 1 s at 125 MB/s.
+        assert!((t.as_secs() - (100e-6 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_cache_returns_identical_routes() {
+        let rp = RoutedPlatform::new(flat_cluster("c", 3, &ClusterConfig::default()));
+        let mut sim = Simulation::new();
+        let m = Materialized::build(&rp, &mut sim);
+        let r1 = m.route(&rp, HostIx(0), HostIx(2));
+        let r2 = m.route(&rp, HostIx(0), HostIx(2));
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn split_duplex_directions_do_not_contend() {
+        // Two hosts joined by one split-duplex link: simultaneous transfers
+        // in opposite directions each get the full bandwidth.
+        let mut p = Platform::new();
+        let h0 = p.add_host("h0", 1e9);
+        let h1 = p.add_host("h1", 1e9);
+        let n0 = p.host_node(h0);
+        let n1 = p.host_node(h1);
+        p.link_between(n0, n1, "wire", 100.0, 0.0, SharingPolicy::SplitDuplex);
+        let rp = RoutedPlatform::new(p);
+        let mut sim = Simulation::new();
+        let m = Materialized::build(&rp, &mut sim);
+        let fwd = m.route(&rp, HostIx(0), HostIx(1));
+        let rev = m.route(&rp, HostIx(1), HostIx(0));
+        assert_ne!(fwd, rev, "directions must map to distinct kernel links");
+        sim.start_transfer(&fwd, 1000.0, &TransferModel::ideal());
+        sim.start_transfer(&rev, 1000.0, &TransferModel::ideal());
+        let (t, done) = sim.advance_to_next().unwrap();
+        assert!((t.as_secs() - 10.0).abs() < 1e-9);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn split_duplex_same_direction_contends() {
+        // Three hosts on a star; two flows *into* the same destination share
+        // its down-link.
+        let rp = RoutedPlatform::new(flat_cluster("c", 3, &ClusterConfig {
+            link_bandwidth: 100.0,
+            link_latency: 0.0,
+            ..ClusterConfig::default()
+        }));
+        let mut sim = Simulation::new();
+        let m = Materialized::build(&rp, &mut sim);
+        let r1 = m.route(&rp, HostIx(1), HostIx(0));
+        let r2 = m.route(&rp, HostIx(2), HostIx(0));
+        sim.start_transfer(&r1, 1000.0, &TransferModel::ideal());
+        sim.start_transfer(&r2, 1000.0, &TransferModel::ideal());
+        let (t, done) = sim.advance_to_next().unwrap();
+        // Both contend on host 0's incoming channel: 50 B/s each.
+        assert!((t.as_secs() - 20.0).abs() < 1e-9);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn fatpipe_links_do_not_contend() {
+        let mut p = Platform::new();
+        let h0 = p.add_host("h0", 1e9);
+        let h1 = p.add_host("h1", 1e9);
+        let n0 = p.host_node(h0);
+        let n1 = p.host_node(h1);
+        p.link_between(n0, n1, "fat", 100.0, 0.0, SharingPolicy::FatPipe);
+        let rp = RoutedPlatform::new(p);
+        let mut sim = Simulation::new();
+        let m = Materialized::build(&rp, &mut sim);
+        let route = m.route(&rp, HostIx(0), HostIx(1));
+        sim.start_transfer(&route, 1000.0, &TransferModel::ideal());
+        sim.start_transfer(&route, 1000.0, &TransferModel::ideal());
+        let (t, done) = sim.advance_to_next().unwrap();
+        assert!((t.as_secs() - 10.0).abs() < 1e-9);
+        assert_eq!(done.len(), 2);
+    }
+}

@@ -1,0 +1,403 @@
+//! Platform files: a SimGrid-flavoured XML subset (paper §6).
+//!
+//! An SMPI simulation takes its target platform from an XML description.
+//! This module implements a small, dependency-free parser and writer for the
+//! subset needed here:
+//!
+//! ```xml
+//! <?xml version="1.0"?>
+//! <platform version="4">
+//!   <host id="node-0" speed="2.5Gf"/>
+//!   <switch id="cab0"/>
+//!   <link id="l0" bandwidth="125MBps" latency="50us" sharing_policy="SHARED"/>
+//!   <edge a="node-0" b="cab0" link="l0"/>
+//!   <route src="node-0" dst="node-1">
+//!     <link_ctn id="l0"/><link_ctn id="l1"/>
+//!   </route>
+//! </platform>
+//! ```
+//!
+//! `<edge>` declares topology (shortest-path routing applies); `<route>`
+//! declares an explicit host-to-host route that overrides routing, exactly
+//! like SimGrid's `<route>` elements.
+
+use std::collections::HashMap;
+
+use crate::spec::{Platform, SharingPolicy};
+use crate::units::{
+    format_bandwidth, format_latency, format_speed, parse_bandwidth, parse_latency, parse_speed,
+};
+
+/// Error from parsing a platform file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XmlError {
+    /// Human-readable description with positional context.
+    pub message: String,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "platform XML error: {}", self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, XmlError> {
+    Err(XmlError {
+        message: message.into(),
+    })
+}
+
+/// One parsed XML tag.
+#[derive(Debug, Clone, PartialEq)]
+enum Tag {
+    Open(String, HashMap<String, String>),
+    SelfClosing(String, HashMap<String, String>),
+    Close(String),
+}
+
+/// Tokenizes the input into tags, skipping the XML declaration, comments and
+/// whitespace text. Non-whitespace text content is rejected (the platform
+/// format has none).
+fn tokenize(input: &str) -> Result<Vec<Tag>, XmlError> {
+    let mut tags = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if bytes[i] != b'<' {
+            return err(format!("unexpected text content at byte {i}"));
+        }
+        if input[i..].starts_with("<!--") {
+            match input[i..].find("-->") {
+                Some(end) => i += end + 3,
+                None => return err("unterminated comment"),
+            }
+            continue;
+        }
+        if input[i..].starts_with("<?") {
+            match input[i..].find("?>") {
+                Some(end) => i += end + 2,
+                None => return err("unterminated XML declaration"),
+            }
+            continue;
+        }
+        let close = input[i..]
+            .find('>')
+            .ok_or_else(|| XmlError {
+                message: format!("unterminated tag at byte {i}"),
+            })?;
+        let inner = &input[i + 1..i + close];
+        i += close + 1;
+        if let Some(name) = inner.strip_prefix('/') {
+            tags.push(Tag::Close(name.trim().to_string()));
+            continue;
+        }
+        let (inner, self_closing) = match inner.strip_suffix('/') {
+            Some(rest) => (rest, true),
+            None => (inner, false),
+        };
+        let mut parts = inner.trim().splitn(2, char::is_whitespace);
+        let name = parts.next().unwrap_or("").to_string();
+        if name.is_empty() {
+            return err("empty tag name");
+        }
+        let attrs = parse_attrs(parts.next().unwrap_or(""))?;
+        if self_closing {
+            tags.push(Tag::SelfClosing(name, attrs));
+        } else {
+            tags.push(Tag::Open(name, attrs));
+        }
+    }
+    Ok(tags)
+}
+
+fn parse_attrs(s: &str) -> Result<HashMap<String, String>, XmlError> {
+    let mut attrs = HashMap::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let eq = match rest.find('=') {
+            Some(p) => p,
+            None => return err(format!("malformed attribute near {rest:?}")),
+        };
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return err(format!("attribute {key:?} value must be double-quoted"));
+        }
+        let end = match rest[1..].find('"') {
+            Some(p) => p,
+            None => return err(format!("unterminated value for attribute {key:?}")),
+        };
+        let value = rest[1..1 + end].to_string();
+        rest = rest[end + 2..].trim_start();
+        if attrs.insert(key.clone(), value).is_some() {
+            return err(format!("duplicate attribute {key:?}"));
+        }
+    }
+    Ok(attrs)
+}
+
+fn require<'a>(
+    attrs: &'a HashMap<String, String>,
+    key: &str,
+    tag: &str,
+) -> Result<&'a str, XmlError> {
+    attrs
+        .get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| XmlError {
+            message: format!("<{tag}> is missing required attribute {key:?}"),
+        })
+}
+
+/// Parses a platform file.
+pub fn from_xml(input: &str) -> Result<Platform, XmlError> {
+    let tags = tokenize(input)?;
+    let mut platform = Platform::new();
+    let mut iter = tags.into_iter().peekable();
+
+    match iter.next() {
+        Some(Tag::Open(name, _)) if name == "platform" => {}
+        other => return err(format!("expected <platform>, found {other:?}")),
+    }
+
+    while let Some(tag) = iter.next() {
+        match tag {
+            Tag::SelfClosing(name, attrs) => match name.as_str() {
+                "host" => {
+                    let id = require(&attrs, "id", "host")?;
+                    let speed = parse_speed(require(&attrs, "speed", "host")?)
+                        .map_err(|e| XmlError {
+                            message: e.to_string(),
+                        })?;
+                    platform.add_host(id, speed);
+                }
+                "switch" | "router" => {
+                    platform.add_switch(require(&attrs, "id", "switch")?);
+                }
+                "link" => {
+                    let id = require(&attrs, "id", "link")?;
+                    let bw = parse_bandwidth(require(&attrs, "bandwidth", "link")?)
+                        .map_err(|e| XmlError {
+                            message: e.to_string(),
+                        })?;
+                    let lat = parse_latency(require(&attrs, "latency", "link")?)
+                        .map_err(|e| XmlError {
+                            message: e.to_string(),
+                        })?;
+                    let policy = match attrs.get("sharing_policy").map(String::as_str) {
+                        None | Some("SHARED") => SharingPolicy::Shared,
+                        Some("SPLITDUPLEX") => SharingPolicy::SplitDuplex,
+                        Some("FATPIPE") => SharingPolicy::FatPipe,
+                        Some(other) => {
+                            return err(format!("unknown sharing_policy {other:?}"))
+                        }
+                    };
+                    platform.add_link(id, bw, lat, policy);
+                }
+                "edge" => {
+                    let a = require(&attrs, "a", "edge")?;
+                    let b = require(&attrs, "b", "edge")?;
+                    let link = require(&attrs, "link", "edge")?;
+                    let a = platform
+                        .node_by_name(a)
+                        .ok_or_else(|| XmlError {
+                            message: format!("edge endpoint {a:?} is not declared"),
+                        })?;
+                    let b = platform
+                        .node_by_name(b)
+                        .ok_or_else(|| XmlError {
+                            message: format!("edge endpoint {b:?} is not declared"),
+                        })?;
+                    let link = platform.link_by_name(link).ok_or_else(|| XmlError {
+                        message: format!("edge link {link:?} is not declared"),
+                    })?;
+                    platform.connect(a, b, link);
+                }
+                other => return err(format!("unexpected element <{other}/>")),
+            },
+            Tag::Open(name, attrs) if name == "route" => {
+                let src = require(&attrs, "src", "route")?.to_string();
+                let dst = require(&attrs, "dst", "route")?.to_string();
+                let mut links = Vec::new();
+                loop {
+                    match iter.next() {
+                        Some(Tag::SelfClosing(n, a)) if n == "link_ctn" => {
+                            let id = require(&a, "id", "link_ctn")?;
+                            let l = platform.link_by_name(id).ok_or_else(|| XmlError {
+                                message: format!("route references unknown link {id:?}"),
+                            })?;
+                            links.push(crate::spec::Hop::fwd(l));
+                        }
+                        Some(Tag::Close(n)) if n == "route" => break,
+                        other => {
+                            return err(format!("unexpected content in <route>: {other:?}"))
+                        }
+                    }
+                }
+                let src = platform.host_by_name(&src).ok_or_else(|| XmlError {
+                    message: format!("route src {src:?} is not a host"),
+                })?;
+                let dst = platform.host_by_name(&dst).ok_or_else(|| XmlError {
+                    message: format!("route dst {dst:?} is not a host"),
+                })?;
+                platform.add_explicit_route(src, dst, links);
+            }
+            Tag::Close(name) if name == "platform" => {
+                if iter.peek().is_some() {
+                    return err("content after </platform>");
+                }
+                return Ok(platform);
+            }
+            other => return err(format!("unexpected tag {other:?}")),
+        }
+    }
+    err("missing </platform>")
+}
+
+/// Serializes a platform to the XML subset accepted by [`from_xml`].
+pub fn to_xml(platform: &Platform) -> String {
+    use crate::spec::NodeKind;
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\"?>\n<platform version=\"4\">\n");
+    for node in platform.nodes() {
+        match node.kind {
+            NodeKind::Host { speed } => {
+                out.push_str(&format!(
+                    "  <host id=\"{}\" speed=\"{}\"/>\n",
+                    node.name,
+                    format_speed(speed)
+                ));
+            }
+            NodeKind::Switch => {
+                out.push_str(&format!("  <switch id=\"{}\"/>\n", node.name));
+            }
+        }
+    }
+    for link in platform.links() {
+        let policy = match link.policy {
+            SharingPolicy::Shared => "SHARED",
+            SharingPolicy::SplitDuplex => "SPLITDUPLEX",
+            SharingPolicy::FatPipe => "FATPIPE",
+        };
+        out.push_str(&format!(
+            "  <link id=\"{}\" bandwidth=\"{}\" latency=\"{}\" sharing_policy=\"{}\"/>\n",
+            link.name,
+            format_bandwidth(link.bandwidth),
+            format_latency(link.latency),
+            policy
+        ));
+    }
+    for edge in platform.edges() {
+        out.push_str(&format!(
+            "  <edge a=\"{}\" b=\"{}\" link=\"{}\"/>\n",
+            platform.node(edge.a).name,
+            platform.node(edge.b).name,
+            platform.link(edge.link).name
+        ));
+    }
+    out.push_str("</platform>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutedPlatform;
+    use crate::spec::HostIx;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<!-- two hosts behind one switch -->
+<platform version="4">
+  <host id="h0" speed="1Gf"/>
+  <host id="h1" speed="1Gf"/>
+  <switch id="sw"/>
+  <link id="l0" bandwidth="125MBps" latency="50us"/>
+  <link id="l1" bandwidth="125MBps" latency="50us"/>
+  <edge a="h0" b="sw" link="l0"/>
+  <edge a="h1" b="sw" link="l1"/>
+</platform>
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let p = from_xml(SAMPLE).unwrap();
+        assert_eq!(p.num_hosts(), 2);
+        assert_eq!(p.num_links(), 2);
+        assert_eq!(p.link(p.link_by_name("l0").unwrap()).bandwidth, 125e6);
+        let rp = RoutedPlatform::new(p);
+        assert_eq!(rp.route(HostIx(0), HostIx(1)).len(), 2);
+    }
+
+    #[test]
+    fn explicit_routes_parse() {
+        let xml = r#"<platform version="4">
+  <host id="h0" speed="1Gf"/>
+  <host id="h1" speed="1Gf"/>
+  <link id="direct" bandwidth="1GBps" latency="1us"/>
+  <route src="h0" dst="h1"><link_ctn id="direct"/></route>
+</platform>"#;
+        let p = from_xml(xml).unwrap();
+        let rp = RoutedPlatform::new(p);
+        let r = rp.route(HostIx(0), HostIx(1));
+        assert_eq!(r.len(), 1);
+        // And the reverse route was registered automatically.
+        assert_eq!(rp.route(HostIx(1), HostIx(0)).len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let p = crate::cluster::griffon();
+        let xml = to_xml(&p);
+        let q = from_xml(&xml).unwrap();
+        assert_eq!(p.num_hosts(), q.num_hosts());
+        assert_eq!(p.num_links(), q.num_links());
+        assert_eq!(p.edges().len(), q.edges().len());
+        // Routing must be identical on both.
+        let rp = RoutedPlatform::new(p);
+        let rq = RoutedPlatform::new(q);
+        for (a, b) in [(0u32, 1u32), (0, 91), (40, 70)] {
+            assert_eq!(
+                rp.route(HostIx(a), HostIx(b)).len(),
+                rq.route(HostIx(a), HostIx(b)).len()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_xml("<platform>").is_err());
+        assert!(from_xml("<platform></platform><host/>").is_err());
+        assert!(from_xml(r#"<platform><host id="h"/></platform>"#).is_err()); // no speed
+        assert!(from_xml(r#"<platform><bogus/></platform>"#).is_err());
+        assert!(from_xml("junk").is_err());
+        assert!(from_xml("<platform><!-- unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_sharing_policy() {
+        let xml = r#"<platform>
+  <link id="l" bandwidth="1MBps" latency="1us" sharing_policy="WEIRD"/>
+</platform>"#;
+        assert!(from_xml(xml).is_err());
+    }
+
+    #[test]
+    fn fatpipe_policy_roundtrips() {
+        let xml = r#"<platform>
+  <link id="l" bandwidth="1MBps" latency="1us" sharing_policy="FATPIPE"/>
+</platform>"#;
+        let p = from_xml(xml).unwrap();
+        assert_eq!(p.link(p.link_by_name("l").unwrap()).policy, SharingPolicy::FatPipe);
+        let again = from_xml(&to_xml(&p)).unwrap();
+        assert_eq!(
+            again.link(again.link_by_name("l").unwrap()).policy,
+            SharingPolicy::FatPipe
+        );
+    }
+}

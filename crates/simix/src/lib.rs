@@ -1,0 +1,453 @@
+//! # simix — the sequential actor layer of SMPI-rs
+//!
+//! In SMPI, "an SMPI simulation runs in a single process, with each MPI
+//! process running in its own thread. However, these threads run
+//! sequentially, under the control of the SimGrid simulation kernel" (§5.1).
+//! This crate is that mechanism: actors are OS threads, but a baton
+//! (per-actor mutex + condvar) guarantees **exactly one** thread — an actor
+//! or the maestro — executes at any instant. This sidesteps every parallel
+//! discrete-event-simulation correctness issue by construction, and makes
+//! simulations bit-for-bit deterministic (runnable actors always resume in
+//! actor-id order).
+//!
+//! The crate is generic over the *simcall* protocol: an actor blocks by
+//! calling [`ActorHandle::simcall`] with a request value; the maestro
+//! receives it from [`Simix::run_ready`], decides when it is satisfied, and
+//! answers with [`Simix::resolve`], which makes the actor runnable again.
+//! The MPI semantics (what requests mean, when they complete) live entirely
+//! in the `smpi` crate.
+//!
+//! ```
+//! // A tiny ping protocol: every simcall is answered with its value + 1.
+//! let mut sx = simix::Simix::<u32, u32>::new();
+//! sx.spawn(|h| {
+//!     let a = h.simcall(41);
+//!     assert_eq!(a, 42);
+//! });
+//! loop {
+//!     let events = sx.run_ready();
+//!     if events.is_empty() { break; }
+//!     for ev in events {
+//!         if let simix::ActorEvent::Request(actor, n) = ev {
+//!             sx.resolve(actor, n + 1);
+//!         }
+//!     }
+//! }
+//! ```
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Identifier of an actor (dense, in spawn order). For SMPI this is the MPI
+/// rank within `MPI_COMM_WORLD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub u32);
+
+/// Whose turn it is to run on an actor's baton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Maestro,
+    Actor,
+}
+
+/// What an actor did when it last ran.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ActorEvent<Req> {
+    /// The actor issued a simcall and is now blocked on it.
+    Request(ActorId, Req),
+    /// The actor's body returned; the thread has exited.
+    Finished(ActorId),
+}
+
+/// Marker used to unwind actor threads when the runtime is dropped while
+/// they are still blocked. Caught by the actor wrapper, never observable by
+/// user code.
+struct ActorKilled;
+
+struct Slot<Req, Resp> {
+    turn: Turn,
+    request: Option<Req>,
+    response: Option<Resp>,
+    finished: bool,
+    killed: bool,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Shared<Req, Resp> {
+    slot: Mutex<Slot<Req, Resp>>,
+    cond: Condvar,
+}
+
+/// The actor-side handle: the only way user code interacts with the
+/// simulation while running inside an actor.
+pub struct ActorHandle<Req, Resp> {
+    id: ActorId,
+    shared: Arc<Shared<Req, Resp>>,
+}
+
+impl<Req, Resp> ActorHandle<Req, Resp> {
+    /// This actor's id (MPI rank).
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// Issues a simcall: publishes `req` to the maestro, yields the baton,
+    /// and blocks until the maestro resolves it with a response.
+    pub fn simcall(&self, req: Req) -> Resp {
+        let mut slot = self.shared.slot.lock();
+        debug_assert!(slot.turn == Turn::Actor, "simcall outside actor turn");
+        slot.request = Some(req);
+        slot.turn = Turn::Maestro;
+        self.shared.cond.notify_all();
+        while slot.turn == Turn::Maestro {
+            self.shared.cond.wait(&mut slot);
+        }
+        if slot.killed {
+            // Unwind the actor thread; caught by the spawn wrapper.
+            drop(slot);
+            std::panic::panic_any(ActorKilled);
+        }
+        slot.response.take().expect("maestro resolved with a response")
+    }
+}
+
+struct ActorState<Req, Resp> {
+    shared: Arc<Shared<Req, Resp>>,
+    join: Option<JoinHandle<()>>,
+    alive: bool,
+}
+
+/// The maestro: spawns actors, runs runnable ones (strictly one at a time),
+/// and collects their simcall requests.
+pub struct Simix<Req, Resp> {
+    actors: Vec<ActorState<Req, Resp>>,
+    runnable: BTreeSet<ActorId>,
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> Simix<Req, Resp> {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        Simix {
+            actors: Vec::new(),
+            runnable: BTreeSet::new(),
+        }
+    }
+
+    /// Number of actors ever spawned.
+    pub fn num_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Spawns an actor. It becomes runnable and will execute during the next
+    /// [`run_ready`](Self::run_ready) call. Spawn order defines actor ids.
+    pub fn spawn<F>(&mut self, body: F) -> ActorId
+    where
+        F: FnOnce(&ActorHandle<Req, Resp>) + Send + 'static,
+    {
+        let id = ActorId(self.actors.len() as u32);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                turn: Turn::Maestro,
+                request: None,
+                response: None,
+                finished: false,
+                killed: false,
+                panic: None,
+            }),
+            cond: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name(format!("actor-{}", id.0))
+            .spawn(move || {
+                let handle = ActorHandle {
+                    id,
+                    shared: Arc::clone(&thread_shared),
+                };
+                // Wait for the first baton pass.
+                {
+                    let mut slot = thread_shared.slot.lock();
+                    while slot.turn == Turn::Maestro {
+                        thread_shared.cond.wait(&mut slot);
+                    }
+                    if slot.killed {
+                        slot.finished = true;
+                        slot.turn = Turn::Maestro;
+                        thread_shared.cond.notify_all();
+                        return;
+                    }
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| body(&handle)));
+                let mut slot = thread_shared.slot.lock();
+                if let Err(payload) = result {
+                    if !payload.is::<ActorKilled>() {
+                        slot.panic = Some(payload);
+                    }
+                }
+                slot.finished = true;
+                slot.turn = Turn::Maestro;
+                thread_shared.cond.notify_all();
+            })
+            .expect("failed to spawn actor thread");
+        self.actors.push(ActorState {
+            shared,
+            join: Some(join),
+            alive: true,
+        });
+        self.runnable.insert(id);
+        id
+    }
+
+    /// Runs every runnable actor (in actor-id order) until each one blocks
+    /// on a simcall or finishes, and returns what happened. An empty result
+    /// with no outstanding requests means the simulation is over (or
+    /// deadlocked, which the caller can distinguish by its own bookkeeping).
+    pub fn run_ready(&mut self) -> Vec<ActorEvent<Req>> {
+        let batch: Vec<ActorId> = self.runnable.iter().copied().collect();
+        self.runnable.clear();
+        let mut events = Vec::with_capacity(batch.len());
+        for id in batch {
+            events.push(self.step(id));
+        }
+        events
+    }
+
+    /// Gives the baton to one actor and waits until it yields it back.
+    fn step(&mut self, id: ActorId) -> ActorEvent<Req> {
+        let state = &mut self.actors[id.0 as usize];
+        assert!(state.alive, "stepping a finished actor {id:?}");
+        let shared = Arc::clone(&state.shared);
+        let mut slot = shared.slot.lock();
+        debug_assert!(slot.turn == Turn::Maestro);
+        slot.turn = Turn::Actor;
+        shared.cond.notify_all();
+        while slot.turn == Turn::Actor {
+            shared.cond.wait(&mut slot);
+        }
+        if let Some(payload) = slot.panic.take() {
+            drop(slot);
+            // Propagate the actor's panic into the maestro (test failures
+            // and bugs must not be swallowed).
+            self.reap(id);
+            resume_unwind(payload);
+        }
+        if slot.finished {
+            drop(slot);
+            self.reap(id);
+            ActorEvent::Finished(id)
+        } else {
+            let req = slot.request.take().expect("actor yielded without request");
+            ActorEvent::Request(id, req)
+        }
+    }
+
+    fn reap(&mut self, id: ActorId) {
+        let state = &mut self.actors[id.0 as usize];
+        state.alive = false;
+        if let Some(join) = state.join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// Answers an actor's pending simcall, making it runnable again. The
+    /// actor resumes during the next [`run_ready`](Self::run_ready).
+    pub fn resolve(&mut self, id: ActorId, resp: Resp) {
+        let state = &self.actors[id.0 as usize];
+        assert!(state.alive, "resolving a finished actor {id:?}");
+        let mut slot = state.shared.slot.lock();
+        debug_assert!(
+            slot.turn == Turn::Maestro && !slot.finished,
+            "actor must be blocked on a simcall"
+        );
+        slot.response = Some(resp);
+        drop(slot);
+        let inserted = self.runnable.insert(id);
+        assert!(inserted, "actor {id:?} resolved twice");
+    }
+
+    /// `true` while the actor has not finished.
+    pub fn is_alive(&self, id: ActorId) -> bool {
+        self.actors[id.0 as usize].alive
+    }
+
+    /// `true` when at least one actor is runnable (will execute on the next
+    /// [`run_ready`](Self::run_ready)).
+    pub fn has_runnable(&self) -> bool {
+        !self.runnable.is_empty()
+    }
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> Default for Simix<Req, Resp> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Req, Resp> Drop for Simix<Req, Resp> {
+    fn drop(&mut self) {
+        // Unblock and join every still-alive actor thread.
+        for state in &mut self.actors {
+            if !state.alive {
+                continue;
+            }
+            {
+                let mut slot = state.shared.slot.lock();
+                slot.killed = true;
+                slot.turn = Turn::Actor;
+                state.shared.cond.notify_all();
+                while !slot.finished {
+                    state.shared.cond.wait(&mut slot);
+                }
+            }
+            if let Some(join) = state.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_runs_to_completion_without_simcalls() {
+        let mut sx = Simix::<(), ()>::new();
+        let id = sx.spawn(|_| {});
+        let events = sx.run_ready();
+        assert_eq!(events, vec![ActorEvent::Finished(id)]);
+        assert!(!sx.is_alive(id));
+        assert!(sx.run_ready().is_empty());
+    }
+
+    #[test]
+    fn simcall_roundtrip() {
+        let mut sx = Simix::<u32, u32>::new();
+        let id = sx.spawn(|h| {
+            assert_eq!(h.simcall(1), 2);
+            assert_eq!(h.simcall(10), 20);
+        });
+        let ev = sx.run_ready();
+        assert_eq!(ev, vec![ActorEvent::Request(id, 1)]);
+        sx.resolve(id, 2);
+        let ev = sx.run_ready();
+        assert_eq!(ev, vec![ActorEvent::Request(id, 10)]);
+        sx.resolve(id, 20);
+        assert_eq!(sx.run_ready(), vec![ActorEvent::Finished(id)]);
+    }
+
+    #[test]
+    fn actors_resume_in_id_order() {
+        let mut sx = Simix::<u32, ()>::new();
+        for i in 0..8u32 {
+            sx.spawn(move |h| {
+                h.simcall(i);
+            });
+        }
+        let ev = sx.run_ready();
+        let order: Vec<u32> = ev
+            .iter()
+            .map(|e| match e {
+                ActorEvent::Request(_, v) => *v,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
+        // Resolve out of order; they still run back in id order.
+        for i in (0..8).rev() {
+            sx.resolve(ActorId(i), ());
+        }
+        let ev = sx.run_ready();
+        let finish_order: Vec<u32> = ev
+            .iter()
+            .map(|e| match e {
+                ActorEvent::Finished(ActorId(i)) => *i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(finish_order, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn only_resolved_actors_become_runnable() {
+        let mut sx = Simix::<(), ()>::new();
+        let a = sx.spawn(|h| {
+            h.simcall(());
+        });
+        let b = sx.spawn(|h| {
+            h.simcall(());
+        });
+        let _ = sx.run_ready();
+        sx.resolve(b, ());
+        let ev = sx.run_ready();
+        assert_eq!(ev, vec![ActorEvent::Finished(b)]);
+        assert!(sx.is_alive(a));
+        sx.resolve(a, ());
+        assert_eq!(sx.run_ready(), vec![ActorEvent::Finished(a)]);
+    }
+
+    #[test]
+    fn actor_panic_propagates_to_maestro() {
+        let mut sx = Simix::<(), ()>::new();
+        sx.spawn(|_| panic!("boom"));
+        let result = catch_unwind(AssertUnwindSafe(|| sx.run_ready()));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom");
+    }
+
+    #[test]
+    fn drop_kills_blocked_actors_without_hanging() {
+        let mut sx = Simix::<(), ()>::new();
+        for _ in 0..4 {
+            sx.spawn(|h| {
+                h.simcall(());
+                unreachable!("never resolved");
+            });
+        }
+        let _ = sx.run_ready();
+        drop(sx); // must return promptly, joining all threads
+    }
+
+    #[test]
+    fn drop_kills_never_started_actors() {
+        let mut sx = Simix::<(), ()>::new();
+        sx.spawn(|_| {});
+        drop(sx);
+    }
+
+    #[test]
+    fn sequential_execution_means_no_data_races() {
+        // 64 actors read-modify-write a shared counter across simcalls; the
+        // strict one-at-a-time alternation makes each increment atomic.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut sx = Simix::<(), ()>::new();
+        for _ in 0..64 {
+            let c = Arc::clone(&counter);
+            sx.spawn(move |h| {
+                for _ in 0..10 {
+                    let v = c.load(Ordering::Relaxed);
+                    c.store(v + 1, Ordering::Relaxed);
+                    h.simcall(());
+                }
+            });
+        }
+        loop {
+            let evs = sx.run_ready();
+            if evs.is_empty() {
+                break;
+            }
+            for ev in evs {
+                if let ActorEvent::Request(id, ()) = ev {
+                    sx.resolve(id, ());
+                }
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 640);
+    }
+}

@@ -1,0 +1,664 @@
+//! The SURF simulation engine: resources, actions, and the sequential clock.
+//!
+//! This is the "simulation kernel" of Fig. 1 in the paper. It owns
+//!
+//! * **links** (bandwidth + latency) and **hosts** (compute speed),
+//! * **actions**: ongoing network transfers, CPU executions, and sleeps,
+//! * the simulated **clock**.
+//!
+//! The kernel is strictly sequential (§5.1): callers start actions, then
+//! repeatedly call [`Simulation::advance_to_next`] to jump the clock to the
+//! next completion. Network rates are recomputed with the max-min solver
+//! ([`crate::lmm`]) whenever the set of active flows changes; CPU actions on
+//! the same host share its compute power the same way.
+//!
+//! Transfers are two-phase, matching the flow model validated in the SimGrid
+//! papers: a pure-latency phase (the flow does not consume bandwidth) then a
+//! transfer phase at rate `min(segment bound, max-min share)`.
+
+use crate::ids::{ActionId, HostId, LinkId};
+use crate::lmm::MaxMinProblem;
+use crate::model::TransferModel;
+use crate::time::SimTime;
+
+/// Relative tolerance when deciding that an action's remaining work is done.
+const COMPLETION_EPS: f64 = 1e-9;
+
+/// A network link: one direction of a cable, or a switch backplane.
+#[derive(Debug, Clone)]
+struct Link {
+    /// Nominal bandwidth in bytes/s (the max-min capacity).
+    bandwidth: f64,
+    /// Nominal one-way latency contribution in seconds.
+    latency: f64,
+    /// When `false`, flows crossing this link are not subject to its
+    /// capacity constraint (the "no contention" scenario of Figs. 7 and 11).
+    contended: bool,
+}
+
+/// A compute host with a speed in flop/s.
+#[derive(Debug, Clone)]
+struct Host {
+    speed: f64,
+}
+
+#[derive(Debug, Clone)]
+enum ActionKind {
+    /// Network transfer across `route`.
+    Transfer {
+        route: Vec<LinkId>,
+        /// Remaining seconds of the latency phase.
+        latency_left: f64,
+        /// Remaining bytes once in the transfer phase.
+        bytes_left: f64,
+        /// Individual rate bound from the transfer model segment.
+        bound: f64,
+    },
+    /// CPU execution on a host.
+    Exec { host: HostId, flops_left: f64 },
+    /// Pure delay (used by `sample_*` replay and `MPI_Wtime`-style waits).
+    Sleep { ends_at: SimTime },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ActionState {
+    Running,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Action {
+    kind: ActionKind,
+    state: ActionState,
+    /// Current allocated rate (bytes/s or flop/s); 0 during latency phase.
+    rate: f64,
+}
+
+/// Engine configuration knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Globally disable link capacity constraints. Equivalent to marking
+    /// every link un-contended; used to mimic the contention-blind
+    /// simulators the paper compares against.
+    pub contention: bool,
+    /// Optional TCP-window rate cap: a flow's rate is additionally bounded by
+    /// `tcp_window / (2 * route_latency)` (CM02-style). `None` disables it.
+    pub tcp_window: Option<f64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            contention: true,
+            tcp_window: None,
+        }
+    }
+}
+
+/// The sequential simulation kernel.
+#[derive(Debug)]
+pub struct Simulation {
+    now: SimTime,
+    links: Vec<Link>,
+    hosts: Vec<Host>,
+    actions: Vec<Action>,
+    /// Actions whose rates must be recomputed before the next advance.
+    dirty: bool,
+    config: EngineConfig,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// Creates an empty simulation with the given configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            links: Vec::new(),
+            hosts: Vec::new(),
+            actions: Vec::new(),
+            dirty: false,
+            config,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Adds a link with `bandwidth` bytes/s and `latency` seconds.
+    pub fn add_link(&mut self, bandwidth: f64, latency: f64) -> LinkId {
+        assert!(bandwidth > 0.0 && bandwidth.is_finite());
+        assert!(latency >= 0.0 && latency.is_finite());
+        self.links.push(Link {
+            bandwidth,
+            latency,
+            contended: true,
+        });
+        LinkId::from_index(self.links.len() - 1)
+    }
+
+    /// Marks a link as contention-free (infinite multiplexing capacity).
+    pub fn set_link_contended(&mut self, link: LinkId, contended: bool) {
+        self.links[link.index()].contended = contended;
+    }
+
+    /// Nominal bandwidth of a link in bytes/s.
+    pub fn link_bandwidth(&self, link: LinkId) -> f64 {
+        self.links[link.index()].bandwidth
+    }
+
+    /// Nominal latency of a link in seconds.
+    pub fn link_latency(&self, link: LinkId) -> f64 {
+        self.links[link.index()].latency
+    }
+
+    /// Adds a host computing at `speed` flop/s.
+    pub fn add_host(&mut self, speed: f64) -> HostId {
+        assert!(speed > 0.0 && speed.is_finite());
+        self.hosts.push(Host { speed });
+        HostId::from_index(self.hosts.len() - 1)
+    }
+
+    /// Compute speed of a host in flop/s.
+    pub fn host_speed(&self, host: HostId) -> f64 {
+        self.hosts[host.index()].speed
+    }
+
+    /// Sum of nominal latencies along a route.
+    pub fn route_latency(&self, route: &[LinkId]) -> f64 {
+        route.iter().map(|l| self.links[l.index()].latency).sum()
+    }
+
+    /// Minimum nominal bandwidth along a route.
+    pub fn route_bandwidth(&self, route: &[LinkId]) -> f64 {
+        route
+            .iter()
+            .map(|l| self.links[l.index()].bandwidth)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Starts a network transfer of `bytes` along `route`, using `model` to
+    /// derive the latency and the individual rate bound from the message
+    /// size. Returns immediately; completion is reported by
+    /// [`advance_to_next`](Self::advance_to_next).
+    pub fn start_transfer(
+        &mut self,
+        route: &[LinkId],
+        bytes: f64,
+        model: &TransferModel,
+    ) -> ActionId {
+        assert!(bytes >= 0.0 && bytes.is_finite());
+        assert!(!route.is_empty(), "transfer route cannot be empty");
+        let seg = model.segment_for(bytes);
+        let raw_latency = self.route_latency(route);
+        let raw_bandwidth = self.route_bandwidth(route);
+        let latency = seg.lat_factor * raw_latency;
+        let mut bound = seg.bw_factor * raw_bandwidth;
+        if let Some(window) = self.config.tcp_window {
+            if latency > 0.0 {
+                bound = bound.min(window / (2.0 * latency));
+            }
+        }
+        self.push_action(ActionKind::Transfer {
+            route: route.to_vec(),
+            latency_left: latency,
+            bytes_left: bytes,
+            bound,
+        })
+    }
+
+    /// Starts a CPU execution of `flops` on `host`. Concurrent executions on
+    /// the same host share its speed max-min fairly.
+    pub fn start_exec(&mut self, host: HostId, flops: f64) -> ActionId {
+        assert!(flops >= 0.0 && flops.is_finite());
+        self.push_action(ActionKind::Exec {
+            host,
+            flops_left: flops,
+        })
+    }
+
+    /// Starts a pure delay of `duration` simulated seconds.
+    pub fn start_sleep(&mut self, duration: f64) -> ActionId {
+        assert!(duration >= 0.0 && duration.is_finite());
+        self.push_action(ActionKind::Sleep {
+            ends_at: self.now + duration,
+        })
+    }
+
+    fn push_action(&mut self, kind: ActionKind) -> ActionId {
+        self.actions.push(Action {
+            kind,
+            state: ActionState::Running,
+            rate: 0.0,
+        });
+        self.dirty = true;
+        ActionId::from_index(self.actions.len() - 1)
+    }
+
+    /// `true` once the action has completed.
+    pub fn is_done(&self, action: ActionId) -> bool {
+        self.actions[action.index()].state == ActionState::Done
+    }
+
+    /// Number of actions still running.
+    pub fn running_actions(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|a| a.state == ActionState::Running)
+            .count()
+    }
+
+    /// Recomputes all action rates with the max-min solver.
+    fn reshare(&mut self) {
+        let mut problem = MaxMinProblem::new();
+        // One constraint per contended link that carries at least one flow in
+        // transfer phase, one per host with at least one exec.
+        let mut link_cnst = vec![None; self.links.len()];
+        let mut host_cnst = vec![None; self.hosts.len()];
+        // Actions that received a variable, in variable insertion order.
+        let mut sharing: Vec<usize> = Vec::new();
+
+        for (ix, action) in self.actions.iter().enumerate() {
+            if action.state != ActionState::Running {
+                continue;
+            }
+            match &action.kind {
+                ActionKind::Transfer {
+                    route,
+                    latency_left,
+                    bound,
+                    ..
+                } => {
+                    if *latency_left > 0.0 {
+                        continue; // not consuming bandwidth yet
+                    }
+                    let mut cnsts = Vec::with_capacity(route.len());
+                    if self.config.contention {
+                        for l in route {
+                            let li = l.index();
+                            if !self.links[li].contended {
+                                continue;
+                            }
+                            let c = *link_cnst[li].get_or_insert_with(|| {
+                                problem.add_constraint(self.links[li].bandwidth)
+                            });
+                            cnsts.push(c);
+                        }
+                    }
+                    problem.add_variable(*bound, &cnsts);
+                    sharing.push(ix);
+                }
+                ActionKind::Exec { host, .. } => {
+                    let hi = host.index();
+                    let c = *host_cnst[hi]
+                        .get_or_insert_with(|| problem.add_constraint(self.hosts[hi].speed));
+                    problem.add_variable(f64::INFINITY, &[c]);
+                    sharing.push(ix);
+                }
+                ActionKind::Sleep { .. } => {}
+            }
+        }
+
+        let rates = problem.solve();
+        for (k, ix) in sharing.into_iter().enumerate() {
+            self.actions[ix].rate = rates[k];
+        }
+        self.dirty = false;
+    }
+
+    /// The simulated time of the next action completion, or `None` if no
+    /// action is running.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        if self.dirty {
+            self.reshare();
+        }
+        let mut best: Option<SimTime> = None;
+        for action in &self.actions {
+            if action.state != ActionState::Running {
+                continue;
+            }
+            let t = match &action.kind {
+                ActionKind::Transfer {
+                    latency_left,
+                    bytes_left,
+                    ..
+                } => {
+                    if *latency_left > 0.0 {
+                        // After latency the transfer phase begins; if there
+                        // are no bytes the action completes right then.
+                        self.now + *latency_left
+                    } else if action.rate > 0.0 {
+                        self.now + *bytes_left / action.rate
+                    } else if *bytes_left <= 0.0 {
+                        self.now
+                    } else {
+                        SimTime::INFINITY
+                    }
+                }
+                ActionKind::Exec { flops_left, .. } => {
+                    if action.rate > 0.0 {
+                        self.now + *flops_left / action.rate
+                    } else if *flops_left <= 0.0 {
+                        self.now
+                    } else {
+                        SimTime::INFINITY
+                    }
+                }
+                ActionKind::Sleep { ends_at } => *ends_at,
+            };
+            best = Some(match best {
+                Some(b) => b.min(t),
+                None => t,
+            });
+        }
+        best
+    }
+
+    /// Advances the clock to the next completion instant and returns the
+    /// actions that completed there (possibly several). Returns `None` when
+    /// no action is running (the simulation is quiescent).
+    ///
+    /// Latency-phase expirations are handled internally: if the next event is
+    /// a transfer entering its transfer phase, rates are recomputed and the
+    /// search continues, so callers only ever observe *completions*.
+    pub fn advance_to_next(&mut self) -> Option<(SimTime, Vec<ActionId>)> {
+        loop {
+            let target = self.next_event_time()?;
+            if target.is_infinite() {
+                // Running actions exist but none can finish: deadlock in the
+                // caller's workload (e.g. zero-rate flow). Surface loudly.
+                panic!("simulation stalled: running actions with no progress");
+            }
+            let dt = target.duration_since(self.now);
+            self.advance_work(dt);
+            self.now = target;
+            let completed = self.collect_completions();
+            if !completed.is_empty() {
+                return Some((self.now, completed));
+            }
+            // Otherwise a latency phase ended: loop after resharing.
+            self.dirty = true;
+        }
+    }
+
+    /// Applies `dt` seconds of progress to all running actions.
+    fn advance_work(&mut self, dt: f64) {
+        for action in self.actions.iter_mut() {
+            if action.state != ActionState::Running {
+                continue;
+            }
+            match &mut action.kind {
+                ActionKind::Transfer {
+                    latency_left,
+                    bytes_left,
+                    ..
+                } => {
+                    if *latency_left > 0.0 {
+                        *latency_left -= dt;
+                        if *latency_left <= COMPLETION_EPS * dt.max(1.0) {
+                            *latency_left = 0.0;
+                        }
+                    } else {
+                        *bytes_left -= action.rate * dt;
+                    }
+                }
+                ActionKind::Exec { flops_left, .. } => {
+                    *flops_left -= action.rate * dt;
+                }
+                ActionKind::Sleep { .. } => {}
+            }
+        }
+    }
+
+    /// Marks and returns every action that has finished at the current time.
+    fn collect_completions(&mut self) -> Vec<ActionId> {
+        let mut done = Vec::new();
+        for (ix, action) in self.actions.iter_mut().enumerate() {
+            if action.state != ActionState::Running {
+                continue;
+            }
+            // Tolerance: one nanosecond of work at the action's current rate
+            // absorbs the floating-point residue of `left -= rate * dt`.
+            let tol = action.rate * COMPLETION_EPS + 1e-12;
+            let finished = match &action.kind {
+                ActionKind::Transfer {
+                    latency_left,
+                    bytes_left,
+                    ..
+                } => *latency_left <= 0.0 && *bytes_left <= tol,
+                ActionKind::Exec { flops_left, .. } => *flops_left <= tol,
+                ActionKind::Sleep { ends_at } => *ends_at <= self.now,
+            };
+            if finished {
+                action.state = ActionState::Done;
+                done.push(ActionId::from_index(ix));
+            }
+        }
+        if !done.is_empty() {
+            self.dirty = true;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TransferModel;
+
+    fn approx(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+            "expected ~{b}, got {a}"
+        );
+    }
+
+    #[test]
+    fn single_transfer_latency_plus_size_over_bw() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link(100.0, 0.5);
+        let a = sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        let (t, done) = sim.advance_to_next().unwrap();
+        assert_eq!(done, vec![a]);
+        approx(t.as_secs(), 0.5 + 10.0);
+        assert!(sim.is_done(a));
+        assert!(sim.advance_to_next().is_none());
+    }
+
+    #[test]
+    fn zero_byte_transfer_takes_latency_only() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link(100.0, 0.25);
+        sim.start_transfer(&[l], 0.0, &TransferModel::ideal());
+        let (t, done) = sim.advance_to_next().unwrap();
+        assert_eq!(done.len(), 1);
+        approx(t.as_secs(), 0.25);
+    }
+
+    #[test]
+    fn two_concurrent_transfers_share_the_link() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link(100.0, 0.0);
+        let a = sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        let b = sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        let (t, done) = sim.advance_to_next().unwrap();
+        // Both share 50 B/s, both finish at t=20 simultaneously.
+        approx(t.as_secs(), 20.0);
+        assert!(done.contains(&a) && done.contains(&b));
+    }
+
+    #[test]
+    fn short_flow_finishes_then_long_flow_speeds_up() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link(100.0, 0.0);
+        let short = sim.start_transfer(&[l], 500.0, &TransferModel::ideal());
+        let long = sim.start_transfer(&[l], 1500.0, &TransferModel::ideal());
+        let (t1, d1) = sim.advance_to_next().unwrap();
+        assert_eq!(d1, vec![short]);
+        approx(t1.as_secs(), 10.0); // 500 B at 50 B/s
+        let (t2, d2) = sim.advance_to_next().unwrap();
+        assert_eq!(d2, vec![long]);
+        // Long had 1000 B left, now alone at 100 B/s: +10 s.
+        approx(t2.as_secs(), 20.0);
+    }
+
+    #[test]
+    fn no_contention_config_ignores_sharing() {
+        let mut sim = Simulation::with_config(EngineConfig {
+            contention: false,
+            tcp_window: None,
+        });
+        let l = sim.add_link(100.0, 0.0);
+        sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        let (t, done) = sim.advance_to_next().unwrap();
+        // Both get the full bandwidth, finishing together at t=10.
+        approx(t.as_secs(), 10.0);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn per_link_contention_flag() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link(100.0, 0.0);
+        sim.set_link_contended(l, false);
+        sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        let (t, _) = sim.advance_to_next().unwrap();
+        approx(t.as_secs(), 10.0);
+    }
+
+    #[test]
+    fn piecewise_model_selects_segment_by_size() {
+        let model = TransferModel::new(vec![
+            crate::model::Segment {
+                upper: 100.0,
+                lat_factor: 0.0,
+                bw_factor: 2.0,
+            },
+            crate::model::Segment {
+                upper: f64::INFINITY,
+                lat_factor: 0.0,
+                bw_factor: 1.0,
+            },
+        ]);
+        let mut sim = Simulation::new();
+        let l = sim.add_link(100.0, 0.0);
+        // 50 bytes in the fast segment: bound 200 B/s but link caps at 100.
+        sim.start_transfer(&[l], 50.0, &model);
+        let (t, _) = sim.advance_to_next().unwrap();
+        approx(t.as_secs(), 0.5);
+    }
+
+    #[test]
+    fn bound_caps_rate_below_link_capacity() {
+        let model = TransferModel::affine(1.0, 0.5);
+        let mut sim = Simulation::new();
+        let l = sim.add_link(100.0, 0.0);
+        sim.start_transfer(&[l], 100.0, &model);
+        let (t, _) = sim.advance_to_next().unwrap();
+        approx(t.as_secs(), 2.0); // rate bound = 50 B/s
+    }
+
+    #[test]
+    fn exec_on_host_takes_flops_over_speed() {
+        let mut sim = Simulation::new();
+        let h = sim.add_host(1e9);
+        let a = sim.start_exec(h, 2e9);
+        let (t, done) = sim.advance_to_next().unwrap();
+        assert_eq!(done, vec![a]);
+        approx(t.as_secs(), 2.0);
+    }
+
+    #[test]
+    fn concurrent_execs_share_host_speed() {
+        let mut sim = Simulation::new();
+        let h = sim.add_host(100.0);
+        sim.start_exec(h, 100.0);
+        sim.start_exec(h, 100.0);
+        let (t, done) = sim.advance_to_next().unwrap();
+        approx(t.as_secs(), 2.0);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn sleep_completes_at_deadline() {
+        let mut sim = Simulation::new();
+        let a = sim.start_sleep(1.5);
+        let b = sim.start_sleep(0.5);
+        let (t1, d1) = sim.advance_to_next().unwrap();
+        approx(t1.as_secs(), 0.5);
+        assert_eq!(d1, vec![b]);
+        let (t2, d2) = sim.advance_to_next().unwrap();
+        approx(t2.as_secs(), 1.5);
+        assert_eq!(d2, vec![a]);
+    }
+
+    #[test]
+    fn multi_hop_route_sums_latencies_and_takes_min_bandwidth() {
+        let mut sim = Simulation::new();
+        let l1 = sim.add_link(100.0, 0.1);
+        let l2 = sim.add_link(50.0, 0.2);
+        let l3 = sim.add_link(200.0, 0.3);
+        sim.start_transfer(&[l1, l2, l3], 100.0, &TransferModel::ideal());
+        let (t, _) = sim.advance_to_next().unwrap();
+        approx(t.as_secs(), 0.6 + 2.0);
+    }
+
+    #[test]
+    fn tcp_window_caps_rate_on_high_latency_routes() {
+        let mut sim = Simulation::with_config(EngineConfig {
+            contention: true,
+            tcp_window: Some(10.0),
+        });
+        let l = sim.add_link(1000.0, 0.5);
+        // cap = 10 / (2*0.5) = 10 B/s, well below the 1000 B/s link.
+        sim.start_transfer(&[l], 100.0, &TransferModel::ideal());
+        let (t, _) = sim.advance_to_next().unwrap();
+        approx(t.as_secs(), 0.5 + 10.0);
+    }
+
+    #[test]
+    fn transfers_in_latency_phase_do_not_consume_bandwidth() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link(100.0, 0.0);
+        let lat = sim.add_link(100.0, 10.0);
+        // One flow on l, another crossing both but stuck in a 10 s latency.
+        let fast = sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        let slow = sim.start_transfer(&[lat, l], 1.0, &TransferModel::ideal());
+        let (t1, d1) = sim.advance_to_next().unwrap();
+        // `fast` gets the full 100 B/s while `slow` sits in latency.
+        assert_eq!(d1, vec![fast]);
+        approx(t1.as_secs(), 10.0);
+        let (t2, d2) = sim.advance_to_next().unwrap();
+        assert_eq!(d2, vec![slow]);
+        approx(t2.as_secs(), 10.0 + 0.01);
+    }
+
+    #[test]
+    fn running_actions_counter() {
+        let mut sim = Simulation::new();
+        let h = sim.add_host(1.0);
+        sim.start_exec(h, 1.0);
+        sim.start_exec(h, 2.0);
+        assert_eq!(sim.running_actions(), 2);
+        sim.advance_to_next().unwrap();
+        assert_eq!(sim.running_actions(), 1);
+    }
+}

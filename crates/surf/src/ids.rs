@@ -1,0 +1,61 @@
+//! Strongly-typed index handles for simulation resources.
+//!
+//! All simulation objects live in flat `Vec` arenas and are referred to by
+//! index. Newtypes prevent a link index from being used where a host index is
+//! expected — a class of bug that plain `usize` indices make very easy.
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Builds an id from a raw arena index.
+            pub fn from_index(ix: usize) -> Self {
+                $name(u32::try_from(ix).expect("resource arena overflow"))
+            }
+
+            /// The raw arena index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A network link (cable or switch backplane share).
+    LinkId
+);
+define_id!(
+    /// A compute host (cluster node).
+    HostId
+);
+define_id!(
+    /// A simulation action: an ongoing network transfer or CPU execution.
+    ActionId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let l = LinkId::from_index(7);
+        assert_eq!(l.index(), 7);
+        assert_eq!(l.to_string(), "LinkId#7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(HostId::from_index(1) < HostId::from_index(2));
+    }
+}

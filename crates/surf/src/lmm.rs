@@ -1,0 +1,345 @@
+//! Weighted max-min fairness solver ("LMM" in SimGrid terminology).
+//!
+//! This is the analytical contention model at the heart of the paper (§4.2):
+//! instead of simulating individual packets, the bandwidth allocated to each
+//! active *flow* is computed from the network topology and the set of all
+//! currently active flows. The solver answers one question: given
+//!
+//! * a set of **constraints** (links) with finite capacities, and
+//! * a set of **variables** (flows) each crossing some constraints, with an
+//!   optional individual rate bound (e.g. the piece-wise model's per-segment
+//!   bandwidth β, or a TCP-window cap),
+//!
+//! what is the weighted max-min fair rate allocation?
+//!
+//! The implementation is classic *progressive filling*: a global water level
+//! λ rises from zero; every unfrozen variable `v` receives rate `w_v · λ`; a
+//! variable freezes when either its own bound is reached or one of its
+//! constraints saturates. The algorithm terminates after at most `V`
+//! freezes and yields the unique max-min fair allocation.
+
+/// Handle to a constraint (a link, or a host's compute capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CnstId(usize);
+
+/// Handle to a variable (a flow, or a CPU burst execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+/// A weighted max-min fairness problem instance.
+///
+/// Build with [`add_constraint`](Self::add_constraint) /
+/// [`add_variable`](Self::add_variable), then call [`solve`](Self::solve).
+/// The problem is rebuilt from scratch on every network re-share; see the
+/// `ablation_lmm` bench for the cost of this choice versus incremental
+/// updates.
+#[derive(Debug, Default, Clone)]
+pub struct MaxMinProblem {
+    capacities: Vec<f64>,
+    bounds: Vec<f64>,
+    weights: Vec<f64>,
+    /// For each variable, the constraints it crosses (deduplicated).
+    memberships: Vec<Vec<usize>>,
+    /// For each constraint, the variables crossing it.
+    users: Vec<Vec<usize>>,
+}
+
+impl MaxMinProblem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constraint with the given capacity (e.g. link bandwidth in
+    /// bytes/s). Capacity must be finite and non-negative.
+    pub fn add_constraint(&mut self, capacity: f64) -> CnstId {
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "invalid constraint capacity {capacity}"
+        );
+        self.capacities.push(capacity);
+        self.users.push(Vec::new());
+        CnstId(self.capacities.len() - 1)
+    }
+
+    /// Adds a variable with weight 1 crossing `constraints`, with an optional
+    /// rate bound (`f64::INFINITY` for unbounded).
+    pub fn add_variable(&mut self, bound: f64, constraints: &[CnstId]) -> VarId {
+        self.add_weighted_variable(bound, 1.0, constraints)
+    }
+
+    /// Adds a variable with an explicit weight. Higher weight receives a
+    /// proportionally larger share (used to model e.g. flows that aggregate
+    /// several streams).
+    pub fn add_weighted_variable(
+        &mut self,
+        bound: f64,
+        weight: f64,
+        constraints: &[CnstId],
+    ) -> VarId {
+        assert!(!bound.is_nan() && bound >= 0.0, "invalid bound {bound}");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "invalid weight {weight}"
+        );
+        let vid = self.bounds.len();
+        self.bounds.push(bound);
+        self.weights.push(weight);
+        let mut member: Vec<usize> = constraints.iter().map(|c| c.0).collect();
+        member.sort_unstable();
+        member.dedup();
+        for &c in &member {
+            assert!(c < self.capacities.len(), "unknown constraint");
+            self.users[c].push(vid);
+        }
+        self.memberships.push(member);
+        VarId(vid)
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Solves the problem, returning the rate of each variable, indexed by
+    /// [`VarId`] insertion order.
+    ///
+    /// A variable with no constraints and an infinite bound would receive an
+    /// infinite rate; this is rejected in debug builds because it always
+    /// indicates a modelling error upstream.
+    pub fn solve(&self) -> Vec<f64> {
+        let nv = self.bounds.len();
+        let nc = self.capacities.len();
+        let mut rate = vec![0.0_f64; nv];
+        let mut frozen = vec![false; nv];
+
+        // Per-constraint bookkeeping under the rising water level λ:
+        // usage(l) = frozen_usage[l] + λ * wsum_unfrozen[l].
+        let mut frozen_usage = vec![0.0_f64; nc];
+        let mut wsum_unfrozen = vec![0.0_f64; nc];
+        for v in 0..nv {
+            debug_assert!(
+                !self.memberships[v].is_empty() || self.bounds[v].is_finite(),
+                "variable {v} is unconstrained and unbounded"
+            );
+            for &c in &self.memberships[v] {
+                wsum_unfrozen[c] += self.weights[v];
+            }
+        }
+
+        let mut level = 0.0_f64;
+        let mut remaining = nv;
+        while remaining > 0 {
+            // Find the smallest level at which something freezes.
+            let mut best = f64::INFINITY;
+            let mut best_cnst: Option<usize> = None;
+            let mut best_var: Option<usize> = None;
+            for c in 0..nc {
+                if wsum_unfrozen[c] > 0.0 {
+                    let lam = (self.capacities[c] - frozen_usage[c]).max(0.0)
+                        / wsum_unfrozen[c];
+                    if lam < best {
+                        best = lam;
+                        best_cnst = Some(c);
+                        best_var = None;
+                    }
+                }
+            }
+            for (v, &b) in self.bounds.iter().enumerate() {
+                if !frozen[v] && b.is_finite() {
+                    let lam = b / self.weights[v];
+                    if lam < best {
+                        best = lam;
+                        best_cnst = None;
+                        best_var = Some(v);
+                    }
+                }
+            }
+
+            if best.is_infinite() {
+                // Only unbounded variables on capacity-free constraints remain
+                // (cannot happen with finite capacities, but guard anyway).
+                for v in 0..nv {
+                    if !frozen[v] {
+                        rate[v] = self.bounds[v];
+                        frozen[v] = true;
+                    }
+                }
+                break;
+            }
+
+            level = level.max(best);
+            if let Some(v) = best_var {
+                self.freeze_var(
+                    v,
+                    self.bounds[v],
+                    &mut rate,
+                    &mut frozen,
+                    &mut frozen_usage,
+                    &mut wsum_unfrozen,
+                    &mut remaining,
+                );
+            } else if let Some(c) = best_cnst {
+                // Freeze every unfrozen variable crossing the saturated
+                // constraint at the current level.
+                let users: Vec<usize> = self.users[c]
+                    .iter()
+                    .copied()
+                    .filter(|&v| !frozen[v])
+                    .collect();
+                for v in users {
+                    let r = (self.weights[v] * level).min(self.bounds[v]);
+                    self.freeze_var(
+                        v,
+                        r,
+                        &mut rate,
+                        &mut frozen,
+                        &mut frozen_usage,
+                        &mut wsum_unfrozen,
+                        &mut remaining,
+                    );
+                }
+            }
+        }
+        rate
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn freeze_var(
+        &self,
+        v: usize,
+        r: f64,
+        rate: &mut [f64],
+        frozen: &mut [bool],
+        frozen_usage: &mut [f64],
+        wsum_unfrozen: &mut [f64],
+        remaining: &mut usize,
+    ) {
+        debug_assert!(!frozen[v]);
+        rate[v] = r;
+        frozen[v] = true;
+        *remaining -= 1;
+        for &c in &self.memberships[v] {
+            frozen_usage[c] += r;
+            wsum_unfrozen[c] -= self.weights[v];
+            if wsum_unfrozen[c] < 1e-12 {
+                wsum_unfrozen[c] = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut p = MaxMinProblem::new();
+        let l = p.add_constraint(100.0);
+        let v = p.add_variable(f64::INFINITY, &[l]);
+        let rates = p.solve();
+        assert!((rates[v.0] - 100.0).abs() < EPS);
+    }
+
+    #[test]
+    fn two_flows_share_equally() {
+        let mut p = MaxMinProblem::new();
+        let l = p.add_constraint(100.0);
+        p.add_variable(f64::INFINITY, &[l]);
+        p.add_variable(f64::INFINITY, &[l]);
+        let rates = p.solve();
+        assert!((rates[0] - 50.0).abs() < EPS);
+        assert!((rates[1] - 50.0).abs() < EPS);
+    }
+
+    #[test]
+    fn bounded_flow_releases_capacity() {
+        // One flow capped at 10; the other should get the remaining 90.
+        let mut p = MaxMinProblem::new();
+        let l = p.add_constraint(100.0);
+        p.add_variable(10.0, &[l]);
+        p.add_variable(f64::INFINITY, &[l]);
+        let rates = p.solve();
+        assert!((rates[0] - 10.0).abs() < EPS);
+        assert!((rates[1] - 90.0).abs() < EPS);
+    }
+
+    #[test]
+    fn weighted_shares_are_proportional() {
+        let mut p = MaxMinProblem::new();
+        let l = p.add_constraint(90.0);
+        p.add_weighted_variable(f64::INFINITY, 1.0, &[l]);
+        p.add_weighted_variable(f64::INFINITY, 2.0, &[l]);
+        let rates = p.solve();
+        assert!((rates[0] - 30.0).abs() < EPS);
+        assert!((rates[1] - 60.0).abs() < EPS);
+    }
+
+    #[test]
+    fn multi_hop_bottleneck() {
+        // Flow A crosses l1(100) and l2(50); flow B crosses only l1.
+        // A is capped at 50 by l2, then B picks up the remaining 50 on l1.
+        let mut p = MaxMinProblem::new();
+        let l1 = p.add_constraint(100.0);
+        let l2 = p.add_constraint(50.0);
+        p.add_variable(f64::INFINITY, &[l1, l2]);
+        p.add_variable(f64::INFINITY, &[l1]);
+        let rates = p.solve();
+        assert!((rates[0] - 50.0).abs() < EPS);
+        assert!((rates[1] - 50.0).abs() < EPS);
+    }
+
+    #[test]
+    fn classic_linear_network() {
+        // The textbook 3-link chain: one long flow crosses all links, one
+        // short flow per link. Max-min: everyone gets capacity/2.
+        let mut p = MaxMinProblem::new();
+        let links: Vec<_> = (0..3).map(|_| p.add_constraint(1.0)).collect();
+        let long = p.add_variable(f64::INFINITY, &links);
+        let shorts: Vec<_> = links
+            .iter()
+            .map(|&l| p.add_variable(f64::INFINITY, &[l]))
+            .collect();
+        let rates = p.solve();
+        assert!((rates[long.0] - 0.5).abs() < EPS);
+        for s in shorts {
+            assert!((rates[s.0] - 0.5).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_freezes_flows_at_zero() {
+        let mut p = MaxMinProblem::new();
+        let l = p.add_constraint(0.0);
+        p.add_variable(f64::INFINITY, &[l]);
+        let rates = p.solve();
+        assert_eq!(rates[0], 0.0);
+    }
+
+    #[test]
+    fn duplicate_route_links_are_deduplicated() {
+        // A route that lists the same link twice (e.g. loopback through a
+        // switch) must not double-count the flow on that link.
+        let mut p = MaxMinProblem::new();
+        let l = p.add_constraint(100.0);
+        p.add_variable(f64::INFINITY, &[l, l]);
+        let rates = p.solve();
+        assert!((rates[0] - 100.0).abs() < EPS);
+    }
+
+    #[test]
+    fn unconstrained_bounded_variable_gets_its_bound() {
+        let mut p = MaxMinProblem::new();
+        let v = p.add_variable(42.0, &[]);
+        let rates = p.solve();
+        assert!((rates[v.0] - 42.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,193 @@
+//! Point-to-point transfer models (paper §4.1).
+//!
+//! All on-line MPI simulators before SMPI used the affine model
+//! `T(s) = α + s/β`. Real TCP clusters behave piece-wise linearly instead:
+//! sub-MTU messages fit a single IP frame (higher effective rate), and MPI
+//! implementations switch from eager to rendezvous mode around 64 KiB. SMPI
+//! therefore models `T(s)` with a small number of linear segments, each with
+//! its own latency and bandwidth, selected by message size.
+//!
+//! A [`TransferModel`] stores segments as *factors* relative to the
+//! platform's nominal route latency (sum over hops) and nominal route
+//! bandwidth (min over hops). This is what makes a calibration performed on
+//! one cluster (griffon) transferable to another (gdx, Figs. 4–5): the
+//! factors capture protocol behaviour, the platform captures the hardware.
+
+/// One linear segment of a piece-wise linear transfer model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Exclusive upper bound on message size (bytes) for this segment;
+    /// `f64::INFINITY` for the last segment.
+    pub upper: f64,
+    /// Multiplier applied to the route's nominal latency.
+    pub lat_factor: f64,
+    /// Multiplier applied to the route's nominal bandwidth to obtain the
+    /// flow's individual rate bound.
+    pub bw_factor: f64,
+}
+
+/// A piece-wise linear point-to-point transfer model.
+///
+/// The affine models of previous simulators are the 1-segment special case;
+/// the paper instantiates 3 segments (8 parameters: 2 boundaries + 3 × (α,β)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferModel {
+    segments: Vec<Segment>,
+}
+
+impl TransferModel {
+    /// Builds a model from segments. Segments must be sorted by `upper`,
+    /// strictly increasing, and the last must be unbounded.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        assert!(!segments.is_empty(), "a transfer model needs >= 1 segment");
+        for w in segments.windows(2) {
+            assert!(
+                w[0].upper < w[1].upper,
+                "segment boundaries must be strictly increasing"
+            );
+        }
+        let last = segments.last().unwrap();
+        assert!(
+            last.upper.is_infinite(),
+            "last segment must cover all sizes"
+        );
+        for s in &segments {
+            assert!(s.lat_factor >= 0.0 && s.lat_factor.is_finite());
+            assert!(s.bw_factor > 0.0 && s.bw_factor.is_finite());
+        }
+        TransferModel { segments }
+    }
+
+    /// The affine model `T(s) = lat_factor·L + s/(bw_factor·B)`: the baseline
+    /// used by prior simulators and by Figs. 3–5 for comparison.
+    pub fn affine(lat_factor: f64, bw_factor: f64) -> Self {
+        TransferModel::new(vec![Segment {
+            upper: f64::INFINITY,
+            lat_factor,
+            bw_factor,
+        }])
+    }
+
+    /// The "Default Affine" instantiation of the paper: latency taken from a
+    /// 1-byte message (factor 1.0) and bandwidth at 92% of nominal (typical
+    /// achievable TCP payload rate on Gigabit Ethernet).
+    pub fn default_affine() -> Self {
+        TransferModel::affine(1.0, 0.92)
+    }
+
+    /// An ideal model used by the "no contention / no protocol" comparisons:
+    /// nominal latency, nominal bandwidth.
+    pub fn ideal() -> Self {
+        TransferModel::affine(1.0, 1.0)
+    }
+
+    /// The segment that applies to a message of `size` bytes.
+    pub fn segment_for(&self, size: f64) -> Segment {
+        debug_assert!(size >= 0.0);
+        for s in &self.segments {
+            if size < s.upper {
+                return *s;
+            }
+        }
+        *self.segments.last().unwrap()
+    }
+
+    /// All segments, sorted by upper bound.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Predicted transfer time for `size` bytes on a route with the given
+    /// nominal latency (seconds) and bandwidth (bytes/s), *without*
+    /// contention. This is the closed form used when validating against
+    /// ping-pong measurements (Figs. 3–5).
+    pub fn predict(&self, size: f64, route_latency: f64, route_bandwidth: f64) -> f64 {
+        let seg = self.segment_for(size);
+        seg.lat_factor * route_latency + size / (seg.bw_factor * route_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_segments() -> TransferModel {
+        TransferModel::new(vec![
+            Segment {
+                upper: 1024.0,
+                lat_factor: 0.5,
+                bw_factor: 2.0,
+            },
+            Segment {
+                upper: 65536.0,
+                lat_factor: 1.0,
+                bw_factor: 1.0,
+            },
+            Segment {
+                upper: f64::INFINITY,
+                lat_factor: 2.0,
+                bw_factor: 0.9,
+            },
+        ])
+    }
+
+    #[test]
+    fn segment_selection_uses_exclusive_upper_bounds() {
+        let m = three_segments();
+        assert_eq!(m.segment_for(0.0).lat_factor, 0.5);
+        assert_eq!(m.segment_for(1023.0).lat_factor, 0.5);
+        assert_eq!(m.segment_for(1024.0).lat_factor, 1.0);
+        assert_eq!(m.segment_for(65535.9).lat_factor, 1.0);
+        assert_eq!(m.segment_for(65536.0).lat_factor, 2.0);
+        assert_eq!(m.segment_for(1e12).lat_factor, 2.0);
+    }
+
+    #[test]
+    fn predict_is_affine_within_a_segment() {
+        let m = three_segments();
+        let (lat, bw) = (1e-4, 125e6);
+        let t1 = m.predict(2048.0, lat, bw);
+        let t2 = m.predict(4096.0, lat, bw);
+        // Slope within segment 2 must be 1/bw exactly.
+        assert!((t2 - t1 - 2048.0 / bw).abs() < 1e-15);
+    }
+
+    #[test]
+    fn default_affine_has_single_segment() {
+        let m = TransferModel::default_affine();
+        assert_eq!(m.segments().len(), 1);
+        assert_eq!(m.segment_for(1e9).bw_factor, 0.92);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bounded_last_segment() {
+        TransferModel::new(vec![Segment {
+            upper: 100.0,
+            lat_factor: 1.0,
+            bw_factor: 1.0,
+        }]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unsorted_segments() {
+        TransferModel::new(vec![
+            Segment {
+                upper: 100.0,
+                lat_factor: 1.0,
+                bw_factor: 1.0,
+            },
+            Segment {
+                upper: 50.0,
+                lat_factor: 1.0,
+                bw_factor: 1.0,
+            },
+            Segment {
+                upper: f64::INFINITY,
+                lat_factor: 1.0,
+                bw_factor: 1.0,
+            },
+        ]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the max-min fairness solver.
+//!
+//! Invariants checked on random problem instances:
+//! 1. Feasibility: no constraint capacity is exceeded.
+//! 2. Bounds: no variable exceeds its individual bound.
+//! 3. Maximality: every variable is limited by *something* — its bound or a
+//!    saturated constraint (otherwise the allocation would not be max-min).
+//! 4. Non-negativity of all rates.
+
+use proptest::prelude::*;
+use surf_sim::MaxMinProblem;
+
+const EPS: f64 = 1e-6;
+
+#[derive(Debug, Clone)]
+struct RandomProblem {
+    capacities: Vec<f64>,
+    vars: Vec<(Option<f64>, Vec<usize>)>, // (bound, constraint indices)
+}
+
+fn random_problem() -> impl Strategy<Value = RandomProblem> {
+    (1usize..8)
+        .prop_flat_map(|nc| {
+            let caps = proptest::collection::vec(0.1f64..1000.0, nc);
+            let vars = proptest::collection::vec(
+                (
+                    proptest::option::of(0.01f64..500.0),
+                    proptest::collection::vec(0..nc, 1..=nc.min(4)),
+                ),
+                1..12,
+            );
+            (caps, vars)
+        })
+        .prop_map(|(capacities, vars)| RandomProblem { capacities, vars })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn maxmin_invariants(rp in random_problem()) {
+        let mut p = MaxMinProblem::new();
+        let cnsts: Vec<_> = rp.capacities.iter().map(|&c| p.add_constraint(c)).collect();
+        for (bound, members) in &rp.vars {
+            let cs: Vec<_> = members.iter().map(|&i| cnsts[i]).collect();
+            p.add_variable(bound.unwrap_or(f64::INFINITY), &cs);
+        }
+        let rates = p.solve();
+
+        // (4) non-negative and finite
+        for &r in &rates {
+            prop_assert!(r.is_finite() && r >= 0.0, "rate {r}");
+        }
+
+        // (1) feasibility
+        let mut usage = vec![0.0; rp.capacities.len()];
+        for (v, (_, members)) in rp.vars.iter().enumerate() {
+            let mut seen: Vec<usize> = members.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for c in seen {
+                usage[c] += rates[v];
+            }
+        }
+        for (c, (&u, &cap)) in usage.iter().zip(&rp.capacities).enumerate() {
+            prop_assert!(
+                u <= cap * (1.0 + EPS) + EPS,
+                "constraint {c} overloaded: usage {u} > cap {cap}"
+            );
+        }
+
+        // (2) bounds respected
+        for (v, (bound, _)) in rp.vars.iter().enumerate() {
+            if let Some(b) = bound {
+                prop_assert!(rates[v] <= b * (1.0 + EPS) + EPS);
+            }
+        }
+
+        // (3) maximality: each variable limited by its bound or by a
+        // saturated constraint it crosses.
+        for (v, (bound, members)) in rp.vars.iter().enumerate() {
+            let bound_tight = bound.is_some_and(|b| rates[v] >= b * (1.0 - EPS) - EPS);
+            let cnst_tight = members.iter().any(|&c| {
+                usage[c] >= rp.capacities[c] * (1.0 - EPS) - EPS
+            });
+            prop_assert!(
+                bound_tight || cnst_tight,
+                "variable {v} (rate {}) is limited by nothing",
+                rates[v]
+            );
+        }
+    }
+
+    #[test]
+    fn equal_flows_on_one_link_get_equal_shares(
+        cap in 1.0f64..1e9,
+        n in 1usize..32,
+    ) {
+        let mut p = MaxMinProblem::new();
+        let l = p.add_constraint(cap);
+        for _ in 0..n {
+            p.add_variable(f64::INFINITY, &[l]);
+        }
+        let rates = p.solve();
+        for &r in &rates {
+            prop_assert!((r - cap / n as f64).abs() <= EPS * cap);
+        }
+    }
+
+    #[test]
+    fn solve_is_deterministic(rp in random_problem()) {
+        let build = || {
+            let mut p = MaxMinProblem::new();
+            let cnsts: Vec<_> = rp.capacities.iter().map(|&c| p.add_constraint(c)).collect();
+            for (bound, members) in &rp.vars {
+                let cs: Vec<_> = members.iter().map(|&i| cnsts[i]).collect();
+                p.add_variable(bound.unwrap_or(f64::INFINITY), &cs);
+            }
+            p.solve()
+        };
+        prop_assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,141 @@
+//! Manual collective kernels: the drivers behind Figs. 7–12 and 17.
+//!
+//! The paper times *manual* implementations of the binomial-tree scatter and
+//! the pairwise all-to-all ("we do not call directly MPI_Scatter, but use a
+//! manual implementation of this algorithm") so that OpenMPI and MPICH2 are
+//! guaranteed to run the same algorithm being simulated. Here the manual
+//! implementations are the library's own algorithms, invoked through thin
+//! drivers that add the barrier + per-rank timing protocol of the figures.
+
+use smpi::coll::tree;
+use smpi::ctx::Ctx;
+
+/// Runs one binomial-tree scatter of `chunk` f64 elements per rank from
+/// rank 0 and returns this rank's completion time, measured from the
+/// post-barrier start (the per-process quantity of Fig. 7).
+pub fn timed_scatter(ctx: &Ctx, chunk: usize) -> f64 {
+    let comm = ctx.world();
+    let p = ctx.size();
+    let root = 0;
+    let data: Option<Vec<f64>> = (ctx.rank() == root).then(|| {
+        let n = p * chunk;
+        (0..n).map(|i| i as f64).collect()
+    });
+    ctx.barrier(&comm);
+    let t0 = ctx.wtime();
+    let mine = ctx.scatter(data.as_deref(), chunk, root, &comm);
+    std::hint::black_box(&mine);
+    ctx.wtime() - t0
+}
+
+/// Runs one pairwise all-to-all with `chunk` f64 elements per peer and
+/// returns this rank's completion time (Fig. 11).
+pub fn timed_alltoall(ctx: &Ctx, chunk: usize) -> f64 {
+    let comm = ctx.world();
+    let p = ctx.size();
+    let r = ctx.rank();
+    let send: Vec<f64> = (0..p * chunk).map(|i| (r * p + i) as f64).collect();
+    ctx.barrier(&comm);
+    let t0 = ctx.wtime();
+    let out = ctx.alltoall(&send, &comm);
+    std::hint::black_box(&out);
+    ctx.wtime() - t0
+}
+
+/// The folded (data-less) binomial scatter: identical message pattern and
+/// sizes to [`timed_scatter`], but no application bytes move — the
+/// `SMPI_SHARED_MALLOC` + bypassed-computation configuration of §3.2 that
+/// the paper's large-scale runs rely on. This is the configuration whose
+/// wall-clock time Fig. 17 contrasts with real execution.
+pub fn timed_scatter_folded(ctx: &Ctx, chunk_bytes: u64) -> f64 {
+    const TAG: i32 = 40;
+    let comm = ctx.world();
+    let p = ctx.size();
+    let r = ctx.rank();
+    ctx.barrier(&comm);
+    let t0 = ctx.wtime();
+    // Relative rank space with root 0 (the figure's configuration).
+    if r != 0 {
+        let span = tree::subtree_span(r, p) as u64;
+        ctx.recv_sized(tree::parent(r) as i32, TAG, span * chunk_bytes, &comm);
+    }
+    for c in tree::children(r, p) {
+        let span = tree::subtree_span(c, p) as u64;
+        ctx.send_sized(span * chunk_bytes, c, TAG, &comm);
+    }
+    ctx.wtime() - t0
+}
+
+#[cfg(test)]
+mod tests {
+    use smpi::{MpiProfile, World};
+    use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
+    use std::sync::Arc;
+    use surf_sim::TransferModel;
+
+    fn worlds(n: usize) -> [World; 2] {
+        let rp = Arc::new(RoutedPlatform::new(flat_cluster(
+            "t",
+            n,
+            &ClusterConfig::default(),
+        )));
+        [
+            World::smpi(Arc::clone(&rp), TransferModel::ideal()),
+            World::testbed(rp, MpiProfile::openmpi_like()),
+        ]
+    }
+
+    #[test]
+    fn timed_scatter_returns_sane_times() {
+        for world in worlds(8) {
+            let report = world.run(8, |ctx| super::timed_scatter(ctx, 1024));
+            // Root's eager sends may complete instantly (fire-and-forget),
+            // so only non-root ranks are required to observe elapsed time.
+            for &t in &report.results[1..] {
+                assert!(t > 0.0);
+            }
+            assert!(report.results[0] >= 0.0);
+            let max = report.results.iter().copied().fold(0.0, f64::max);
+            assert!(max < 1.0, "scatter of 8 KiB chunks should be fast: {max}");
+        }
+    }
+
+    #[test]
+    fn folded_scatter_times_match_the_data_carrying_scatter() {
+        // Same message pattern, same sizes => identical simulated times.
+        for world in worlds(8) {
+            let with_data = world.run(8, |ctx| super::timed_scatter(ctx, 64 * 1024));
+            let folded = world.run(8, |ctx| super::timed_scatter_folded(ctx, 512 * 1024));
+            for (a, b) in with_data.results.iter().zip(&folded.results) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "folded scatter must time identically: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rendezvous_scatter_blocks_the_root_too() {
+        // With 4 MiB chunks (the paper's Fig. 7 size), sends are synchronous
+        // and even the root accumulates real time.
+        for world in worlds(4) {
+            let report = world.run(4, |ctx| super::timed_scatter(ctx, 512 * 1024));
+            for &t in &report.results {
+                assert!(t > 1e-3, "rendezvous scatter time too small: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_alltoall_ranks_roughly_agree() {
+        for world in worlds(4) {
+            let report = world.run(4, |ctx| super::timed_alltoall(ctx, 4096));
+            let min = report.results.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = report.results.iter().copied().fold(0.0, f64::max);
+            assert!(min > 0.0);
+            // Pairwise all-to-all is symmetric: spread stays small.
+            assert!(max / min < 2.0, "per-rank spread too wide: {min}..{max}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The full paper pipeline in one example (§6 + Fig. 3):
+//!
+//! 1. run a SKaMPI-style ping-pong on the emulated "real" cluster
+//!    (packet-level griffon with an OpenMPI personality);
+//! 2. fit the piece-wise linear model by segmented regression;
+//! 3. simulate the same ping-pong with SMPI's flow model;
+//! 4. report the logarithmic error, and export the platform as XML.
+//!
+//! ```text
+//! cargo run --release --example calibrate_and_simulate
+//! ```
+
+use std::sync::Arc;
+
+use smpi_suite::calibrate::{fit_piecewise, pingpong, RouteRef};
+use smpi_suite::metrics::ErrorSummary;
+use smpi_suite::platform::{griffon, to_xml, HostIx, RoutedPlatform};
+use smpi_suite::smpi::{MpiProfile, World};
+
+fn main() {
+    let rp = Arc::new(RoutedPlatform::new(griffon()));
+
+    // 1. "Measure" the real cluster.
+    let testbed = World::testbed(Arc::clone(&rp), MpiProfile::openmpi_like());
+    let sizes: Vec<u64> = (0..24).map(|k| 1u64 << k).collect();
+    let samples = pingpong(&testbed, 0, 1, &sizes, 1);
+
+    // 2. Fit the 3-segment model of §4.1.
+    let route = RouteRef {
+        latency: rp.latency(HostIx(0), HostIx(1)),
+        bandwidth: rp.bandwidth(HostIx(0), HostIx(1)),
+    };
+    let model = fit_piecewise(&samples, 3, route);
+    println!("fitted segments:");
+    for seg in model.segments() {
+        println!(
+            "  size < {:>12}: latency x{:.2}, bandwidth x{:.3}",
+            if seg.upper.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{:.0} B", seg.upper)
+            },
+            seg.lat_factor,
+            seg.bw_factor
+        );
+    }
+
+    // 3. Re-run the ping-pong under SMPI with the fitted model.
+    let smpi = World::smpi(Arc::clone(&rp), model);
+    let simulated = pingpong(&smpi, 0, 1, &sizes, 1);
+
+    // 4. Accuracy summary (the paper's Fig. 3 bottom line).
+    let truth: Vec<f64> = samples.iter().map(|s| s.time).collect();
+    let sim: Vec<f64> = simulated.iter().map(|s| s.time).collect();
+    println!("\nSMPI vs testbed ping-pong: {}", ErrorSummary::compare(&sim, &truth));
+
+    // Export the platform file (truncated preview).
+    let xml = to_xml(rp.platform());
+    let preview: String = xml.lines().take(8).collect::<Vec<_>>().join("\n");
+    println!("\nplatform XML ({} bytes):\n{preview}\n...", xml.len());
+}

@@ -1,0 +1,48 @@
+//! "What if?" capacity planning — the paper's first motivation:
+//! "determine a cost-effective hardware configuration appropriate for the
+//! expected application workload" before buying anything.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+//!
+//! The expected workload here is a 16-process pairwise all-to-all of 1 MiB
+//! blocks (a transpose-heavy solver). Three candidate interconnects are
+//! simulated; none needs to exist.
+
+use std::sync::Arc;
+
+use smpi_suite::platform::{flat_cluster, ClusterConfig, RoutedPlatform};
+use smpi_suite::smpi::World;
+use smpi_suite::surf::TransferModel;
+use smpi_suite::workloads::timed_alltoall;
+
+fn main() {
+    let candidates = [
+        ("1 GbE, 50us", 125e6, 50e-6),
+        ("10 GbE, 30us", 1.25e9, 30e-6),
+        ("25 GbE, 5us", 3.125e9, 5e-6),
+    ];
+    let chunk = 128 * 1024; // 1 MiB per peer
+
+    println!("{:<16} {:>14} {:>12}", "interconnect", "alltoall(s)", "speedup");
+    let mut baseline = None;
+    for (name, bw, lat) in candidates {
+        let platform = Arc::new(RoutedPlatform::new(flat_cluster(
+            "candidate",
+            16,
+            &ClusterConfig {
+                link_bandwidth: bw,
+                link_latency: lat,
+                ..ClusterConfig::default()
+            },
+        )));
+        // 92% of nominal is the standard TCP payload derate.
+        let world = World::smpi(platform, TransferModel::default_affine());
+        let report = world.run(16, move |ctx| timed_alltoall(ctx, chunk));
+        let t = report.results.iter().copied().fold(0.0, f64::max);
+        let base = *baseline.get_or_insert(t);
+        println!("{:<16} {:>14.4} {:>11.2}x", name, t, base / t);
+    }
+    println!("\n(simulated on one machine; no cluster was purchased in the making of this table)");
+}

@@ -1,0 +1,33 @@
+//! The shipped platform files parse and match the programmatic builders.
+
+use smpi_suite::platform::{from_xml, gdx, griffon, RoutedPlatform};
+use smpi_suite::platform::HostIx;
+
+fn check(file: &str, reference: smpi_suite::platform::Platform) {
+    let path = format!("{}/platforms/{file}", env!("CARGO_MANIFEST_DIR"));
+    let xml = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing {path}: {e} (run export_platforms)"));
+    let parsed = from_xml(&xml).expect("platform file parses");
+    assert_eq!(parsed.num_hosts(), reference.num_hosts());
+    assert_eq!(parsed.num_links(), reference.num_links());
+    let rp = RoutedPlatform::new(parsed);
+    let rr = RoutedPlatform::new(reference);
+    for (a, b) in [(0u32, 1u32), (0, rr.platform().num_hosts() as u32 - 1)] {
+        assert_eq!(
+            rp.route(HostIx(a), HostIx(b)).len(),
+            rr.route(HostIx(a), HostIx(b)).len()
+        );
+        let (la, lb) = (rp.latency(HostIx(a), HostIx(b)), rr.latency(HostIx(a), HostIx(b)));
+        assert!((la - lb).abs() < 1e-12, "latency {la} vs {lb}"); // unit formatting rounding
+    }
+}
+
+#[test]
+fn griffon_file_matches_builder() {
+    check("griffon.xml", griffon());
+}
+
+#[test]
+fn gdx_file_matches_builder() {
+    check("gdx.xml", gdx());
+}

@@ -1,0 +1,140 @@
+//! End-to-end workload integration: DT and EP on both backends.
+
+use std::sync::Arc;
+
+use smpi_suite::platform::{flat_cluster, ClusterConfig, RoutedPlatform};
+use smpi_suite::smpi::{MpiProfile, World};
+use smpi_suite::surf::TransferModel;
+use smpi_suite::workloads::{build_graph, dt_rank, ep_rank, DtClass, DtGraph, EpConfig};
+
+fn platform(n: usize) -> Arc<RoutedPlatform> {
+    Arc::new(RoutedPlatform::new(flat_cluster(
+        "w",
+        n,
+        &ClusterConfig::default(),
+    )))
+}
+
+fn dt_checksum(world: &World, class: DtClass, shape: DtGraph) -> (f64, f64) {
+    let graph = Arc::new(build_graph(class, shape));
+    let g = Arc::clone(&graph);
+    let report = world.run(graph.num_nodes(), move |ctx| dt_rank(ctx, &g, class));
+    (report.results.iter().sum(), report.sim_time)
+}
+
+#[test]
+fn dt_class_s_checksums_agree_across_backends() {
+    // Without folding, the data path is exact: both backends must compute
+    // the identical checksum (time differs, data must not).
+    for shape in [DtGraph::Bh, DtGraph::Wh, DtGraph::Sh] {
+        let graph = build_graph(DtClass::S, shape);
+        let n = graph.num_nodes();
+        let smpi = World::smpi(platform(n), TransferModel::ideal()).ram_folding(false);
+        let packet = World::testbed(platform(n), MpiProfile::openmpi_like()).ram_folding(false);
+        let (c1, t1) = dt_checksum(&smpi, DtClass::S, shape);
+        let (c2, t2) = dt_checksum(&packet, DtClass::S, shape);
+        assert!(c1.is_finite() && c1 != 0.0);
+        assert_eq!(c1, c2, "{shape:?}: data must be backend-independent");
+        assert!(t1 > 0.0 && t2 > 0.0);
+    }
+}
+
+#[test]
+fn dt_bh_is_slower_than_wh() {
+    // The Fig. 15 trend at class W scale, on both backends.
+    for make in [
+        |n: usize| World::smpi(platform(n), TransferModel::ideal()),
+        |n: usize| World::testbed(platform(n), MpiProfile::openmpi_like()),
+    ] {
+        let nodes = build_graph(DtClass::W, DtGraph::Bh).num_nodes();
+        let (_, bh) = dt_checksum(&make(nodes), DtClass::W, DtGraph::Bh);
+        let (_, wh) = dt_checksum(&make(nodes), DtClass::W, DtGraph::Wh);
+        assert!(
+            bh > wh * 1.3,
+            "BH ({bh}) must be clearly slower than WH ({wh})"
+        );
+    }
+}
+
+#[test]
+fn dt_folding_changes_memory_not_time() {
+    let shape = DtGraph::Wh;
+    let class = DtClass::S;
+    let n = build_graph(class, shape).num_nodes();
+    let folded = {
+        let world = World::smpi(platform(n), TransferModel::ideal()).ram_folding(true);
+        let graph = Arc::new(build_graph(class, shape));
+        let g = Arc::clone(&graph);
+        world.run(n, move |ctx| dt_rank(ctx, &g, class))
+    };
+    let unfolded = {
+        let world = World::smpi(platform(n), TransferModel::ideal()).ram_folding(false);
+        let graph = Arc::new(build_graph(class, shape));
+        let g = Arc::clone(&graph);
+        world.run(n, move |ctx| dt_rank(ctx, &g, class))
+    };
+    assert_eq!(
+        folded.sim_time, unfolded.sim_time,
+        "folding must not change timing"
+    );
+    assert!(folded.memory.peak_bytes < unfolded.memory.peak_bytes);
+    assert_eq!(
+        folded.memory.logical_peak_bytes,
+        unfolded.memory.logical_peak_bytes
+    );
+}
+
+#[test]
+fn ep_verifies_at_full_sampling() {
+    // At ratio 1.0 every block executes: the reduced sums must match a
+    // serial tally of the same stream.
+    let cfg = EpConfig {
+        total_pairs: 1 << 16,
+        blocks_per_rank: 8,
+        sampling_ratio: 1.0,
+    };
+    let world = World::smpi(platform(4), TransferModel::ideal());
+    let report = world.run(4, move |ctx| ep_rank(ctx, cfg));
+    let serial = smpi_suite::workloads::ep_block(0, cfg.total_pairs);
+    let expected_accept: f64 = serial.q.iter().sum();
+    let r = report.results[0];
+    assert!((r.sx - serial.sx).abs() < 1e-6, "{} vs {}", r.sx, serial.sx);
+    assert!((r.sy - serial.sy).abs() < 1e-6);
+    assert_eq!(r.accepted, expected_accept);
+    // All ranks agree (allreduce).
+    for other in &report.results {
+        assert_eq!(other, &r);
+    }
+}
+
+#[test]
+fn ep_sampling_reduces_wall_time_not_simulated_time() {
+    let base = EpConfig {
+        total_pairs: 1 << 22,
+        blocks_per_rank: 64,
+        sampling_ratio: 1.0,
+    };
+    let run = |ratio: f64| {
+        let cfg = EpConfig {
+            sampling_ratio: ratio,
+            ..base
+        };
+        let world = World::smpi(platform(4), TransferModel::ideal()).cpu_factor(1.0);
+        world.run(4, move |ctx| ep_rank(ctx, cfg))
+    };
+    let full = run(1.0);
+    let quarter = run(0.25);
+    // Simulated time stays within a factor ~2 (mean replay vs full run).
+    let ratio_sim = quarter.sim_time / full.sim_time;
+    assert!(
+        (0.4..2.5).contains(&ratio_sim),
+        "simulated time drifted: {ratio_sim}"
+    );
+    // Wall time drops substantially (not strictly 4x on a noisy machine).
+    assert!(
+        quarter.wall.as_secs_f64() < full.wall.as_secs_f64() * 0.7,
+        "sampling did not speed the simulation up: {:?} vs {:?}",
+        quarter.wall,
+        full.wall
+    );
+}
