@@ -2,14 +2,16 @@
 //!
 //! Usage: `repro [fig3 fig4 ... | all]`. `REPRO_FAST=1` trims sweeps.
 
-use smpi_bench::{ablations, fig_alltoall, fig_dt, fig_pingpong, fig_scatter, fig_schemes, fig_speed};
+use smpi_bench::{
+    ablations, fig_alltoall, fig_dt, fig_pingpong, fig_scatter, fig_schemes, fig_speed, obs_demo,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "fig13", "fig15", "fig16", "fig17", "fig18", "ablations",
+            "fig13", "fig15", "fig16", "fig17", "fig18", "ablations", "obs",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -33,6 +35,7 @@ fn main() {
             "fig16" => fig_dt::fig16().render(),
             "fig17" => fig_speed::fig17().render(),
             "fig18" => fig_speed::fig18().render(),
+            "obs" => obs_demo::obs(),
             "ablations" => format!(
                 "{}\n{}\n{}",
                 ablations::segment_sweep(),

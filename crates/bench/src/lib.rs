@@ -18,3 +18,4 @@ pub mod fig_pingpong;
 pub mod fig_scatter;
 pub mod fig_schemes;
 pub mod fig_speed;
+pub mod obs_demo;

@@ -22,6 +22,7 @@ impl Ctx<'_> {
     /// `send.len() / p` elements, block `i` destined to rank `i`; returns
     /// the received blocks in source-rank order.
     pub fn alltoall<T: Datatype>(&self, send: &[T], comm: &Comm) -> Vec<T> {
+        let _region = self.coll_region("alltoall");
         let p = comm.size();
         assert_eq!(send.len() % p, 0, "alltoall buffer not divisible by p");
         let chunk = send.len() / p;
@@ -39,6 +40,7 @@ impl Ctx<'_> {
         recv_counts: &[usize],
         comm: &Comm,
     ) -> Vec<T> {
+        let _region = self.coll_region("alltoallv");
         let p = comm.size();
         assert_eq!(send_counts.len(), p);
         assert_eq!(recv_counts.len(), p);

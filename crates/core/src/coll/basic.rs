@@ -9,6 +9,7 @@ impl Ctx<'_> {
     /// `MPI_Barrier`: dissemination algorithm — ⌈log₂ p⌉ rounds of
     /// zero-byte exchanges with exponentially growing stride.
     pub fn barrier(&self, comm: &Comm) {
+        let _region = self.coll_region("barrier");
         let p = comm.size();
         let r = self.comm_rank(comm);
         let mut k = 1usize;
@@ -33,6 +34,7 @@ impl Ctx<'_> {
     /// `MPI_Bcast` over a binomial tree: `buf` holds the payload on `root`
     /// and receives it everywhere else (all callers pass the same length).
     pub fn bcast<T: Datatype>(&self, buf: &mut [T], root: usize, comm: &Comm) {
+        let _region = self.coll_region("bcast");
         let p = comm.size();
         if p == 1 {
             return;

@@ -20,6 +20,7 @@ impl Ctx<'_> {
         root: usize,
         comm: &Comm,
     ) -> Vec<T> {
+        let _region = self.coll_region("scatter");
         let p = comm.size();
         let r = self.comm_rank(comm);
         let v = (r + p - root) % p;
@@ -69,6 +70,7 @@ impl Ctx<'_> {
     /// `MPI_Gather` (binomial tree, the reverse of [`Ctx::scatter`]): every rank
     /// contributes `send`; the root returns the concatenation in rank order.
     pub fn gather<T: Datatype>(&self, send: &[T], root: usize, comm: &Comm) -> Option<Vec<T>> {
+        let _region = self.coll_region("gather");
         let p = comm.size();
         let chunk = send.len();
         let r = self.comm_rank(comm);
@@ -116,6 +118,7 @@ impl Ctx<'_> {
         root: usize,
         comm: &Comm,
     ) -> Vec<T> {
+        let _region = self.coll_region("scatterv");
         let p = comm.size();
         let r = self.comm_rank(comm);
         if r == root {
@@ -153,6 +156,7 @@ impl Ctx<'_> {
         root: usize,
         comm: &Comm,
     ) -> Option<Vec<T>> {
+        let _region = self.coll_region("gatherv");
         let p = comm.size();
         let r = self.comm_rank(comm);
         if r == root {
@@ -171,9 +175,9 @@ impl Ctx<'_> {
             let mut out = vec![T::default(); total];
             out[offsets[root]..offsets[root] + counts[root]].copy_from_slice(send);
             let mut reqs = Vec::new();
-            for i in 0..p {
+            for (i, &cnt) in counts.iter().enumerate() {
                 if i != root {
-                    reqs.push((i, self.irecv::<T>(i as i32, TAG_GATHER, counts[i], comm)));
+                    reqs.push((i, self.irecv::<T>(i as i32, TAG_GATHER, cnt, comm)));
                 }
             }
             for (i, req) in reqs {
@@ -192,6 +196,7 @@ impl Ctx<'_> {
     /// otherwise. Every rank contributes `send` (equal lengths) and gets the
     /// concatenation in rank order.
     pub fn allgather<T: Datatype>(&self, send: &[T], comm: &Comm) -> Vec<T> {
+        let _region = self.coll_region("allgather");
         if comm.size().is_power_of_two() {
             self.allgather_rdb(send, comm)
         } else {
@@ -263,6 +268,7 @@ impl Ctx<'_> {
     /// `MPI_Allgatherv` (ring): contributions of varying sizes; `counts[i]`
     /// is rank `i`'s length, known everywhere.
     pub fn allgatherv<T: Datatype>(&self, send: &[T], counts: &[usize], comm: &Comm) -> Vec<T> {
+        let _region = self.coll_region("allgatherv");
         let p = comm.size();
         assert_eq!(counts.len(), p);
         let r = self.comm_rank(comm);

@@ -18,6 +18,7 @@ impl Ctx<'_> {
         root: usize,
         comm: &Comm,
     ) -> Option<Vec<T>> {
+        let _region = self.coll_region("reduce");
         if op.commutative {
             self.reduce_binomial(send, op, root, comm)
         } else {
@@ -97,6 +98,7 @@ impl Ctx<'_> {
     /// `MPI_Allreduce`: recursive doubling on power-of-two communicators
     /// with commutative operators; reduce + bcast otherwise.
     pub fn allreduce<T: Datatype>(&self, send: &[T], op: &Op<T>, comm: &Comm) -> Vec<T> {
+        let _region = self.coll_region("allreduce");
         let p = comm.size();
         if p.is_power_of_two() && op.commutative {
             self.allreduce_rdb(send, op, comm)
@@ -138,6 +140,7 @@ impl Ctx<'_> {
     /// `send₀ ⊕ send₁ ⊕ … ⊕ send_r`. Distance-doubling (Hillis–Steele),
     /// correct for non-commutative operators too.
     pub fn scan<T: Datatype>(&self, send: &[T], op: &Op<T>, comm: &Comm) -> Vec<T> {
+        let _region = self.coll_region("scan");
         let p = comm.size();
         let r = self.comm_rank(comm);
         let mut acc = send.to_vec();
@@ -190,6 +193,7 @@ impl Ctx<'_> {
         op: &Op<T>,
         comm: &Comm,
     ) -> Vec<T> {
+        let _region = self.coll_region("reduce_scatter");
         let p = comm.size();
         assert_eq!(counts.len(), p);
         assert_eq!(send.len(), counts.iter().sum::<usize>());

@@ -91,6 +91,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // r is the rank under test
     fn subtree_spans_cover_the_tree() {
         // The subtree spans of the root's children partition 1..p.
         for p in [2usize, 3, 7, 16, 21, 100] {

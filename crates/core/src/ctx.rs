@@ -141,6 +141,24 @@ impl<'h> Ctx<'h> {
         self.handle.simcall(req)
     }
 
+    /// Marks the enclosing scope as a named collective on this rank's
+    /// observability timeline. Free when metrics are off: no simcall is
+    /// issued at all (the flag is read from shared state, not the maestro).
+    pub(crate) fn coll_region(&self, name: &'static str) -> CollRegion<'_, 'h> {
+        let on = self.shared.config.obs;
+        if on {
+            match self.call(Simcall::Region { name, enter: true }) {
+                SimResp::Unit => {}
+                other => unreachable!("bad response {other:?}"),
+            }
+        }
+        CollRegion {
+            ctx: self,
+            name,
+            on,
+        }
+    }
+
     /// This rank within `MPI_COMM_WORLD`.
     pub fn rank(&self) -> usize {
         self.handle.id().0 as usize
@@ -381,6 +399,7 @@ impl<'h> Ctx<'h> {
 
     /// Combined send+receive (`MPI_Sendrecv`): both progress concurrently,
     /// which is what makes exchange patterns deadlock-free.
+    #[allow(clippy::too_many_arguments)] // mirrors MPI_Sendrecv
     pub fn sendrecv<T: Datatype>(
         &self,
         send_buf: &[T],
@@ -462,6 +481,7 @@ impl<'h> Ctx<'h> {
     }
 
     /// Combined data-less exchange (the sized `MPI_Sendrecv`).
+    #[allow(clippy::too_many_arguments)] // mirrors MPI_Sendrecv
     pub fn sendrecv_sized(
         &self,
         send_bytes: u64,
@@ -555,6 +575,25 @@ impl<'h> Ctx<'h> {
     /// Duplicates a communicator with a fresh context (`MPI_Comm_dup`).
     pub fn comm_dup(&self, comm: &Comm) -> Comm {
         self.comm_create(comm, comm.group())
+    }
+}
+
+/// Scope guard for a collective's observability region; exits the region
+/// on drop (including early returns inside the collective).
+pub(crate) struct CollRegion<'a, 'h> {
+    ctx: &'a Ctx<'h>,
+    name: &'static str,
+    on: bool,
+}
+
+impl Drop for CollRegion<'_, '_> {
+    fn drop(&mut self) {
+        if self.on {
+            let _ = self.ctx.call(Simcall::Region {
+                name: self.name,
+                enter: false,
+            });
+        }
     }
 }
 

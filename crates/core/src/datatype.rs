@@ -66,7 +66,7 @@ pub fn to_bytes<T: Datatype>(data: &[T]) -> Vec<u8> {
 /// Panics if `bytes` is not a whole number of elements or overflows `out`.
 pub fn from_bytes<T: Datatype>(bytes: &[u8], out: &mut [T]) -> usize {
     assert!(
-        bytes.len() % T::SIZE == 0,
+        bytes.len().is_multiple_of(T::SIZE),
         "message of {} bytes is not a whole number of {} elements",
         bytes.len(),
         T::NAME

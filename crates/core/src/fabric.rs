@@ -12,6 +12,7 @@
 //! network model, exactly as in the paper.
 
 use packetnet::{PacketConfig, PacketNet};
+use smpi_obs::Rec;
 use smpi_platform::{HostIx, Materialized, RoutedPlatform};
 use surf_sim::{EngineConfig, SimTime, Simulation, TransferModel};
 
@@ -39,6 +40,12 @@ pub trait Fabric {
     /// One-way control-message latency between two hosts (used for the
     /// rendezvous handshake cost on backends that model it).
     fn control_latency(&self, src: HostIx, dst: HostIx) -> f64;
+
+    /// Installs a metrics recorder on the substrate. Backends without
+    /// instrumentation may ignore it.
+    fn set_recorder(&mut self, rec: Rec) {
+        let _ = rec;
+    }
 }
 
 /// The flow-level backend (SMPI's own model).
@@ -110,6 +117,10 @@ impl Fabric for SurfFabric {
     fn control_latency(&self, src: HostIx, dst: HostIx) -> f64 {
         self.rp.latency(src, dst)
     }
+
+    fn set_recorder(&mut self, rec: Rec) {
+        self.sim.set_recorder(rec);
+    }
 }
 
 /// The packet-level backend (ground truth).
@@ -169,6 +180,10 @@ impl Fabric for PacketFabric {
                 l.latency + header / l.bandwidth
             })
             .sum()
+    }
+
+    fn set_recorder(&mut self, rec: Rec) {
+        self.net.set_recorder(rec);
     }
 }
 

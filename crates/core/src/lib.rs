@@ -35,6 +35,7 @@ pub mod datatype;
 pub mod ext;
 pub mod fabric;
 pub mod group;
+pub mod obs_export;
 pub mod op;
 pub mod runtime;
 pub mod sampling;
@@ -50,6 +51,7 @@ pub use ctx::{AnyRequest, Ctx, RecvRequest, SendRequest, SizedRecvRequest, Statu
 pub use datatype::Datatype;
 pub use ext::UNDEFINED_COLOR;
 pub use fabric::{Fabric, MpiProfile, PacketFabric, SurfFabric};
+pub use obs_export::CriticalPath;
 pub use group::Group;
 pub use op::Op;
 pub use runtime::{ANY_SOURCE, ANY_TAG};

@@ -1,0 +1,420 @@
+//! Exporting a run's observability data: Paje traces, JSON dumps and
+//! critical-path analysis.
+//!
+//! [`crate::world::RunReport`] carries the raw material (event trace,
+//! metrics snapshot, self-profile); this module turns it into artifacts:
+//!
+//! * [`RunReport::paje`] — a Paje trace (the format SimGrid's own tracing
+//!   subsystem emits) with one container per rank carrying its state
+//!   timeline, one container per network link carrying its utilization
+//!   variable, and an arrow per wire transfer;
+//! * [`RunReport::to_json`] — a single JSON object with the timings,
+//!   trace statistics, metrics and self-profile;
+//! * [`RunReport::critical_path`] — the longest dependency chain through
+//!   the trace, attributing each segment to a rank or to the network.
+
+use std::collections::HashMap;
+
+use smpi_obs::json::JsonBuf;
+use smpi_obs::paje::PajeWriter;
+
+use crate::trace::{self, TraceKind};
+use crate::world::RunReport;
+
+/// Fixed palette for rank-state entity values (cycled when states outnumber
+/// entries); indices are assigned in order of first appearance.
+const PALETTE: &[&str] = &[
+    "0.2 0.6 0.2",  // running: green
+    "0.9 0.5 0.1",  // computing: orange
+    "0.8 0.1 0.1",  // blocked_in_recv: red
+    "0.6 0.1 0.6",  // blocked_in_send: purple
+    "0.3 0.3 0.9",  // collectives: blue
+    "0.5 0.5 0.5",  // sleeping / finished: grey
+    "0.1 0.7 0.7",
+    "0.7 0.7 0.1",
+];
+
+/// One timed line of the Paje body, buffered so events from different
+/// sources (timelines, gauges, trace arrows) can be merged in time order.
+enum PajeEvent {
+    SetState(u32, &'static str),
+    PushState(u32, &'static str),
+    PopState(u32),
+    SetVariable(String, f64),
+    StartLink(u32, u64),
+    EndLink(u32, u64),
+}
+
+/// Parses a link index out of a `surf.link.{ix}.util` gauge key.
+fn link_util_index(key: &str) -> Option<usize> {
+    key.strip_prefix("surf.link.")?
+        .strip_suffix(".util")?
+        .parse()
+        .ok()
+}
+
+impl<R> RunReport<R> {
+    /// Renders the run as a Paje trace. Rank state timelines come from the
+    /// metrics snapshot (needs [`crate::world::World::metrics`]); message
+    /// arrows come from the event trace (needs
+    /// [`crate::world::World::tracing`]). Either half may be absent; the
+    /// header and rank containers are always emitted.
+    pub fn paje(&self) -> String {
+        let mut w = PajeWriter::new();
+        let nranks = self.finish_times.len();
+        let end = self.sim_time;
+
+        w.define_container_type("CT_sim", "0", "Simulation");
+        w.define_container_type("CT_rank", "CT_sim", "MPIRank");
+        w.define_container_type("CT_link", "CT_sim", "NetworkLink");
+        w.define_state_type("ST_rank", "CT_rank", "rank state");
+        w.define_variable_type("VT_util", "CT_link", "utilization");
+        w.define_link_type("LT_msg", "CT_sim", "CT_rank", "CT_rank", "message");
+
+        // Entity values for every distinct rank state, first-seen order.
+        let mut states: Vec<&'static str> = Vec::new();
+        if let Some(m) = &self.metrics {
+            for tl in m.timelines_of("rank") {
+                for ev in &tl.events {
+                    let s = match ev.op {
+                        smpi_obs::StateOp::Push(s) | smpi_obs::StateOp::Set(s) => s,
+                        smpi_obs::StateOp::Pop => continue,
+                    };
+                    if !states.contains(&s) {
+                        states.push(s);
+                    }
+                }
+            }
+        }
+        for (i, s) in states.iter().enumerate() {
+            w.define_entity_value(s, "ST_rank", s, PALETTE[i % PALETTE.len()]);
+        }
+
+        w.create_container(0.0, "sim", "CT_sim", "0", "simulation");
+        for r in 0..nranks {
+            w.create_container(0.0, &format!("rank{r}"), "CT_rank", "sim", &format!("rank {r}"));
+        }
+        let mut links: Vec<usize> = self
+            .metrics
+            .iter()
+            .flat_map(|m| m.gauges.iter())
+            .filter_map(|(k, _)| link_util_index(k))
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        for &l in &links {
+            w.create_container(0.0, &format!("link{l}"), "CT_link", "sim", &format!("link {l}"));
+        }
+
+        // Merge every timed event source, then emit in time order. The
+        // sequence number keeps the sort stable across equal timestamps.
+        let mut body: Vec<(f64, usize, PajeEvent)> = Vec::new();
+        let mut seq = 0usize;
+        let mut push = |body: &mut Vec<(f64, usize, PajeEvent)>, t: f64, ev: PajeEvent| {
+            body.push((t, seq, ev));
+            seq += 1;
+        };
+
+        if let Some(m) = &self.metrics {
+            for tl in m.timelines_of("rank") {
+                for ev in &tl.events {
+                    let pe = match ev.op {
+                        smpi_obs::StateOp::Set(s) => PajeEvent::SetState(tl.id, s),
+                        smpi_obs::StateOp::Push(s) => PajeEvent::PushState(tl.id, s),
+                        smpi_obs::StateOp::Pop => PajeEvent::PopState(tl.id),
+                    };
+                    push(&mut body, ev.time, pe);
+                }
+            }
+            for (key, series) in &m.gauges {
+                if let Some(l) = link_util_index(key) {
+                    for &(t, v) in series {
+                        push(&mut body, t, PajeEvent::SetVariable(format!("link{l}"), v));
+                    }
+                }
+            }
+        }
+
+        // Message arrows: a wire transfer starts the arrow at the sender
+        // and the delivery ends it at the receiver, paired FIFO per
+        // (src, dst) — the wire preserves per-pair ordering.
+        let mut in_flight: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+        let mut next_key = 0u64;
+        for e in &self.trace {
+            match e.kind {
+                TraceKind::TransferStarted { src, dst, .. } => {
+                    let key = next_key;
+                    next_key += 1;
+                    in_flight.entry((src, dst)).or_default().push(key);
+                    push(&mut body, e.time, PajeEvent::StartLink(src, key));
+                }
+                TraceKind::Delivered { src, dst, .. } => {
+                    let q = in_flight.entry((src, dst)).or_default();
+                    if !q.is_empty() {
+                        let key = q.remove(0);
+                        push(&mut body, e.time, PajeEvent::EndLink(dst, key));
+                    }
+                    // Self-messages never hit the wire: no arrow.
+                }
+                _ => {}
+            }
+        }
+
+        body.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (t, _, ev) in body {
+            match ev {
+                PajeEvent::SetState(r, s) => w.set_state(t, "ST_rank", &format!("rank{r}"), s),
+                PajeEvent::PushState(r, s) => w.push_state(t, "ST_rank", &format!("rank{r}"), s),
+                PajeEvent::PopState(r) => w.pop_state(t, "ST_rank", &format!("rank{r}")),
+                PajeEvent::SetVariable(c, v) => w.set_variable(t, "VT_util", &c, v),
+                PajeEvent::StartLink(r, k) => {
+                    w.start_link(t, "LT_msg", "sim", "msg", &format!("rank{r}"), k)
+                }
+                PajeEvent::EndLink(r, k) => {
+                    w.end_link(t, "LT_msg", "sim", "msg", &format!("rank{r}"), k)
+                }
+            }
+        }
+
+        for &l in &links {
+            w.destroy_container(end, "CT_link", &format!("link{l}"));
+        }
+        for r in 0..nranks {
+            w.destroy_container(end, "CT_rank", &format!("rank{r}"));
+        }
+        w.destroy_container(end, "CT_sim", "sim");
+        w.into_string()
+    }
+
+    /// Serializes the whole report (timings, trace statistics, metrics,
+    /// self-profile) as one JSON object. Rank results are not included —
+    /// they are application data of arbitrary type.
+    pub fn to_json(&self) -> String {
+        let stats = trace::stats(&self.trace);
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("sim_time").num_val(self.sim_time);
+        j.key("wall_seconds").num_val(self.wall.as_secs_f64());
+        j.key("finish_times").begin_arr();
+        for &t in &self.finish_times {
+            j.num_val(t);
+        }
+        j.end_arr();
+        j.key("trace_stats").begin_obj();
+        j.key("sends").uint_val(stats.sends as u64);
+        j.key("eager_sends").uint_val(stats.eager_sends as u64);
+        j.key("recvs").uint_val(stats.recvs as u64);
+        j.key("transfers").uint_val(stats.transfers as u64);
+        j.key("wire_bytes").uint_val(stats.wire_bytes);
+        j.key("delivered").uint_val(stats.delivered as u64);
+        j.key("bytes_delivered").uint_val(stats.bytes_delivered);
+        j.key("execs").uint_val(stats.execs as u64);
+        j.key("flops").num_val(stats.flops);
+        j.key("finished").uint_val(stats.finished as u64);
+        j.end_obj();
+        match &self.metrics {
+            Some(m) => j.key("metrics").raw_val(&m.to_json()),
+            None => j.key("metrics").raw_val("null"),
+        };
+        j.key("profile").raw_val(&self.profile.to_json());
+        j.end_obj();
+        j.finish()
+    }
+
+    /// Longest dependency chain through the event trace (`None` when
+    /// tracing was off or the trace is empty). Local program order chains
+    /// events of the same rank; a delivery additionally depends on its
+    /// wire-transfer start on the sender. Each segment of the winning
+    /// chain is attributed to the rank that was waiting through it, or to
+    /// the network for the cross-rank message edges.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        if self.trace.is_empty() {
+            return None;
+        }
+        let rank_of = |k: &TraceKind| -> u32 {
+            match *k {
+                TraceKind::SendPosted { src, .. } => src,
+                TraceKind::RecvPosted { dst, .. } => dst,
+                TraceKind::TransferStarted { src, .. } => src,
+                TraceKind::Delivered { dst, .. } => dst,
+                TraceKind::ExecStarted { rank, .. } => rank,
+                TraceKind::RankFinished { rank } => rank,
+            }
+        };
+
+        // Predecessors: last event of the same rank, plus (for deliveries)
+        // the matching transfer start, FIFO per (src, dst).
+        let n = self.trace.len();
+        let mut pred: Vec<Option<(usize, bool)>> = vec![None; n]; // (index, is_message_edge)
+        let mut last_of_rank: HashMap<u32, usize> = HashMap::new();
+        let mut transfers: HashMap<(u32, u32), Vec<usize>> = HashMap::new();
+        for (i, e) in self.trace.iter().enumerate() {
+            let r = rank_of(&e.kind);
+            let mut best: Option<(usize, bool)> = last_of_rank.get(&r).map(|&p| (p, false));
+            match e.kind {
+                TraceKind::TransferStarted { src, dst, .. } => {
+                    transfers.entry((src, dst)).or_default().push(i);
+                }
+                TraceKind::Delivered { src, dst, .. } if src != dst => {
+                    if let Some(q) = transfers.get_mut(&(src, dst)) {
+                        if !q.is_empty() {
+                            let sender = q.remove(0);
+                            // The binding dependency is the later of the two.
+                            let take = match best {
+                                Some((p, _)) => self.trace[sender].time >= self.trace[p].time,
+                                None => true,
+                            };
+                            if take {
+                                best = Some((sender, true));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            pred[i] = best;
+            last_of_rank.insert(r, i);
+        }
+
+        // Walk back from the last event (ties broken by trace order).
+        let mut cur = (0..n).max_by(|&a, &b| {
+            self.trace[a].time.total_cmp(&self.trace[b].time).then(a.cmp(&b))
+        })?;
+        let total = self.trace[cur].time;
+        let mut acc: HashMap<String, f64> = HashMap::new();
+        let mut steps = 0usize;
+        let mut message_hops = 0usize;
+        while let Some((p, is_msg)) = pred[cur] {
+            let dt = self.trace[cur].time - self.trace[p].time;
+            let who = if is_msg {
+                message_hops += 1;
+                "network".to_string()
+            } else {
+                format!("rank{}", rank_of(&self.trace[cur].kind))
+            };
+            *acc.entry(who).or_default() += dt;
+            steps += 1;
+            cur = p;
+        }
+        let mut segments: Vec<(String, f64)> = acc.into_iter().collect();
+        segments.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Some(CriticalPath {
+            total,
+            segments,
+            steps,
+            message_hops,
+        })
+    }
+}
+
+/// The longest dependency chain through a traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Simulated time at the chain's last event (= trace makespan).
+    pub total: f64,
+    /// Seconds of the chain attributed per participant (`rank{r}` or
+    /// `"network"`), largest first.
+    pub segments: Vec<(String, f64)>,
+    /// Number of edges on the chain.
+    pub steps: usize,
+    /// How many of those edges are cross-rank message deliveries.
+    pub message_hops: usize,
+}
+
+impl CriticalPath {
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "critical path: {:.6} s over {} steps ({} message hops)\n",
+            self.total, self.steps, self.message_hops
+        );
+        for (who, secs) in &self.segments {
+            let pct = if self.total > 0.0 {
+                100.0 * secs / self.total
+            } else {
+                0.0
+            };
+            out.push_str(&format!("  {who:<10} {:>12.6} s ({pct:>4.1}%)\n", secs));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    #[test]
+    fn link_util_keys_parse() {
+        assert_eq!(link_util_index("surf.link.3.util"), Some(3));
+        assert_eq!(link_util_index("surf.link.12.util"), Some(12));
+        assert_eq!(link_util_index("surf.link.3.bytes"), None);
+        assert_eq!(link_util_index("packetnet.chan.3.util"), None);
+    }
+
+    #[test]
+    fn critical_path_attributes_message_edges_to_network() {
+        // rank0 computes 0..2, sends; wire 2..5; rank1 finishes at 5.
+        let trace = vec![
+            TraceEvent {
+                time: 0.0,
+                kind: TraceKind::ExecStarted { rank: 0, flops: 1e9 },
+            },
+            TraceEvent {
+                time: 2.0,
+                kind: TraceKind::TransferStarted { src: 0, dst: 1, bytes: 1000 },
+            },
+            TraceEvent {
+                time: 5.0,
+                kind: TraceKind::Delivered { src: 0, dst: 1, tag: 0, bytes: 1000 },
+            },
+            TraceEvent {
+                time: 5.0,
+                kind: TraceKind::RankFinished { rank: 1 },
+            },
+        ];
+        let report = RunReport::<()> {
+            sim_time: 5.0,
+            wall: std::time::Duration::from_millis(1),
+            finish_times: vec![2.0, 5.0],
+            results: vec![],
+            memory: Default::default(),
+            metrics: None,
+            profile: Default::default(),
+            trace,
+        };
+        let cp = report.critical_path().unwrap();
+        assert_eq!(cp.total, 5.0);
+        assert_eq!(cp.message_hops, 1);
+        // network carries the 3 s wire edge, rank0 the 2 s compute edge.
+        let get = |who: &str| {
+            cp.segments
+                .iter()
+                .find(|(w, _)| w == who)
+                .map(|(_, s)| *s)
+                .unwrap_or(0.0)
+        };
+        assert!((get("network") - 3.0).abs() < 1e-12);
+        assert!((get("rank0") - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_has_no_critical_path() {
+        let report = RunReport::<()> {
+            sim_time: 0.0,
+            wall: std::time::Duration::ZERO,
+            finish_times: vec![],
+            results: vec![],
+            memory: Default::default(),
+            metrics: None,
+            profile: Default::default(),
+            trace: vec![],
+        };
+        assert!(report.critical_path().is_none());
+        // The JSON export still works without metrics or trace.
+        let json = report.to_json();
+        assert!(json.contains("\"metrics\":null"));
+        assert!(json.contains("\"trace_stats\":"));
+    }
+}

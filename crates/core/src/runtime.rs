@@ -18,8 +18,10 @@
 //!   active [`MpiProfile`].
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use simix::{ActorEvent, ActorId, Simix};
+use smpi_obs::{Rec, Recorder, SelfProfile};
 use smpi_platform::HostIx;
 
 use crate::fabric::{Fabric, FabricToken, MpiProfile};
@@ -121,6 +123,15 @@ pub enum Simcall {
     },
     /// Read the simulated clock (`MPI_Wtime`).
     Now,
+    /// Annotate entry/exit of a named region (collectives) on the caller's
+    /// observability timeline. Zero simulated cost; only issued when
+    /// metrics are enabled.
+    Region {
+        /// Region name (e.g. the collective's name).
+        name: &'static str,
+        /// `true` on entry, `false` on exit.
+        enter: bool,
+    },
 }
 
 /// The maestro's answer to a simcall.
@@ -182,12 +193,15 @@ enum ReqKind {
     },
 }
 
+/// What a completed request reports back: (source, tag, bytes, payload).
+type CompletionRecord = (u32, i32, u64, Option<Box<[u8]>>);
+
 #[derive(Debug)]
 struct Request {
     kind: ReqKind,
     complete: bool,
     /// Filled when complete; taken when reported to the application.
-    record: Option<(u32, i32, u64, Option<Box<[u8]>>)>,
+    record: Option<CompletionRecord>,
 }
 
 #[derive(Debug)]
@@ -232,6 +246,19 @@ pub struct Runtime {
     finish_times: Vec<f64>,
     /// Event trace, when enabled.
     trace: Option<Vec<TraceEvent>>,
+    /// Metrics recorder (disabled by default: every emit is one branch).
+    rec: Rec,
+    /// Whether the drive loop takes wall-clock phase timings.
+    profiling: bool,
+    /// Simcalls handled (plain increment, always collected).
+    n_simcalls: u64,
+    /// Fabric completion tokens dispatched.
+    n_tokens: u64,
+    /// Wall-clock seconds per drive-loop phase (only filled when profiling).
+    phase_actors: f64,
+    phase_maestro: f64,
+    phase_fabric: f64,
+    phase_resolve: f64,
 }
 
 impl Runtime {
@@ -254,6 +281,54 @@ impl Runtime {
             delayed_actors: Vec::new(),
             finish_times: vec![0.0; n],
             trace: None,
+            rec: Rec::disabled(),
+            profiling: false,
+            n_simcalls: 0,
+            n_tokens: 0,
+            phase_actors: 0.0,
+            phase_maestro: 0.0,
+            phase_fabric: 0.0,
+            phase_resolve: 0.0,
+        }
+    }
+
+    /// Installs a metrics recorder on the maestro and (a clone of it) on the
+    /// fabric. Protocol counters, per-rank state timelines and the fabric's
+    /// own metrics all land in the same [`smpi_obs::MemoryRecorder`].
+    pub fn set_recorder(&mut self, rec: Rec) {
+        self.fabric.set_recorder(rec.clone());
+        self.rec = rec;
+    }
+
+    /// Enables wall-clock phase timing in [`drive`](Self::drive).
+    pub fn enable_profiling(&mut self) {
+        self.profiling = true;
+    }
+
+    /// Snapshots the accumulated metrics, or `None` when no recorder is set.
+    pub fn take_metrics(&self) -> Option<smpi_obs::MetricsReport> {
+        self.rec.snapshot()
+    }
+
+    /// The simulator's self-profile (valid after [`drive`](Self::drive)).
+    /// `wall_seconds` is left for the caller, which owns the outer clock.
+    pub fn self_profile(&self) -> SelfProfile {
+        SelfProfile {
+            phases: if self.profiling {
+                vec![
+                    ("actor_execution", self.phase_actors),
+                    ("simcall_handling", self.phase_maestro),
+                    ("fabric_advance", self.phase_fabric),
+                    ("waiter_resolution", self.phase_resolve),
+                ]
+            } else {
+                Vec::new()
+            },
+            simcalls: self.n_simcalls,
+            tokens: self.n_tokens,
+            trace_events: self.trace.as_ref().map_or(0, |t| t.len() as u64),
+            sim_time: self.now(),
+            wall_seconds: 0.0,
         }
     }
 
@@ -288,19 +363,38 @@ impl Runtime {
     /// ranks and advancing the fabric until every rank has finished.
     pub fn drive(&mut self, sx: &mut Sx) {
         let mut alive = sx.num_actors();
+        if self.rec.is_enabled() {
+            let t = self.now();
+            let n = self.finish_times.len();
+            self.rec.with(|r| {
+                for rank in 0..n {
+                    r.state_set("rank", rank as u32, t, "running");
+                }
+            });
+        }
         loop {
+            let t0 = self.profiling.then(Instant::now);
             let events = sx.run_ready();
+            if let Some(t0) = t0 {
+                self.phase_actors += t0.elapsed().as_secs_f64();
+            }
+            let t1 = self.profiling.then(Instant::now);
             for ev in events {
                 match ev {
                     ActorEvent::Finished(id) => {
-                        self.finish_times[id.0 as usize] = self.now();
+                        let now = self.now();
+                        self.finish_times[id.0 as usize] = now;
                         self.record(TraceKind::RankFinished { rank: id.0 });
+                        self.rec.state_set("rank", id.0, now, "finished");
                         alive -= 1;
                     }
                     ActorEvent::Request(id, call) => {
                         self.handle_simcall(sx, id, call);
                     }
                 }
+            }
+            if let Some(t1) = t1 {
+                self.phase_maestro += t1.elapsed().as_secs_f64();
             }
             if alive == 0 {
                 break;
@@ -312,7 +406,12 @@ impl Runtime {
                 continue;
             }
             // No runnable rank: advance simulated time until one wakes.
-            match self.fabric.advance() {
+            let t2 = self.profiling.then(Instant::now);
+            let advanced = self.fabric.advance();
+            if let Some(t2) = t2 {
+                self.phase_fabric += t2.elapsed().as_secs_f64();
+            }
+            match advanced {
                 Some((_, tokens)) => {
                     for tok in tokens {
                         self.on_token(tok);
@@ -330,6 +429,7 @@ impl Runtime {
     }
 
     fn handle_simcall(&mut self, sx: &mut Sx, actor: ActorId, call: Simcall) {
+        self.n_simcalls += 1;
         match call {
             Simcall::Isend {
                 dst,
@@ -362,6 +462,22 @@ impl Runtime {
                 sx.resolve(actor, SimResp::Req(req));
             }
             Simcall::Wait { reqs, mode } => {
+                if mode != WaitMode::Poll && self.rec.is_enabled() {
+                    // Blocked state: receives dominate the wait semantics,
+                    // so any incomplete receive in the set labels it.
+                    let blocked_on_recv = reqs.iter().any(|r| {
+                        matches!(
+                            self.requests.get(r).map(|q| &q.kind),
+                            Some(ReqKind::Recv { .. })
+                        )
+                    });
+                    let state = if blocked_on_recv {
+                        "blocked_in_recv"
+                    } else {
+                        "blocked_in_send"
+                    };
+                    self.rec.state_push("rank", actor.0, self.now(), state);
+                }
                 self.waiting.insert(actor, Waiting { reqs, mode });
                 // resolve_waiters (called right after the batch) may resolve
                 // immediately — Poll always does.
@@ -371,16 +487,32 @@ impl Runtime {
                     rank: actor.0,
                     flops,
                 });
+                self.rec.state_push("rank", actor.0, self.now(), "computing");
                 let host = self.placement[actor.0 as usize];
                 let tok = self.fabric.start_exec(host, flops);
                 self.tokens.insert(tok, TokenUse::ActorDelay(actor));
             }
             Simcall::Sleep { secs } => {
+                self.rec.state_push("rank", actor.0, self.now(), "sleeping");
                 let tok = self.fabric.start_sleep(secs);
                 self.tokens.insert(tok, TokenUse::ActorDelay(actor));
             }
             Simcall::Now => {
                 sx.resolve(actor, SimResp::Now(self.now()));
+            }
+            Simcall::Region { name, enter } => {
+                if self.rec.is_enabled() {
+                    let t = self.now();
+                    self.rec.with(|r| {
+                        if enter {
+                            r.counter_add(&format!("core.coll.{name}"), 1);
+                            r.state_push("rank", actor.0, t, name);
+                        } else {
+                            r.state_pop("rank", actor.0, t);
+                        }
+                    });
+                }
+                sx.resolve(actor, SimResp::Unit);
             }
         }
     }
@@ -416,6 +548,17 @@ impl Runtime {
             tag,
             bytes,
             eager,
+        });
+        self.rec.with(|r| {
+            r.counter_add(
+                if eager {
+                    "core.sends.eager"
+                } else {
+                    "core.sends.rendezvous"
+                },
+                1,
+            );
+            r.fcounter_add("core.bytes.posted", bytes as f64);
         });
         let mid = MsgId(self.next_msg);
         self.next_msg += 1;
@@ -607,6 +750,7 @@ impl Runtime {
             .tokens
             .remove(&tok)
             .expect("completion for unknown token");
+        self.n_tokens += 1;
         match usage {
             TokenUse::MsgPre(mid) => self.start_transfer_now(mid),
             TokenUse::MsgWire(mid) => {
@@ -647,6 +791,11 @@ impl Runtime {
             tag,
             bytes,
         });
+        if !matched {
+            // Eager message that beat its receive: it sits in an unexpected-
+            // message buffer until a matching receive is posted.
+            self.rec.counter_add("core.msgs.unexpected", 1);
+        }
         if matched {
             self.complete_recv(mid);
             if !eager {
@@ -705,9 +854,20 @@ impl Runtime {
     /// Resolves every waiting actor whose condition now holds; returns
     /// whether any was resolved.
     fn resolve_waiters(&mut self, sx: &mut Sx) -> bool {
+        let t0 = self.profiling.then(Instant::now);
         // Exec/Sleep completions first.
         let mut any = false;
-        for actor in std::mem::take(&mut self.delayed_actors) {
+        let delayed = std::mem::take(&mut self.delayed_actors);
+        if !delayed.is_empty() && self.rec.is_enabled() {
+            // Pops the "computing"/"sleeping" state pushed at the simcall.
+            let t = self.now();
+            self.rec.with(|r| {
+                for actor in &delayed {
+                    r.state_pop("rank", actor.0, t);
+                }
+            });
+        }
+        for actor in delayed {
             sx.resolve(actor, SimResp::Unit);
             any = true;
         }
@@ -732,9 +892,16 @@ impl Runtime {
         ready.sort();
         for actor in ready {
             let w = self.waiting.remove(&actor).unwrap();
+            if w.mode != WaitMode::Poll {
+                // Pops the blocked_in_* state pushed at the Wait simcall.
+                self.rec.state_pop("rank", actor.0, self.now());
+            }
             let completions = self.collect_completions(&w);
             sx.resolve(actor, SimResp::Done(completions));
             any = true;
+        }
+        if let Some(t0) = t0 {
+            self.phase_resolve += t0.elapsed().as_secs_f64();
         }
         any
     }

@@ -37,7 +37,7 @@ struct MemInner {
 }
 
 /// Snapshot of the tracker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryReport {
     /// Peak bytes actually allocated by the simulation for app buffers.
     pub peak_bytes: u64,

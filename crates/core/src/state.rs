@@ -22,6 +22,10 @@ pub struct RunConfig {
     /// technique #1). When `false`, every rank gets a private buffer and the
     /// tracker shows the unfolded footprint.
     pub ram_folding: bool,
+    /// Whether observability is on for this run (set by
+    /// [`crate::world::World::metrics`]). Rank-side code uses this to skip
+    /// annotation simcalls (e.g. collective regions) entirely when off.
+    pub obs: bool,
 }
 
 impl Default for RunConfig {
@@ -29,6 +33,7 @@ impl Default for RunConfig {
         RunConfig {
             cpu_factor: 1.0,
             ram_folding: true,
+            obs: false,
         }
     }
 }

@@ -125,12 +125,26 @@ pub fn render(events: &[TraceEvent]) -> String {
 pub struct TraceStats {
     /// Number of messages posted.
     pub sends: usize,
+    /// Number of sends that used the eager protocol.
+    pub eager_sends: usize,
     /// Number of receives posted.
     pub recvs: usize,
+    /// Number of wire transfers started.
+    pub transfers: usize,
+    /// Total bytes put on the wire (post-efficiency volume; differs from
+    /// `bytes_delivered` by the profile's `wire_efficiency` and by
+    /// self-messages, which never touch the wire).
+    pub wire_bytes: u64,
     /// Number of messages delivered.
     pub delivered: usize,
     /// Total payload bytes delivered.
     pub bytes_delivered: u64,
+    /// Number of compute bursts.
+    pub execs: usize,
+    /// Total flops burned.
+    pub flops: f64,
+    /// Number of ranks that finished.
+    pub finished: usize,
 }
 
 /// Computes aggregate statistics.
@@ -138,13 +152,26 @@ pub fn stats(events: &[TraceEvent]) -> TraceStats {
     let mut s = TraceStats::default();
     for e in events {
         match &e.kind {
-            TraceKind::SendPosted { .. } => s.sends += 1,
+            TraceKind::SendPosted { eager, .. } => {
+                s.sends += 1;
+                if *eager {
+                    s.eager_sends += 1;
+                }
+            }
             TraceKind::RecvPosted { .. } => s.recvs += 1,
+            TraceKind::TransferStarted { bytes, .. } => {
+                s.transfers += 1;
+                s.wire_bytes += bytes;
+            }
             TraceKind::Delivered { bytes, .. } => {
                 s.delivered += 1;
                 s.bytes_delivered += bytes;
             }
-            _ => {}
+            TraceKind::ExecStarted { flops, .. } => {
+                s.execs += 1;
+                s.flops += flops;
+            }
+            TraceKind::RankFinished { .. } => s.finished += 1,
         }
     }
     s
@@ -154,6 +181,7 @@ pub fn stats(events: &[TraceEvent]) -> TraceStats {
 mod tests {
     use super::*;
 
+    /// One event of every [`TraceKind`] variant.
     fn sample() -> Vec<TraceEvent> {
         vec![
             TraceEvent {
@@ -175,6 +203,21 @@ mod tests {
                 },
             },
             TraceEvent {
+                time: 1e-5,
+                kind: TraceKind::TransferStarted {
+                    src: 0,
+                    dst: 1,
+                    bytes: 104,
+                },
+            },
+            TraceEvent {
+                time: 5e-5,
+                kind: TraceKind::ExecStarted {
+                    rank: 1,
+                    flops: 2.5e6,
+                },
+            },
+            TraceEvent {
                 time: 1.5e-4,
                 kind: TraceKind::Delivered {
                     src: 0,
@@ -183,24 +226,77 @@ mod tests {
                     bytes: 100,
                 },
             },
+            TraceEvent {
+                time: 2e-4,
+                kind: TraceKind::RankFinished { rank: 1 },
+            },
         ]
     }
 
     #[test]
     fn render_is_line_per_event() {
         let text = render(&sample());
-        assert_eq!(text.lines().count(), 3);
+        assert_eq!(text.lines().count(), 6);
         assert!(text.contains("send-post   0 -> 1"));
         assert!(text.contains("eager"));
+        assert!(text.contains("wire-start  0 -> 1"));
+        assert!(text.contains("exec        rank 1"));
         assert!(text.contains("delivered"));
+        assert!(text.contains("finished    rank 1"));
     }
 
     #[test]
-    fn stats_aggregate() {
+    fn stats_aggregate_every_variant() {
         let s = stats(&sample());
         assert_eq!(s.sends, 1);
+        assert_eq!(s.eager_sends, 1);
         assert_eq!(s.recvs, 1);
+        assert_eq!(s.transfers, 1);
+        assert_eq!(s.wire_bytes, 104);
         assert_eq!(s.delivered, 1);
         assert_eq!(s.bytes_delivered, 100);
+        assert_eq!(s.execs, 1);
+        assert_eq!(s.flops, 2.5e6);
+        assert_eq!(s.finished, 1);
+    }
+
+    #[test]
+    fn stats_distinguish_rendezvous_sends() {
+        let events = vec![
+            TraceEvent {
+                time: 0.0,
+                kind: TraceKind::SendPosted {
+                    src: 0,
+                    dst: 1,
+                    tag: 0,
+                    bytes: 1 << 20,
+                    eager: false,
+                },
+            },
+            TraceEvent {
+                time: 0.0,
+                kind: TraceKind::SendPosted {
+                    src: 1,
+                    dst: 0,
+                    tag: 0,
+                    bytes: 8,
+                    eager: true,
+                },
+            },
+        ];
+        let s = stats(&events);
+        assert_eq!(s.sends, 2);
+        assert_eq!(s.eager_sends, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_across_events() {
+        let mut events = sample();
+        events.extend(sample());
+        let s = stats(&events);
+        assert_eq!(s.sends, 2);
+        assert_eq!(s.wire_bytes, 208);
+        assert_eq!(s.flops, 5e6);
+        assert_eq!(s.finished, 2);
     }
 }

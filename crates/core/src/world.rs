@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use packetnet::PacketConfig;
+use smpi_obs::{MetricsReport, Rec, SelfProfile};
 use smpi_platform::{HostIx, RoutedPlatform};
 use surf_sim::{EngineConfig, TransferModel};
 
@@ -64,6 +65,12 @@ pub struct RunReport<R> {
     pub memory: MemoryReport,
     /// Recorded event trace (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
+    /// Metrics snapshot (`None` unless [`World::metrics`] was enabled):
+    /// protocol counters, link utilization, queue depths, rank timelines.
+    pub metrics: Option<MetricsReport>,
+    /// Simulator self-profile: events processed, events/sec, and (when
+    /// metrics are on) wall-clock per drive-loop phase.
+    pub profile: SelfProfile,
 }
 
 impl World {
@@ -129,6 +136,15 @@ impl World {
         self
     }
 
+    /// Enables the observability layer: the run report's `metrics` carries
+    /// protocol counters, per-link utilization, queue metrics and per-rank
+    /// state timelines, and `profile` gains per-phase wall-clock timings.
+    /// Off by default — the disabled path is a single branch per emit site.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.run_config.obs = enabled;
+        self
+    }
+
     /// Pins rank `r` to host `hosts[r]` instead of the default round-robin
     /// placement (used e.g. to calibrate between two specific nodes of a
     /// hierarchical cluster).
@@ -191,6 +207,10 @@ impl World {
         if self.tracing {
             runtime.enable_tracing();
         }
+        if self.run_config.obs {
+            runtime.set_recorder(Rec::enabled());
+            runtime.enable_profiling();
+        }
         let start = Instant::now();
         runtime.drive(&mut sx);
         let wall = start.elapsed();
@@ -202,12 +222,17 @@ impl World {
             .map(|r| r.expect("every rank stores a result"))
             .collect();
 
+        let mut profile = runtime.self_profile();
+        profile.wall_seconds = wall.as_secs_f64();
+
         RunReport {
             sim_time: runtime.now(),
             wall,
             finish_times: runtime.finish_times().to_vec(),
             results,
             memory: shared.memory.report(),
+            metrics: runtime.take_metrics(),
+            profile,
             trace: runtime.take_trace(),
         }
     }

@@ -202,7 +202,7 @@ fn allgatherv_uneven() {
                 ctx.allgatherv(&mine, &counts, &comm)
             });
             let expect: Vec<i32> = (0..p as i32)
-                .flat_map(|i| std::iter::repeat(i).take(2 * i as usize + 1))
+                .flat_map(|i| std::iter::repeat_n(i, 2 * i as usize + 1))
                 .collect();
             for res in &report.results {
                 assert_eq!(res, &expect);
@@ -378,13 +378,13 @@ fn alltoallv_uneven() {
                 let send_counts: Vec<usize> = (0..p).map(|j| j + 1).collect();
                 let recv_counts: Vec<usize> = vec![r + 1; p];
                 let send: Vec<i32> = (0..p)
-                    .flat_map(|j| std::iter::repeat((r * 10 + j) as i32).take(j + 1))
+                    .flat_map(|j| std::iter::repeat_n((r * 10 + j) as i32, j + 1))
                     .collect();
                 ctx.alltoallv(&send, &send_counts, &recv_counts, &comm)
             });
             for (r, res) in report.results.iter().enumerate() {
                 let expect: Vec<i32> = (0..p)
-                    .flat_map(|j| std::iter::repeat((j * 10 + r) as i32).take(r + 1))
+                    .flat_map(|j| std::iter::repeat_n((j * 10 + r) as i32, r + 1))
                     .collect();
                 assert_eq!(res, &expect, "rank {r}");
             }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use smpi::{AnyRequest, MpiProfile, World, ANY_SOURCE, ANY_TAG};
+use smpi::{MpiProfile, World, ANY_SOURCE, ANY_TAG};
 use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
 use surf_sim::TransferModel;
 

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use smpi::trace::{self, TraceKind};
-use smpi::{MpiProfile, World};
+use smpi::World;
 use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
 use surf_sim::TransferModel;
 

@@ -84,7 +84,7 @@ mod tests {
         // Deterministic "noise".
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 1.0 + x + if (x as u64) % 2 == 0 { 5.0 } else { -5.0 })
+            .map(|&x| 1.0 + x + if (x as u64).is_multiple_of(2) { 5.0 } else { -5.0 })
             .collect();
         let f = fit(&xs, &ys);
         assert!(f.r2 < 0.99);
@@ -126,7 +126,7 @@ mod tests {
         let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 5.0 - 0.5 * x).collect();
         let a = fit(&xs, &ys);
-        let b = fit_weighted(&xs, &ys, Some(&vec![2.0; 20]));
+        let b = fit_weighted(&xs, &ys, Some(&[2.0; 20]));
         assert!((a.slope - b.slope).abs() < 1e-12);
         assert!((a.intercept - b.intercept).abs() < 1e-12);
     }

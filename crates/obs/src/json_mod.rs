@@ -1,0 +1,186 @@
+//! Tiny hand-rolled JSON writer (the environment has no serde_json).
+//!
+//! Only what the exports need: string escaping, number formatting that
+//! stays valid JSON for non-finite floats, and a push-based object/array
+//! builder over a plain `String`.
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number; NaN/inf become `null`.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest representation that round-trips.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Push-based JSON builder writing into an owned buffer.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    buf: String,
+    /// Whether the next element at each nesting level needs a comma.
+    need_comma: Vec<bool>,
+}
+
+impl JsonBuf {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn elem(&mut self) {
+        if let Some(last) = self.need_comma.last_mut() {
+            if *last {
+                self.buf.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    /// Opens an object (as a value).
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.elem();
+        self.buf.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.buf.push('}');
+        self
+    }
+
+    /// Opens an array (as a value).
+    pub fn begin_arr(&mut self) -> &mut Self {
+        self.elem();
+        self.buf.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.buf.push(']');
+        self
+    }
+
+    /// Emits an object key; the next emitted value belongs to it.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.elem();
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+        // The value following the key must not be comma-prefixed.
+        if let Some(last) = self.need_comma.last_mut() {
+            *last = false;
+        }
+        self
+    }
+
+    /// Emits a string value.
+    pub fn str_val(&mut self, v: &str) -> &mut Self {
+        self.elem();
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Emits a float value.
+    pub fn num_val(&mut self, v: f64) -> &mut Self {
+        self.elem();
+        self.buf.push_str(&num(v));
+        self
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn uint_val(&mut self, v: u64) -> &mut Self {
+        self.elem();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Emits a boolean value.
+    pub fn bool_val(&mut self, v: bool) -> &mut Self {
+        self.elem();
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Emits a pre-serialized JSON value verbatim (for splicing the output
+    /// of another builder, e.g. a nested report).
+    pub fn raw_val(&mut self, v: &str) -> &mut Self {
+        self.elem();
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Finishes and returns the JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.need_comma.is_empty(), "unbalanced JSON builder");
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn raw_val_splices_verbatim() {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("a").uint_val(1);
+        j.key("inner").raw_val(r#"{"x":[1,2]}"#);
+        j.end_obj();
+        assert_eq!(j.finish(), r#"{"a":1,"inner":{"x":[1,2]}}"#);
+    }
+
+    #[test]
+    fn builder_produces_valid_structure() {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("name").str_val("x");
+        j.key("vals").begin_arr().uint_val(1).num_val(2.5).end_arr();
+        j.key("on").bool_val(true);
+        j.key("nested").begin_obj().key("k").num_val(0.0).end_obj();
+        j.end_obj();
+        assert_eq!(
+            j.finish(),
+            r#"{"name":"x","vals":[1,2.5],"on":true,"nested":{"k":0}}"#
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Workspace-wide observability layer.
+//!
+//! Every simulation layer (the surf flow kernel, the packet-level network,
+//! and the SMPI core runtime) emits into the same lightweight [`Rec`]
+//! handle. When observability is off the handle is `None` and every emit
+//! is a single branch — the hot paths pay nothing else. When on, events
+//! accumulate in a [`MemoryRecorder`] and are snapshotted into a
+//! [`MetricsReport`] at the end of the run.
+//!
+//! The crate also provides:
+//!
+//! * [`paje::PajeWriter`] — a low-level writer for the Paje trace format
+//!   understood by Vite / pj_dump, mirroring SimGrid's tracing output;
+//! * [`SelfProfile`] — simulator self-profiling (wall-clock per phase,
+//!   events processed, events per second);
+//! * [`json`] — a tiny dependency-free JSON writer used by the exports.
+
+mod json_mod;
+mod paje_mod;
+mod profile;
+mod recorder;
+mod report;
+
+pub use profile::SelfProfile;
+pub use recorder::{MemoryRecorder, NullRecorder, Rec, Recorder, StateEvent, StateOp};
+pub use report::{HistogramSnapshot, MetricsReport, TimelineSnapshot};
+
+pub mod json {
+    //! Minimal JSON construction helpers (no external deps).
+    pub use crate::json_mod::*;
+}
+
+pub mod paje {
+    //! Paje trace-format writer.
+    pub use crate::paje_mod::*;
+}

@@ -1,0 +1,312 @@
+//! Low-level writer for the Paje generic trace format.
+//!
+//! Paje is the self-describing text format SimGrid's tracing subsystem
+//! emits and that Vite / `pj_dump` / PajeNG consume. A file starts with
+//! `%EventDef` blocks declaring each event's fields, followed by numbered
+//! event lines. This module knows nothing about MPI — callers define
+//! container/state/variable/link types and emit events; the glue that maps
+//! a simulation run onto containers lives with the runtime.
+
+use std::fmt::Display;
+
+// Event ids, matching the order of the header definitions.
+const DEFINE_CONTAINER_TYPE: u8 = 0;
+const DEFINE_STATE_TYPE: u8 = 1;
+const DEFINE_VARIABLE_TYPE: u8 = 2;
+const DEFINE_LINK_TYPE: u8 = 3;
+const DEFINE_ENTITY_VALUE: u8 = 4;
+const CREATE_CONTAINER: u8 = 5;
+const DESTROY_CONTAINER: u8 = 6;
+const SET_STATE: u8 = 7;
+const PUSH_STATE: u8 = 8;
+const POP_STATE: u8 = 9;
+const SET_VARIABLE: u8 = 10;
+const START_LINK: u8 = 11;
+const END_LINK: u8 = 12;
+
+/// Paje trace writer. Emit definitions first, then timed events; times
+/// must be non-decreasing for downstream tools to accept the trace.
+#[derive(Debug)]
+pub struct PajeWriter {
+    out: String,
+}
+
+impl Default for PajeWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PajeWriter {
+    /// Creates a writer with the standard event-definition header.
+    pub fn new() -> Self {
+        let mut out = String::with_capacity(4096);
+        let defs: &[(&str, u8, &[&str])] = &[
+            ("PajeDefineContainerType", DEFINE_CONTAINER_TYPE, &["Alias string", "Type string", "Name string"]),
+            ("PajeDefineStateType", DEFINE_STATE_TYPE, &["Alias string", "Type string", "Name string"]),
+            ("PajeDefineVariableType", DEFINE_VARIABLE_TYPE, &["Alias string", "Type string", "Name string"]),
+            ("PajeDefineLinkType", DEFINE_LINK_TYPE, &["Alias string", "Type string", "StartContainerType string", "EndContainerType string", "Name string"]),
+            ("PajeDefineEntityValue", DEFINE_ENTITY_VALUE, &["Alias string", "Type string", "Name string", "Color color"]),
+            ("PajeCreateContainer", CREATE_CONTAINER, &["Time date", "Alias string", "Type string", "Container string", "Name string"]),
+            ("PajeDestroyContainer", DESTROY_CONTAINER, &["Time date", "Type string", "Name string"]),
+            ("PajeSetState", SET_STATE, &["Time date", "Type string", "Container string", "Value string"]),
+            ("PajePushState", PUSH_STATE, &["Time date", "Type string", "Container string", "Value string"]),
+            ("PajePopState", POP_STATE, &["Time date", "Type string", "Container string"]),
+            ("PajeSetVariable", SET_VARIABLE, &["Time date", "Type string", "Container string", "Value double"]),
+            ("PajeStartLink", START_LINK, &["Time date", "Type string", "Container string", "Value string", "StartContainer string", "Key string"]),
+            ("PajeEndLink", END_LINK, &["Time date", "Type string", "Container string", "Value string", "EndContainer string", "Key string"]),
+        ];
+        for (name, id, fields) in defs {
+            out.push_str(&format!("%EventDef {name} {id}\n"));
+            for f in *fields {
+                out.push_str(&format!("% {f}\n"));
+            }
+            out.push_str("%EndEventDef\n");
+        }
+        PajeWriter { out }
+    }
+
+    fn field(s: &str) -> String {
+        // Paje fields are whitespace-separated; quote anything that needs it.
+        if s.is_empty() || s.contains(char::is_whitespace) || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\\\""))
+        } else {
+            s.to_string()
+        }
+    }
+
+    fn time(t: f64) -> String {
+        format!("{t:.9}")
+    }
+
+    /// Declares a container type; `parent` is `"0"` for root types.
+    pub fn define_container_type(&mut self, alias: &str, parent: &str, name: &str) {
+        self.out.push_str(&format!(
+            "{DEFINE_CONTAINER_TYPE} {} {} {}\n",
+            Self::field(alias),
+            Self::field(parent),
+            Self::field(name)
+        ));
+    }
+
+    /// Declares a state type attached to a container type.
+    pub fn define_state_type(&mut self, alias: &str, container_type: &str, name: &str) {
+        self.out.push_str(&format!(
+            "{DEFINE_STATE_TYPE} {} {} {}\n",
+            Self::field(alias),
+            Self::field(container_type),
+            Self::field(name)
+        ));
+    }
+
+    /// Declares a numeric variable type attached to a container type.
+    pub fn define_variable_type(&mut self, alias: &str, container_type: &str, name: &str) {
+        self.out.push_str(&format!(
+            "{DEFINE_VARIABLE_TYPE} {} {} {}\n",
+            Self::field(alias),
+            Self::field(container_type),
+            Self::field(name)
+        ));
+    }
+
+    /// Declares a link (arrow) type between two container types.
+    pub fn define_link_type(
+        &mut self,
+        alias: &str,
+        container_type: &str,
+        start_type: &str,
+        end_type: &str,
+        name: &str,
+    ) {
+        self.out.push_str(&format!(
+            "{DEFINE_LINK_TYPE} {} {} {} {} {}\n",
+            Self::field(alias),
+            Self::field(container_type),
+            Self::field(start_type),
+            Self::field(end_type),
+            Self::field(name)
+        ));
+    }
+
+    /// Declares a named value of a state type with an `r g b` color.
+    pub fn define_entity_value(&mut self, alias: &str, state_type: &str, name: &str, color: &str) {
+        self.out.push_str(&format!(
+            "{DEFINE_ENTITY_VALUE} {} {} {} {}\n",
+            Self::field(alias),
+            Self::field(state_type),
+            Self::field(name),
+            Self::field(color)
+        ));
+    }
+
+    /// Instantiates a container.
+    pub fn create_container(&mut self, t: f64, alias: &str, ctype: &str, parent: &str, name: &str) {
+        self.out.push_str(&format!(
+            "{CREATE_CONTAINER} {} {} {} {} {}\n",
+            Self::time(t),
+            Self::field(alias),
+            Self::field(ctype),
+            Self::field(parent),
+            Self::field(name)
+        ));
+    }
+
+    /// Destroys a container.
+    pub fn destroy_container(&mut self, t: f64, ctype: &str, name: &str) {
+        self.out.push_str(&format!(
+            "{DESTROY_CONTAINER} {} {} {}\n",
+            Self::time(t),
+            Self::field(ctype),
+            Self::field(name)
+        ));
+    }
+
+    /// Replaces a container's current state.
+    pub fn set_state(&mut self, t: f64, stype: &str, container: &str, value: &str) {
+        self.out.push_str(&format!(
+            "{SET_STATE} {} {} {} {}\n",
+            Self::time(t),
+            Self::field(stype),
+            Self::field(container),
+            Self::field(value)
+        ));
+    }
+
+    /// Pushes a nested state.
+    pub fn push_state(&mut self, t: f64, stype: &str, container: &str, value: &str) {
+        self.out.push_str(&format!(
+            "{PUSH_STATE} {} {} {} {}\n",
+            Self::time(t),
+            Self::field(stype),
+            Self::field(container),
+            Self::field(value)
+        ));
+    }
+
+    /// Pops the current nested state.
+    pub fn pop_state(&mut self, t: f64, stype: &str, container: &str) {
+        self.out.push_str(&format!(
+            "{POP_STATE} {} {} {}\n",
+            Self::time(t),
+            Self::field(stype),
+            Self::field(container)
+        ));
+    }
+
+    /// Samples a numeric variable.
+    pub fn set_variable(&mut self, t: f64, vtype: &str, container: &str, value: f64) {
+        self.out.push_str(&format!(
+            "{SET_VARIABLE} {} {} {} {value}\n",
+            Self::time(t),
+            Self::field(vtype),
+            Self::field(container)
+        ));
+    }
+
+    /// Starts an arrow; `key` pairs it with the matching
+    /// [`PajeWriter::end_link`].
+    pub fn start_link(
+        &mut self,
+        t: f64,
+        ltype: &str,
+        container: &str,
+        value: &str,
+        start: &str,
+        key: impl Display,
+    ) {
+        self.out.push_str(&format!(
+            "{START_LINK} {} {} {} {} {} {key}\n",
+            Self::time(t),
+            Self::field(ltype),
+            Self::field(container),
+            Self::field(value),
+            Self::field(start)
+        ));
+    }
+
+    /// Ends an arrow started with the same `key`.
+    pub fn end_link(
+        &mut self,
+        t: f64,
+        ltype: &str,
+        container: &str,
+        value: &str,
+        end: &str,
+        key: impl Display,
+    ) {
+        self.out.push_str(&format!(
+            "{END_LINK} {} {} {} {} {} {key}\n",
+            Self::time(t),
+            Self::field(ltype),
+            Self::field(container),
+            Self::field(value),
+            Self::field(end)
+        ));
+    }
+
+    /// Finishes and returns the trace text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_defines_all_events() {
+        let trace = PajeWriter::new().into_string();
+        for name in [
+            "PajeDefineContainerType",
+            "PajeDefineStateType",
+            "PajeDefineVariableType",
+            "PajeDefineLinkType",
+            "PajeDefineEntityValue",
+            "PajeCreateContainer",
+            "PajeDestroyContainer",
+            "PajeSetState",
+            "PajePushState",
+            "PajePopState",
+            "PajeSetVariable",
+            "PajeStartLink",
+            "PajeEndLink",
+        ] {
+            assert!(trace.contains(&format!("%EventDef {name} ")), "{name} missing");
+        }
+        assert_eq!(trace.matches("%EndEventDef").count(), 13);
+    }
+
+    #[test]
+    fn events_reference_declared_ids() {
+        let mut w = PajeWriter::new();
+        w.define_container_type("CT_rank", "0", "RANK");
+        w.define_state_type("ST_rank", "CT_rank", "rank state");
+        w.create_container(0.0, "rank0", "CT_rank", "0", "rank 0");
+        w.push_state(0.5, "ST_rank", "rank0", "computing");
+        w.pop_state(1.25, "ST_rank", "rank0");
+        w.destroy_container(2.0, "CT_rank", "rank0");
+        let trace = w.into_string();
+        assert!(trace.contains("0 CT_rank 0 RANK\n"));
+        assert!(trace.contains("5 0.000000000 rank0 CT_rank 0 \"rank 0\"\n"));
+        assert!(trace.contains("8 0.500000000 ST_rank rank0 computing\n"));
+        assert!(trace.contains("9 1.250000000 ST_rank rank0\n"));
+    }
+
+    #[test]
+    fn fields_with_spaces_are_quoted() {
+        let mut w = PajeWriter::new();
+        w.set_state(1.0, "ST", "c0", "blocked in recv");
+        assert!(w.into_string().contains("7 1.000000000 ST c0 \"blocked in recv\"\n"));
+    }
+
+    #[test]
+    fn links_pair_by_key() {
+        let mut w = PajeWriter::new();
+        w.start_link(0.1, "LT", "root", "msg", "rank0", 42);
+        w.end_link(0.3, "LT", "root", "msg", "rank1", 42);
+        let t = w.into_string();
+        assert!(t.contains("11 0.100000000 LT root msg rank0 42\n"));
+        assert!(t.contains("12 0.300000000 LT root msg rank1 42\n"));
+    }
+}

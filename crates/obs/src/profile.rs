@@ -1,0 +1,170 @@
+//! Simulator self-profiling: where the simulator itself spends wall-clock
+//! time, and how fast it processes simulation events.
+
+use crate::json_mod::JsonBuf;
+
+/// Wall-clock and throughput profile of one simulation run.
+///
+/// Counters are always collected (they are plain integer increments);
+/// phase timings are taken by the maestro drive loop.
+#[derive(Debug, Clone, Default)]
+pub struct SelfProfile {
+    /// Wall-clock seconds per drive-loop phase, in display order
+    /// (e.g. `actor_handoff`, `fabric_advance`, `completion_dispatch`).
+    pub phases: Vec<(&'static str, f64)>,
+    /// Simcalls the maestro handled (each is one actor→maestro baton pass).
+    pub simcalls: u64,
+    /// Fabric completion tokens dispatched back to blocked requests.
+    pub tokens: u64,
+    /// Trace events appended (0 when tracing is off).
+    pub trace_events: u64,
+    /// Final simulated time, seconds.
+    pub sim_time: f64,
+    /// Total wall-clock seconds for the run.
+    pub wall_seconds: f64,
+}
+
+impl SelfProfile {
+    /// Total events processed: simcalls plus completion tokens.
+    pub fn events(&self) -> u64 {
+        self.simcalls + self.tokens
+    }
+
+    /// Events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated seconds per wall-clock second (the paper's slowdown
+    /// metric, inverted: > 1 means faster than real time).
+    pub fn acceleration(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.sim_time / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("self-profile:\n");
+        out.push_str(&format!(
+            "  simulated {:.6} s in {:.3} ms wall ({:.1}x real time)\n",
+            self.sim_time,
+            self.wall_seconds * 1e3,
+            self.acceleration()
+        ));
+        out.push_str(&format!(
+            "  events: {} simcalls + {} completions = {} ({:.0} events/s)\n",
+            self.simcalls,
+            self.tokens,
+            self.events(),
+            self.events_per_sec()
+        ));
+        if self.trace_events > 0 {
+            out.push_str(&format!("  trace events: {}\n", self.trace_events));
+        }
+        let accounted: f64 = self.phases.iter().map(|(_, s)| s).sum();
+        for (name, secs) in &self.phases {
+            let pct = if self.wall_seconds > 0.0 {
+                100.0 * secs / self.wall_seconds
+            } else {
+                0.0
+            };
+            out.push_str(&format!("  phase {name:<20} {:>9.3} ms ({pct:>4.1}%)\n", secs * 1e3));
+        }
+        if self.wall_seconds > accounted && !self.phases.is_empty() {
+            let other = self.wall_seconds - accounted;
+            out.push_str(&format!(
+                "  phase {:<20} {:>9.3} ms ({:>4.1}%)\n",
+                "(other)",
+                other * 1e3,
+                100.0 * other / self.wall_seconds
+            ));
+        }
+        out
+    }
+
+    /// JSON object for machine consumption.
+    pub fn to_json(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("sim_time").num_val(self.sim_time);
+        j.key("wall_seconds").num_val(self.wall_seconds);
+        j.key("simcalls").uint_val(self.simcalls);
+        j.key("tokens").uint_val(self.tokens);
+        j.key("trace_events").uint_val(self.trace_events);
+        j.key("events").uint_val(self.events());
+        j.key("events_per_sec").num_val(self.events_per_sec());
+        j.key("acceleration").num_val(self.acceleration());
+        j.key("phases").begin_obj();
+        for (name, secs) in &self.phases {
+            j.key(name).num_val(*secs);
+        }
+        j.end_obj();
+        j.end_obj();
+        j.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SelfProfile {
+        SelfProfile {
+            phases: vec![("actor_handoff", 0.002), ("fabric_advance", 0.001)],
+            simcalls: 800,
+            tokens: 200,
+            trace_events: 50,
+            sim_time: 1.5,
+            wall_seconds: 0.004,
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let p = sample();
+        assert_eq!(p.events(), 1000);
+        assert!((p.events_per_sec() - 250_000.0).abs() < 1e-6);
+        assert!((p.acceleration() - 375.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_clock_is_safe() {
+        let p = SelfProfile::default();
+        assert_eq!(p.events_per_sec(), 0.0);
+        assert_eq!(p.acceleration(), 0.0);
+        assert!(p.render().contains("events/s"));
+    }
+
+    #[test]
+    fn render_mentions_phases_and_rates() {
+        let text = sample().render();
+        assert!(text.contains("actor_handoff"));
+        assert!(text.contains("fabric_advance"));
+        assert!(text.contains("(other)"));
+        assert!(text.contains("250000 events/s"));
+    }
+
+    #[test]
+    fn json_has_all_fields() {
+        let json = sample().to_json();
+        for k in [
+            "sim_time",
+            "wall_seconds",
+            "simcalls",
+            "tokens",
+            "events_per_sec",
+            "acceleration",
+            "phases",
+        ] {
+            assert!(json.contains(&format!("\"{k}\":")), "{k} missing");
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! The recorder API every layer emits into.
+
+use crate::report::{HistogramSnapshot, MetricsReport, TimelineSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Sink for metrics and timeline events.
+///
+/// Implemented by [`MemoryRecorder`] (accumulating) and [`NullRecorder`]
+/// (all no-ops). Instrumented code normally goes through [`Rec`], which
+/// skips the virtual dispatch entirely when observability is disabled.
+pub trait Recorder {
+    /// Adds `delta` to the integer counter `key`.
+    fn counter_add(&mut self, key: &str, delta: u64);
+
+    /// Adds `delta` to the floating-point counter `key` (e.g. byte
+    /// integrals accumulated as `rate * dt`).
+    fn fcounter_add(&mut self, key: &str, delta: f64);
+
+    /// Appends a `(time, value)` sample to the gauge timeline `key`.
+    fn gauge_set(&mut self, key: &str, time: f64, value: f64);
+
+    /// Raises the high-water mark `key` to at least `value`.
+    fn hwm(&mut self, key: &str, value: f64);
+
+    /// Records `value` into the log2-bucketed histogram `key`.
+    fn observe(&mut self, key: &str, value: f64);
+
+    /// Pushes a state onto the container `(kind, id)`'s state stack.
+    fn state_push(&mut self, kind: &'static str, id: u32, time: f64, state: &'static str);
+
+    /// Pops the top state of the container `(kind, id)`.
+    fn state_pop(&mut self, kind: &'static str, id: u32, time: f64);
+
+    /// Replaces the current state of the container `(kind, id)`.
+    fn state_set(&mut self, kind: &'static str, id: u32, time: f64, state: &'static str);
+}
+
+/// Recorder that drops everything; useful for generic code paths.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn counter_add(&mut self, _key: &str, _delta: u64) {}
+    fn fcounter_add(&mut self, _key: &str, _delta: f64) {}
+    fn gauge_set(&mut self, _key: &str, _time: f64, _value: f64) {}
+    fn hwm(&mut self, _key: &str, _value: f64) {}
+    fn observe(&mut self, _key: &str, _value: f64) {}
+    fn state_push(&mut self, _kind: &'static str, _id: u32, _time: f64, _state: &'static str) {}
+    fn state_pop(&mut self, _kind: &'static str, _id: u32, _time: f64) {}
+    fn state_set(&mut self, _kind: &'static str, _id: u32, _time: f64, _state: &'static str) {}
+}
+
+/// One event on a container's state timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateEvent {
+    /// Simulated time of the transition.
+    pub time: f64,
+    /// What happened.
+    pub op: StateOp,
+}
+
+/// State-timeline operation (mirrors Paje Push/Pop/SetState).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateOp {
+    /// Enter a nested state.
+    Push(&'static str),
+    /// Leave the current nested state.
+    Pop,
+    /// Replace the current state.
+    Set(&'static str),
+}
+
+/// Log2-bucketed histogram accumulator.
+#[derive(Debug, Clone, Default)]
+struct Histogram {
+    /// `buckets[i]` counts values whose magnitude rounds up to `2^(i-1)`
+    /// units; bucket 0 holds zero/negative values. Unit is the caller's
+    /// (the instrumentation uses nanoseconds for latencies).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: f64) {
+        let ix = if value <= 0.0 {
+            0
+        } else {
+            64 - (value.ceil() as u64).leading_zeros() as usize
+        };
+        if self.buckets.len() <= ix {
+            self.buckets.resize(ix + 1, 0);
+        }
+        self.buckets[ix] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+/// Accumulating recorder; snapshot with [`MemoryRecorder::snapshot`].
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    counters: BTreeMap<String, u64>,
+    fcounters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, Vec<(f64, f64)>>,
+    hwms: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    timelines: BTreeMap<(&'static str, u32), Vec<StateEvent>>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Produces an immutable, sorted snapshot of everything recorded.
+    pub fn snapshot(&self) -> MetricsReport {
+        MetricsReport {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            fcounters: self
+                .fcounters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            hwms: self.hwms.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            buckets: h.buckets.clone(),
+                            count: h.count,
+                            sum: h.sum,
+                            min: h.min,
+                            max: h.max,
+                        },
+                    )
+                })
+                .collect(),
+            timelines: self
+                .timelines
+                .iter()
+                .map(|(&(kind, id), events)| TimelineSnapshot {
+                    kind,
+                    id,
+                    events: events.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter_add(&mut self, key: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(key) {
+            *v += delta;
+        } else {
+            self.counters.insert(key.to_string(), delta);
+        }
+    }
+
+    fn fcounter_add(&mut self, key: &str, delta: f64) {
+        if let Some(v) = self.fcounters.get_mut(key) {
+            *v += delta;
+        } else {
+            self.fcounters.insert(key.to_string(), delta);
+        }
+    }
+
+    fn gauge_set(&mut self, key: &str, time: f64, value: f64) {
+        if let Some(series) = self.gauges.get_mut(key) {
+            series.push((time, value));
+        } else {
+            self.gauges.insert(key.to_string(), vec![(time, value)]);
+        }
+    }
+
+    fn hwm(&mut self, key: &str, value: f64) {
+        if let Some(v) = self.hwms.get_mut(key) {
+            if value > *v {
+                *v = value;
+            }
+        } else {
+            self.hwms.insert(key.to_string(), value);
+        }
+    }
+
+    fn observe(&mut self, key: &str, value: f64) {
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(value);
+            self.histograms.insert(key.to_string(), h);
+        }
+    }
+
+    fn state_push(&mut self, kind: &'static str, id: u32, time: f64, state: &'static str) {
+        self.timelines.entry((kind, id)).or_default().push(StateEvent {
+            time,
+            op: StateOp::Push(state),
+        });
+    }
+
+    fn state_pop(&mut self, kind: &'static str, id: u32, time: f64) {
+        self.timelines.entry((kind, id)).or_default().push(StateEvent {
+            time,
+            op: StateOp::Pop,
+        });
+    }
+
+    fn state_set(&mut self, kind: &'static str, id: u32, time: f64, state: &'static str) {
+        self.timelines.entry((kind, id)).or_default().push(StateEvent {
+            time,
+            op: StateOp::Set(state),
+        });
+    }
+}
+
+/// Cheap cloneable recorder handle threaded through every layer.
+///
+/// Disabled (`Rec::disabled()`, the default): contains `None`, so every
+/// emit method is one branch and returns — no locking, no formatting, no
+/// allocation. Key formatting happens inside closures passed to
+/// [`Rec::with`], so disabled runs never even build the key strings.
+#[derive(Debug, Clone, Default)]
+pub struct Rec(Option<Arc<Mutex<MemoryRecorder>>>);
+
+impl Rec {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        Rec(None)
+    }
+
+    /// A handle backed by a fresh shared [`MemoryRecorder`].
+    pub fn enabled() -> Self {
+        Rec(Some(Arc::new(Mutex::new(MemoryRecorder::new()))))
+    }
+
+    /// Whether emits are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Runs `f` against the recorder if enabled. This is the one emission
+    /// primitive; use it to batch several emits under a single lock and to
+    /// keep key formatting off the disabled path.
+    #[inline]
+    pub fn with<F: FnOnce(&mut MemoryRecorder)>(&self, f: F) {
+        if let Some(rec) = &self.0 {
+            f(&mut rec.lock().unwrap_or_else(|p| p.into_inner()));
+        }
+    }
+
+    /// Adds to an integer counter.
+    #[inline]
+    pub fn counter_add(&self, key: &str, delta: u64) {
+        self.with(|r| r.counter_add(key, delta));
+    }
+
+    /// Adds to a floating-point counter.
+    #[inline]
+    pub fn fcounter_add(&self, key: &str, delta: f64) {
+        self.with(|r| r.fcounter_add(key, delta));
+    }
+
+    /// Appends a gauge sample.
+    #[inline]
+    pub fn gauge_set(&self, key: &str, time: f64, value: f64) {
+        self.with(|r| r.gauge_set(key, time, value));
+    }
+
+    /// Raises a high-water mark.
+    #[inline]
+    pub fn hwm(&self, key: &str, value: f64) {
+        self.with(|r| r.hwm(key, value));
+    }
+
+    /// Records a histogram observation.
+    #[inline]
+    pub fn observe(&self, key: &str, value: f64) {
+        self.with(|r| r.observe(key, value));
+    }
+
+    /// Pushes a container state.
+    #[inline]
+    pub fn state_push(&self, kind: &'static str, id: u32, time: f64, state: &'static str) {
+        self.with(|r| r.state_push(kind, id, time, state));
+    }
+
+    /// Pops a container state.
+    #[inline]
+    pub fn state_pop(&self, kind: &'static str, id: u32, time: f64) {
+        self.with(|r| r.state_pop(kind, id, time));
+    }
+
+    /// Replaces a container state.
+    #[inline]
+    pub fn state_set(&self, kind: &'static str, id: u32, time: f64, state: &'static str) {
+        self.with(|r| r.state_set(kind, id, time, state));
+    }
+
+    /// Snapshots the accumulated metrics, or `None` when disabled.
+    pub fn snapshot(&self) -> Option<MetricsReport> {
+        self.0
+            .as_ref()
+            .map(|rec| rec.lock().unwrap_or_else(|p| p.into_inner()).snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_rec_records_nothing() {
+        let rec = Rec::disabled();
+        rec.counter_add("x", 1);
+        rec.state_push("rank", 0, 0.0, "computing");
+        assert!(!rec.is_enabled());
+        assert!(rec.snapshot().is_none());
+    }
+
+    #[test]
+    fn counters_and_fcounters_accumulate() {
+        let rec = Rec::enabled();
+        rec.counter_add("sends", 2);
+        rec.counter_add("sends", 3);
+        rec.fcounter_add("bytes", 1.5);
+        rec.fcounter_add("bytes", 2.5);
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.counter("sends"), 5);
+        assert_eq!(snap.fcounter("bytes"), 4.0);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn hwm_keeps_maximum() {
+        let rec = Rec::enabled();
+        rec.hwm("depth", 3.0);
+        rec.hwm("depth", 7.0);
+        rec.hwm("depth", 5.0);
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.hwms, vec![("depth".to_string(), 7.0)]);
+    }
+
+    #[test]
+    fn gauge_timeline_preserves_order() {
+        let rec = Rec::enabled();
+        rec.gauge_set("util", 0.0, 0.5);
+        rec.gauge_set("util", 1.0, 0.9);
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.gauges[0].1, vec![(0.0, 0.5), (1.0, 0.9)]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let rec = Rec::enabled();
+        rec.observe("lat", 0.0); // bucket 0
+        rec.observe("lat", 1.0); // bucket 1
+        rec.observe("lat", 3.0); // ceil -> 3, 2 bits -> bucket 2
+        rec.observe("lat", 1000.0); // 10 bits -> bucket 10
+        let snap = rec.snapshot().unwrap();
+        let h = &snap.histograms[0].1;
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1004.0);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 1000.0);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[10], 1);
+    }
+
+    #[test]
+    fn state_timeline_round_trip() {
+        let rec = Rec::enabled();
+        rec.state_set("rank", 1, 0.0, "idle");
+        rec.state_push("rank", 1, 1.0, "computing");
+        rec.state_pop("rank", 1, 2.0);
+        let snap = rec.snapshot().unwrap();
+        let tl = snap.timeline("rank", 1).unwrap();
+        assert_eq!(
+            tl.events,
+            vec![
+                StateEvent { time: 0.0, op: StateOp::Set("idle") },
+                StateEvent { time: 1.0, op: StateOp::Push("computing") },
+                StateEvent { time: 2.0, op: StateOp::Pop },
+            ]
+        );
+    }
+}

@@ -19,6 +19,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use smpi_obs::Rec;
 use smpi_platform::spec::Dir;
 use smpi_platform::{HostIx, RoutedPlatform, SharingPolicy};
 use surf_sim::SimTime;
@@ -50,6 +51,8 @@ struct Channel {
     rr: VecDeque<u32>,
     /// Whether a frame is currently being serialized.
     busy: bool,
+    /// Frames currently queued (excluding the one being serialized).
+    depth: u32,
 }
 
 /// A frame in flight or queued.
@@ -61,6 +64,9 @@ struct Frame {
     payload: u32,
     /// Index of the hop this frame is about to cross (into the route).
     hop: u16,
+    /// When the frame entered the current hop's channel (store-and-forward
+    /// hop latency = arrival time minus this).
+    queued_at: SimTime,
 }
 
 #[derive(Debug)]
@@ -110,6 +116,8 @@ pub struct PacketNet {
     host_speeds: Vec<f64>,
     /// Routes are translated to channel sequences lazily and memoized.
     route_cache: HashMap<(HostIx, HostIx), (Vec<u32>, Vec<f64>)>,
+    /// Observability sink; disabled by default (every emit is one branch).
+    rec: Rec,
 }
 
 impl PacketNet {
@@ -150,7 +158,17 @@ impl PacketNet {
             seq: 0,
             host_speeds,
             route_cache: HashMap::new(),
+            rec: Rec::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder. While enabled, the simulator
+    /// emits frame counters (`packetnet.frames.*`), per-channel queue-depth
+    /// high-water marks (`packetnet.chan.<i>.queue_depth`), and a log2
+    /// histogram of per-hop store-and-forward latencies in nanoseconds
+    /// (`packetnet.hop_latency_ns`).
+    pub fn set_recorder(&mut self, rec: Rec) {
+        self.rec = rec;
     }
 
     /// Current simulated time.
@@ -221,6 +239,12 @@ impl PacketNet {
             done: false,
         });
 
+        self.rec.with(|r| {
+            use smpi_obs::Recorder;
+            r.counter_add("packetnet.messages", 1);
+            r.counter_add("packetnet.frames.total", nframes);
+        });
+
         // Enqueue all frames at the first channel.
         let full = self.config.mtu_payload as u64;
         let first = route_channels[0];
@@ -234,6 +258,7 @@ impl PacketNet {
                     transfer: id.0,
                     payload,
                     hop: 0,
+                    queued_at: SimTime::ZERO,
                 },
             );
         }
@@ -264,7 +289,8 @@ impl PacketNet {
         self.actions[id.index()].done
     }
 
-    fn enqueue_frame(&mut self, chan: u32, frame: Frame) {
+    fn enqueue_frame(&mut self, chan: u32, mut frame: Frame) {
+        frame.queued_at = self.now;
         if self.chan_fat[chan as usize] {
             // FatPipe: serialize without queuing (infinite parallel lanes).
             let ser = self.config.wire_bytes(frame.payload) as f64 / self.chan_bw[chan as usize];
@@ -272,13 +298,27 @@ impl PacketNet {
             self.schedule(at, Event::Arrive(frame));
             return;
         }
-        let c = &mut self.channels[chan as usize];
-        let q = c.queues.entry(frame.transfer).or_default();
-        if q.is_empty() {
-            c.rr.push_back(frame.transfer);
+        let (was_busy, depth) = {
+            let c = &mut self.channels[chan as usize];
+            let was_busy = c.busy;
+            let q = c.queues.entry(frame.transfer).or_default();
+            if q.is_empty() {
+                c.rr.push_back(frame.transfer);
+            }
+            q.push_back(frame);
+            c.depth += 1;
+            (was_busy, c.depth)
+        };
+        if self.rec.is_enabled() {
+            self.rec.with(|r| {
+                use smpi_obs::Recorder;
+                if was_busy {
+                    r.counter_add("packetnet.frames.queued_behind", 1);
+                }
+                r.hwm(&format!("packetnet.chan.{chan}.queue_depth"), depth as f64);
+            });
         }
-        q.push_back(frame);
-        if !c.busy {
+        if !was_busy {
             self.transmit_next(chan);
         }
     }
@@ -301,6 +341,7 @@ impl PacketNet {
                 c.rr.push_back(flow);
             }
             c.busy = true;
+            c.depth -= 1;
             (frame, true)
         };
         debug_assert!(now_busy);
@@ -363,6 +404,14 @@ impl PacketNet {
                         self.transmit_next(chan);
                     }
                     Event::Arrive(frame) => {
+                        if self.rec.is_enabled() {
+                            let hop_ns = (self.now.as_secs() - frame.queued_at.as_secs()) * 1e9;
+                            self.rec.with(|r| {
+                                use smpi_obs::Recorder;
+                                r.observe("packetnet.hop_latency_ns", hop_ns);
+                                r.counter_add("packetnet.frames.hops", 1);
+                            });
+                        }
                         if let Some(done) = self.on_arrive(frame) {
                             completed.push(done);
                         }

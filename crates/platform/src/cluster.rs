@@ -133,7 +133,7 @@ pub fn gdx() -> Platform {
     // 312 nodes over 18 switch groups: 312 = 18*17 + 6, so 6 groups of 18
     // and 12 groups of 17.
     let mut groups = vec![18usize; 6];
-    groups.extend(std::iter::repeat(17).take(12));
+    groups.extend(std::iter::repeat_n(17, 12));
     debug_assert_eq!(groups.iter().sum::<usize>(), 312);
     hierarchical_cluster("gdx", &groups, &cfg)
 }

@@ -20,6 +20,7 @@ use crate::ids::{ActionId, HostId, LinkId};
 use crate::lmm::MaxMinProblem;
 use crate::model::TransferModel;
 use crate::time::SimTime;
+use smpi_obs::Rec;
 
 /// Relative tolerance when deciding that an action's remaining work is done.
 const COMPLETION_EPS: f64 = 1e-9;
@@ -105,6 +106,11 @@ pub struct Simulation {
     /// Actions whose rates must be recomputed before the next advance.
     dirty: bool,
     config: EngineConfig,
+    /// Observability sink; disabled by default (every emit is one branch).
+    rec: Rec,
+    /// Last emitted utilization per link, to suppress duplicate gauge
+    /// samples across reshares. Only maintained while `rec` is enabled.
+    last_util: Vec<f64>,
 }
 
 impl Default for Simulation {
@@ -128,7 +134,17 @@ impl Simulation {
             actions: Vec::new(),
             dirty: false,
             config,
+            rec: Rec::disabled(),
+            last_util: Vec::new(),
         }
+    }
+
+    /// Attaches an observability recorder. While enabled, the engine emits
+    /// `surf.reshares`, per-link `surf.link.<i>.util` gauge timelines, and
+    /// per-link `surf.link.<i>.bytes` counters integrating delivered work.
+    pub fn set_recorder(&mut self, rec: Rec) {
+        self.rec = rec;
+        self.last_util = vec![0.0; self.links.len()];
     }
 
     /// Current simulated time.
@@ -316,10 +332,52 @@ impl Simulation {
         }
 
         let rates = problem.solve();
-        for (k, ix) in sharing.into_iter().enumerate() {
+        for (k, &ix) in sharing.iter().enumerate() {
             self.actions[ix].rate = rates[k];
         }
         self.dirty = false;
+
+        if self.rec.is_enabled() {
+            self.record_reshare(&sharing);
+        }
+    }
+
+    /// Emits the reshare counter and per-link utilization gauges. Called
+    /// only when recording, right after rates were recomputed.
+    fn record_reshare(&mut self, sharing: &[usize]) {
+        if self.last_util.len() < self.links.len() {
+            self.last_util.resize(self.links.len(), 0.0);
+        }
+        let mut used = vec![0.0; self.links.len()];
+        for &ix in sharing {
+            let action = &self.actions[ix];
+            if let ActionKind::Transfer {
+                route,
+                latency_left,
+                ..
+            } = &action.kind
+            {
+                if *latency_left <= 0.0 {
+                    for l in route {
+                        used[l.index()] += action.rate;
+                    }
+                }
+            }
+        }
+        let now = self.now.as_secs();
+        let links = &self.links;
+        let last_util = &mut self.last_util;
+        self.rec.with(|r| {
+            use smpi_obs::Recorder;
+            r.counter_add("surf.reshares", 1);
+            for (li, &rate) in used.iter().enumerate() {
+                let util = rate / links[li].bandwidth;
+                if (util - last_util[li]).abs() > 1e-12 {
+                    r.gauge_set(&format!("surf.link.{li}.util"), now, util);
+                    last_util[li] = util;
+                }
+            }
+        });
     }
 
     /// The simulated time of the next action completion, or `None` if no
@@ -399,6 +457,34 @@ impl Simulation {
 
     /// Applies `dt` seconds of progress to all running actions.
     fn advance_work(&mut self, dt: f64) {
+        if dt > 0.0 && self.rec.is_enabled() {
+            // Integrate delivered bytes per link before the state mutates:
+            // each transfer-phase flow moves `rate * dt` bytes across every
+            // link of its route during this interval.
+            let actions = &self.actions;
+            self.rec.with(|r| {
+                use smpi_obs::Recorder;
+                for action in actions {
+                    if action.state != ActionState::Running || action.rate <= 0.0 {
+                        continue;
+                    }
+                    if let ActionKind::Transfer {
+                        route,
+                        latency_left,
+                        bytes_left,
+                        ..
+                    } = &action.kind
+                    {
+                        if *latency_left <= 0.0 {
+                            let delta = (action.rate * dt).min(*bytes_left);
+                            for l in route {
+                                r.fcounter_add(&format!("surf.link.{}.bytes", l.index()), delta);
+                            }
+                        }
+                    }
+                }
+            });
+        }
         for action in self.actions.iter_mut() {
             if action.state != ActionState::Running {
                 continue;

@@ -26,7 +26,9 @@ fn main() {
     // 2. Pick a network model. `default_affine()` is the classic
     //    latency/bandwidth model; calibrate a piece-wise model with the
     //    `smpi-calibrate` crate for accuracy (see calibrate_and_simulate.rs).
-    let world = World::smpi(platform, TransferModel::default_affine());
+    //    `metrics(true)` turns on the observability layer: per-rank state
+    //    timelines, link utilization and the simulator self-profile.
+    let world = World::smpi(platform, TransferModel::default_affine()).metrics(true);
 
     // 3. Run the MPI program: each closure is one rank.
     const N: usize = 1 << 16;
@@ -50,4 +52,18 @@ fn main() {
     println!("simulated time: {:.6} s", report.sim_time);
     println!("wall-clock    : {:.6} s", report.wall.as_secs_f64());
     assert!((report.results[0] - expect).abs() < 1e-6);
+
+    // 4. The self-profile says how hard the simulator itself worked, and
+    //    the metrics snapshot says where the *application's* time went.
+    println!();
+    print!("{}", report.profile.render());
+    let metrics = report.metrics.as_ref().expect("metrics were enabled");
+    let blocked: f64 = metrics
+        .timelines_of("rank")
+        .map(|tl| tl.time_in_state("blocked_in_recv", report.sim_time))
+        .sum();
+    println!(
+        "ranks spent {:.6} s total blocked in receives (allreduce waits)",
+        blocked
+    );
 }
