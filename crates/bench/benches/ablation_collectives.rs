@@ -14,8 +14,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 world.run(16, move |ctx| {
                     let comm = ctx.world();
-                    let data: Option<Vec<f64>> =
-                        (ctx.rank() == 0).then(|| vec![0.0; 16 * chunk]);
+                    let data: Option<Vec<f64>> = (ctx.rank() == 0).then(|| vec![0.0; 16 * chunk]);
                     match which {
                         0 => ctx.scatter(data.as_deref(), chunk, 0, &comm),
                         1 => ctx.scatter_linear(data.as_deref(), chunk, 0, &comm),

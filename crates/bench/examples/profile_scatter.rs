@@ -3,8 +3,15 @@ use smpi_workloads::timed_scatter;
 use std::time::Instant;
 
 fn main() {
-    let mibs: Vec<usize> = std::env::args().skip(1).map(|s| s.parse().unwrap()).collect();
-    for mib in if mibs.is_empty() { vec![32, 48, 64] } else { mibs } {
+    let mibs: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse().unwrap())
+        .collect();
+    for mib in if mibs.is_empty() {
+        vec![32, 48, 64]
+    } else {
+        mibs
+    } {
         let chunk = mib * 1024 * 1024 / 8;
         let t0 = Instant::now();
         let world = smpi_world(griffon_rp());

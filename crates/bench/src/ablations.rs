@@ -31,7 +31,10 @@ pub fn segment_sweep() -> String {
             format!("{:.2}", e.max * 100.0),
         ]);
     }
-    format!("# Ablation — segment count vs ping-pong accuracy\n{}", t.render())
+    format!(
+        "# Ablation — segment count vs ping-pong accuracy\n{}",
+        t.render()
+    )
 }
 
 /// Completion time of the three scatter algorithms on the same workload,
@@ -47,8 +50,7 @@ pub fn scatter_variants() -> String {
         ("linear", |ctx, chunk| {
             let comm = ctx.world();
             let p = ctx.size();
-            let data: Option<Vec<f64>> =
-                (ctx.rank() == 0).then(|| vec![0.0; p * chunk]);
+            let data: Option<Vec<f64>> = (ctx.rank() == 0).then(|| vec![0.0; p * chunk]);
             ctx.barrier(&comm);
             let t0 = ctx.wtime();
             let out = ctx.scatter_linear(data.as_deref(), chunk, 0, &comm);
@@ -58,8 +60,7 @@ pub fn scatter_variants() -> String {
         ("chain", |ctx, chunk| {
             let comm = ctx.world();
             let p = ctx.size();
-            let data: Option<Vec<f64>> =
-                (ctx.rank() == 0).then(|| vec![0.0; p * chunk]);
+            let data: Option<Vec<f64>> = (ctx.rank() == 0).then(|| vec![0.0; p * chunk]);
             ctx.barrier(&comm);
             let t0 = ctx.wtime();
             let out = ctx.scatter_chain(data.as_deref(), chunk, 0, &comm);

@@ -4,14 +4,31 @@
 
 use smpi_bench::{
     ablations, fig_alltoall, fig_dt, fig_pingpong, fig_scatter, fig_schemes, fig_speed, obs_demo,
+    replay_demo,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "fig13", "fig15", "fig16", "fig17", "fig18", "ablations", "obs",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "ablations",
+            "obs",
+            "replay",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -36,6 +53,7 @@ fn main() {
             "fig17" => fig_speed::fig17().render(),
             "fig18" => fig_speed::fig18().render(),
             "obs" => obs_demo::obs(),
+            "replay" => replay_demo::replay_demo(),
             "ablations" => format!(
                 "{}\n{}\n{}",
                 ablations::segment_sweep(),

@@ -126,7 +126,13 @@ impl Fig16 {
     /// Renders the figure.
     pub fn render(&self) -> String {
         let mut t = Table::new(&[
-            "class", "graph", "procs", "folded(MiB)", "unfolded(MiB)", "factor", "unfolded-fits",
+            "class",
+            "graph",
+            "procs",
+            "folded(MiB)",
+            "unfolded(MiB)",
+            "factor",
+            "unfolded-fits",
         ]);
         for &(c, g, folded, unfolded, procs) in &self.rows {
             t.row(vec![

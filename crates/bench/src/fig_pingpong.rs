@@ -40,7 +40,13 @@ impl PingPongFigure {
 
     /// Renders the figure's data table plus the error summary block.
     pub fn render(&self) -> String {
-        let mut t = Table::new(&["bytes", "truth(us)", "default(us)", "bestfit(us)", "piecewise(us)"]);
+        let mut t = Table::new(&[
+            "bytes",
+            "truth(us)",
+            "default(us)",
+            "bestfit(us)",
+            "piecewise(us)",
+        ]);
         for (i, s) in self.truth.iter().enumerate() {
             t.row(vec![
                 s.bytes.to_string(),

@@ -14,8 +14,8 @@ use smpi_platform::RoutedPlatform;
 use smpi_workloads::timed_scatter;
 
 use crate::common::{
-    fast, griffon_rp, mpich2_world, openmpi_world, secs, smpi_world, smpi_world_no_contention,
-    us, Table,
+    fast, griffon_rp, mpich2_world, openmpi_world, secs, smpi_world, smpi_world_no_contention, us,
+    Table,
 };
 
 fn run_scatter(world: &World, nranks: usize, chunk_elems: usize) -> Vec<f64> {
@@ -61,7 +61,13 @@ impl Fig7 {
 
     /// Renders the per-rank table plus summaries.
     pub fn render(&self) -> String {
-        let mut t = Table::new(&["rank", "smpi(s)", "smpi-nocont(s)", "openmpi(s)", "mpich2(s)"]);
+        let mut t = Table::new(&[
+            "rank",
+            "smpi(s)",
+            "smpi-nocont(s)",
+            "openmpi(s)",
+            "mpich2(s)",
+        ]);
         for r in 0..self.smpi.len() {
             t.row(vec![
                 r.to_string(),

@@ -40,7 +40,10 @@ pub fn fig10() -> String {
 /// Figs. 13–14: the DT class-A BH and WH communication graphs.
 pub fn fig13_14() -> String {
     let mut out = String::new();
-    for (name, shape) in [("Fig. 13 — DT BH", DtGraph::Bh), ("Fig. 14 — DT WH", DtGraph::Wh)] {
+    for (name, shape) in [
+        ("Fig. 13 — DT BH", DtGraph::Bh),
+        ("Fig. 14 — DT WH", DtGraph::Wh),
+    ] {
         let g = build_graph(DtClass::A, shape);
         out.push_str(&format!(
             "# {name}, class A ({} processes, {} sources, {} sink(s))\n",

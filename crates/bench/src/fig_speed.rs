@@ -83,8 +83,8 @@ pub fn fig17() -> Fig17 {
             let chunk = (m as usize * 1024 * 1024) / 8;
             let chunk_bytes = m * 1024 * 1024;
             let smpi = smpi_world(rp.clone()).run(n, move |ctx| timed_scatter(ctx, chunk));
-            let folded = smpi_world(rp.clone())
-                .run(n, move |ctx| timed_scatter_folded(ctx, chunk_bytes));
+            let folded =
+                smpi_world(rp.clone()).run(n, move |ctx| timed_scatter_folded(ctx, chunk_bytes));
             let open = openmpi_world(rp.clone()).run(n, move |ctx| timed_scatter(ctx, chunk));
             SpeedRow {
                 bytes: m * 1024 * 1024,

@@ -19,3 +19,4 @@ pub mod fig_scatter;
 pub mod fig_schemes;
 pub mod fig_speed;
 pub mod obs_demo;
+pub mod replay_demo;

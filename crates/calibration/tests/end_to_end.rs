@@ -43,9 +43,8 @@ fn piecewise_model_beats_affine_models_on_real_pingpong() {
     let best = fit_best_affine(&samples, route);
     let default = fit_default_affine(&samples, route);
 
-    let predict = |m: &surf_sim::TransferModel| -> Vec<f64> {
-        smpi_calibrate::predict(m, &samples, route)
-    };
+    let predict =
+        |m: &surf_sim::TransferModel| -> Vec<f64> { smpi_calibrate::predict(m, &samples, route) };
     let e_pw = ErrorSummary::compare(&predict(&pw), &truth);
     let e_best = ErrorSummary::compare(&predict(&best), &truth);
     let e_def = ErrorSummary::compare(&predict(&default), &truth);

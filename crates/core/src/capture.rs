@@ -1,0 +1,509 @@
+//! Time-independent trace capture (the input format of `smpi-replay`).
+//!
+//! An on-line run executes the application for real; a *time-independent*
+//! trace strips everything timing-related from what it did, leaving only
+//! the per-rank sequence of simulation-relevant actions: compute bursts
+//! (flops), point-to-point posts (ranks, tags, byte counts) and the wait
+//! operations that order them. No timestamps are recorded — timestamps are
+//! precisely what replaying against a *different* platform or network
+//! model must be free to change. This is the trace-replay methodology of
+//! the off-line simulators surveyed in §2 of the paper, driven here by the
+//! on-line runtime: execute once, re-simulate cheaply forever.
+//!
+//! The format is captured at the simcall boundary, so it is exact by
+//! construction: whatever stream of events the maestro timed on-line is
+//! what the replay engine re-issues off-line. Requests are identified by
+//! their per-rank post index, which the replayer reproduces by re-posting
+//! in the same order.
+//!
+//! [`TiTrace::encode`]/[`TiTrace::decode`] implement a versioned,
+//! line-oriented text codec (`TITRACE v1`). Floating-point values are
+//! written with Rust's shortest-round-trip formatting, so
+//! encode → decode → encode is byte-identical.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::runtime::WaitMode;
+
+/// One time-independent action of a rank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TiOp {
+    /// A compute burst of `flops` on the rank's host.
+    Compute {
+        /// Amount of work.
+        flops: f64,
+    },
+    /// A pure simulated delay (e.g. a replayed `SMPI_SAMPLE` mean).
+    Sleep {
+        /// Seconds of simulated delay.
+        secs: f64,
+    },
+    /// A posted send. The payload is dropped — only its size matters for
+    /// timing, exactly as in §3.2's data-less messages.
+    Send {
+        /// Destination world rank.
+        dst: u32,
+        /// Context id of the communicator.
+        cid: u32,
+        /// Message tag.
+        tag: i32,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A posted receive.
+    Recv {
+        /// Source world rank, or [`crate::runtime::ANY_SOURCE`].
+        src: i32,
+        /// Context id.
+        cid: u32,
+        /// Tag, or [`crate::runtime::ANY_TAG`].
+        tag: i32,
+        /// Receive buffer capacity in bytes.
+        max_bytes: u64,
+    },
+    /// A wait/test over previously posted requests, identified by their
+    /// 0-based per-rank post index.
+    Wait {
+        /// Post indices of the waited requests, in application order.
+        reqs: Vec<u32>,
+        /// Blocking behaviour.
+        mode: WaitMode,
+    },
+    /// Entry/exit of a named observability region (collective algorithm
+    /// annotations). Zero simulated cost; kept so replayed runs carry the
+    /// same region timelines as on-line runs.
+    Region {
+        /// Region name (no whitespace).
+        name: String,
+        /// `true` on entry, `false` on exit.
+        enter: bool,
+    },
+}
+
+/// A captured time-independent trace: one op sequence per world rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TiTrace {
+    /// `ranks[r]` is rank r's action sequence.
+    pub ranks: Vec<Vec<TiOp>>,
+}
+
+/// Aggregate numbers over a trace (for reports and sanity checks).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TiSummary {
+    /// Total ops across all ranks.
+    pub ops: usize,
+    /// Number of send posts.
+    pub sends: usize,
+    /// Total bytes posted by sends.
+    pub send_bytes: u64,
+    /// Number of receive posts.
+    pub recvs: usize,
+    /// Number of wait/test ops.
+    pub waits: usize,
+    /// Total flops of compute bursts.
+    pub flops: f64,
+}
+
+/// Decode failure: the line (1-based) and what went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiDecodeError {
+    /// 1-based line number of the offending line (0 for truncation).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TiDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace decode error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for TiDecodeError {}
+
+fn mode_name(mode: WaitMode) -> &'static str {
+    match mode {
+        WaitMode::All => "all",
+        WaitMode::Any => "any",
+        WaitMode::Some => "some",
+        WaitMode::Poll => "poll",
+    }
+}
+
+fn mode_parse(s: &str) -> Option<WaitMode> {
+    match s {
+        "all" => Some(WaitMode::All),
+        "any" => Some(WaitMode::Any),
+        "some" => Some(WaitMode::Some),
+        "poll" => Some(WaitMode::Poll),
+        _ => None,
+    }
+}
+
+impl TiTrace {
+    /// Number of ranks in the trace.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Aggregate statistics over every rank's op sequence.
+    pub fn summary(&self) -> TiSummary {
+        let mut s = TiSummary::default();
+        for ops in &self.ranks {
+            s.ops += ops.len();
+            for op in ops {
+                match op {
+                    TiOp::Send { bytes, .. } => {
+                        s.sends += 1;
+                        s.send_bytes += bytes;
+                    }
+                    TiOp::Recv { .. } => s.recvs += 1,
+                    TiOp::Wait { .. } => s.waits += 1,
+                    TiOp::Compute { flops } => s.flops += flops,
+                    _ => {}
+                }
+            }
+        }
+        s
+    }
+
+    /// Serializes the trace in the versioned `TITRACE v1` text format.
+    ///
+    /// Floats use Rust's shortest-round-trip `Display`, so the codec is
+    /// lossless and re-encoding a decoded trace reproduces the input
+    /// byte for byte.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "TITRACE v1");
+        let _ = writeln!(out, "ranks {}", self.ranks.len());
+        for (r, ops) in self.ranks.iter().enumerate() {
+            let _ = writeln!(out, "rank {r} {}", ops.len());
+            for op in ops {
+                match op {
+                    TiOp::Compute { flops } => {
+                        let _ = writeln!(out, "compute {flops}");
+                    }
+                    TiOp::Sleep { secs } => {
+                        let _ = writeln!(out, "sleep {secs}");
+                    }
+                    TiOp::Send {
+                        dst,
+                        cid,
+                        tag,
+                        bytes,
+                    } => {
+                        let _ = writeln!(out, "send {dst} {cid} {tag} {bytes}");
+                    }
+                    TiOp::Recv {
+                        src,
+                        cid,
+                        tag,
+                        max_bytes,
+                    } => {
+                        let _ = writeln!(out, "recv {src} {cid} {tag} {max_bytes}");
+                    }
+                    TiOp::Wait { reqs, mode } => {
+                        let _ = write!(out, "wait {}", mode_name(*mode));
+                        for i in reqs {
+                            let _ = write!(out, " {i}");
+                        }
+                        out.push('\n');
+                    }
+                    TiOp::Region { name, enter } => {
+                        assert!(
+                            !name.is_empty() && !name.contains(char::is_whitespace),
+                            "region names must be non-empty and whitespace-free: {name:?}"
+                        );
+                        let _ = writeln!(out, "region {} {name}", if *enter { "+" } else { "-" });
+                    }
+                }
+            }
+            let _ = writeln!(out, "end");
+        }
+        out
+    }
+
+    /// Parses a `TITRACE v1` document produced by [`encode`](Self::encode).
+    pub fn decode(text: &str) -> Result<TiTrace, TiDecodeError> {
+        let err = |line: usize, message: String| TiDecodeError { line, message };
+        let mut lines = text.lines().enumerate();
+        let mut next = || lines.next().map(|(i, l)| (i + 1, l));
+
+        let (ln, header) = next().ok_or_else(|| err(0, "empty document".into()))?;
+        if header.trim_end() != "TITRACE v1" {
+            return Err(err(
+                ln,
+                format!("bad header {header:?} (expected \"TITRACE v1\")"),
+            ));
+        }
+        let (ln, ranks_line) = next().ok_or_else(|| err(0, "missing ranks line".into()))?;
+        let nranks: usize = ranks_line
+            .strip_prefix("ranks ")
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| err(ln, format!("bad ranks line {ranks_line:?}")))?;
+
+        let mut ranks = Vec::with_capacity(nranks);
+        for r in 0..nranks {
+            let (ln, rank_line) = next().ok_or_else(|| err(0, format!("missing rank {r}")))?;
+            let mut head = rank_line.split_whitespace();
+            let (kw, idx, nops) = (head.next(), head.next(), head.next());
+            if kw != Some("rank") || idx != Some(&r.to_string()) {
+                return Err(err(
+                    ln,
+                    format!("expected \"rank {r} <nops>\", got {rank_line:?}"),
+                ));
+            }
+            let nops: usize = nops
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(ln, format!("bad op count in {rank_line:?}")))?;
+            let mut ops = Vec::with_capacity(nops);
+            for _ in 0..nops {
+                let (ln, line) = next().ok_or_else(|| err(0, format!("rank {r} truncated")))?;
+                ops.push(decode_op(line).map_err(|m| err(ln, m))?);
+            }
+            let (ln, end) = next().ok_or_else(|| err(0, format!("rank {r} missing end")))?;
+            if end.trim_end() != "end" {
+                return Err(err(ln, format!("expected \"end\", got {end:?}")));
+            }
+            ranks.push(ops);
+        }
+        if let Some((ln, extra)) = next() {
+            return Err(err(ln, format!("trailing content {extra:?}")));
+        }
+        Ok(TiTrace { ranks })
+    }
+}
+
+fn decode_op(line: &str) -> Result<TiOp, String> {
+    let mut parts = line.split_whitespace();
+    let kw = parts.next().ok_or_else(|| "blank line".to_string())?;
+    let mut field = |what: &str| -> Result<&str, String> {
+        parts.next().ok_or_else(|| format!("{kw}: missing {what}"))
+    };
+    fn num<T: std::str::FromStr>(kw: &str, what: &str, s: &str) -> Result<T, String> {
+        s.parse().map_err(|_| format!("{kw}: bad {what} {s:?}"))
+    }
+    let op = match kw {
+        "compute" => TiOp::Compute {
+            flops: num(kw, "flops", field("flops")?)?,
+        },
+        "sleep" => TiOp::Sleep {
+            secs: num(kw, "secs", field("secs")?)?,
+        },
+        "send" => TiOp::Send {
+            dst: num(kw, "dst", field("dst")?)?,
+            cid: num(kw, "cid", field("cid")?)?,
+            tag: num(kw, "tag", field("tag")?)?,
+            bytes: num(kw, "bytes", field("bytes")?)?,
+        },
+        "recv" => TiOp::Recv {
+            src: num(kw, "src", field("src")?)?,
+            cid: num(kw, "cid", field("cid")?)?,
+            tag: num(kw, "tag", field("tag")?)?,
+            max_bytes: num(kw, "max_bytes", field("max_bytes")?)?,
+        },
+        "wait" => {
+            let mode = mode_parse(field("mode")?)
+                .ok_or_else(|| format!("wait: unknown mode in {line:?}"))?;
+            let reqs: Result<Vec<u32>, String> = parts
+                .by_ref()
+                .map(|s| num("wait", "request index", s))
+                .collect();
+            return Ok(TiOp::Wait { reqs: reqs?, mode });
+        }
+        "region" => {
+            let dir = field("direction")?;
+            let enter = match dir {
+                "+" => true,
+                "-" => false,
+                _ => return Err(format!("region: bad direction {dir:?}")),
+            };
+            TiOp::Region {
+                name: field("name")?.to_string(),
+                enter,
+            }
+        }
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(format!("{kw}: trailing field {extra:?}"));
+    }
+    Ok(op)
+}
+
+/// Interns a region name as a `&'static str` (the runtime's region simcall
+/// wants static names). Each distinct name is leaked exactly once,
+/// process-wide.
+pub fn intern_region(name: &str) -> &'static str {
+    static CACHE: Mutex<Option<HashSet<&'static str>>> = Mutex::new(None);
+    let mut guard = CACHE.lock().unwrap();
+    let cache = guard.get_or_insert_with(HashSet::new);
+    if let Some(&s) = cache.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    cache.insert(leaked);
+    leaked
+}
+
+/// Maestro-side capture state (lives in [`crate::runtime::Runtime`]).
+#[derive(Debug)]
+pub(crate) struct Capture {
+    /// Per-rank op sequences under construction.
+    pub(crate) ops: Vec<Vec<TiOp>>,
+    /// Next post index per rank (requests are named by post order).
+    next_post: Vec<u32>,
+    /// Global request id -> (owning rank's) post index.
+    req_post: std::collections::HashMap<crate::runtime::ReqId, u32>,
+}
+
+impl Capture {
+    pub(crate) fn new(nranks: usize) -> Self {
+        Capture {
+            ops: vec![Vec::new(); nranks],
+            next_post: vec![0; nranks],
+            req_post: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Records a posted request (send or receive) and names it by its
+    /// per-rank post index.
+    pub(crate) fn on_post(&mut self, rank: u32, req: crate::runtime::ReqId, op: TiOp) {
+        let idx = self.next_post[rank as usize];
+        self.next_post[rank as usize] += 1;
+        self.req_post.insert(req, idx);
+        self.ops[rank as usize].push(op);
+    }
+
+    /// Records a non-posting op.
+    pub(crate) fn on_op(&mut self, rank: u32, op: TiOp) {
+        self.ops[rank as usize].push(op);
+    }
+
+    /// Records a wait, translating global request ids to post indices.
+    pub(crate) fn on_wait(&mut self, rank: u32, reqs: &[crate::runtime::ReqId], mode: WaitMode) {
+        let reqs = reqs
+            .iter()
+            .map(|r| {
+                *self
+                    .req_post
+                    .get(r)
+                    .expect("waited request was captured at post")
+            })
+            .collect();
+        self.ops[rank as usize].push(TiOp::Wait { reqs, mode });
+    }
+
+    pub(crate) fn into_trace(self) -> TiTrace {
+        TiTrace { ranks: self.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TiTrace {
+        TiTrace {
+            ranks: vec![
+                vec![
+                    TiOp::Compute { flops: 2.5e6 },
+                    TiOp::Send {
+                        dst: 1,
+                        cid: 0,
+                        tag: 5,
+                        bytes: 8192,
+                    },
+                    TiOp::Recv {
+                        src: -1,
+                        cid: 0,
+                        tag: -1,
+                        max_bytes: 8192,
+                    },
+                    TiOp::Wait {
+                        reqs: vec![0, 1],
+                        mode: WaitMode::All,
+                    },
+                    TiOp::Region {
+                        name: "allreduce".into(),
+                        enter: true,
+                    },
+                    TiOp::Region {
+                        name: "allreduce".into(),
+                        enter: false,
+                    },
+                ],
+                vec![
+                    TiOp::Sleep { secs: 1.5e-6 },
+                    TiOp::Wait {
+                        reqs: vec![],
+                        mode: WaitMode::Poll,
+                    },
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_lossless_and_stable() {
+        let t = sample();
+        let enc = t.encode();
+        let dec = TiTrace::decode(&enc).unwrap();
+        assert_eq!(dec, t);
+        assert_eq!(dec.encode(), enc);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_documents() {
+        assert!(TiTrace::decode("").is_err());
+        assert!(TiTrace::decode("TITRACE v2\nranks 0\n").is_err());
+        assert!(TiTrace::decode("TITRACE v1\nranks 1\nrank 0 1\nfrobnicate 3\nend\n").is_err());
+        assert!(TiTrace::decode("TITRACE v1\nranks 1\nrank 0 2\ncompute 1\nend\n").is_err());
+        assert!(TiTrace::decode("TITRACE v1\nranks 1\nrank 0 0\nend\nextra\n").is_err());
+        // Truncated wait mode, bad region direction, trailing fields.
+        assert!(TiTrace::decode("TITRACE v1\nranks 1\nrank 0 1\nwait never 0\nend\n").is_err());
+        assert!(TiTrace::decode("TITRACE v1\nranks 1\nrank 0 1\nregion ? x\nend\n").is_err());
+        assert!(TiTrace::decode("TITRACE v1\nranks 1\nrank 0 1\ncompute 1 2\nend\n").is_err());
+    }
+
+    #[test]
+    fn float_formatting_roundtrips_extremes() {
+        let t = TiTrace {
+            ranks: vec![vec![
+                TiOp::Compute { flops: 0.1 + 0.2 },
+                TiOp::Compute {
+                    flops: f64::MIN_POSITIVE,
+                },
+                TiOp::Compute { flops: 1e300 },
+                TiOp::Sleep {
+                    secs: std::f64::consts::PI,
+                },
+            ]],
+        };
+        assert_eq!(TiTrace::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let s = sample().summary();
+        assert_eq!(s.ops, 8);
+        assert_eq!(s.sends, 1);
+        assert_eq!(s.send_bytes, 8192);
+        assert_eq!(s.recvs, 1);
+        assert_eq!(s.waits, 2);
+        assert_eq!(s.flops, 2.5e6);
+    }
+
+    #[test]
+    fn intern_returns_same_pointer() {
+        let a = intern_region("reduce_binomial");
+        let b = intern_region("reduce_binomial");
+        assert!(std::ptr::eq(a, b));
+    }
+}

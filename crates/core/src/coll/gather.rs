@@ -36,7 +36,12 @@ impl Ctx<'_> {
                 // (avoids duplicating a potentially huge root buffer).
                 for c in tree::children(0, p) {
                     let child_span = tree::subtree_span(c, p);
-                    self.send(&data[c * chunk..(c + child_span) * chunk], c, TAG_SCATTER, comm);
+                    self.send(
+                        &data[c * chunk..(c + child_span) * chunk],
+                        c,
+                        TAG_SCATTER,
+                        comm,
+                    );
                 }
                 return data[..chunk].to_vec();
             }
@@ -61,7 +66,12 @@ impl Ctx<'_> {
             let child_span = tree::subtree_span(c, p);
             let off = (c - v) * chunk;
             let child = (c + root) % p;
-            self.send(&block[off..off + child_span * chunk], child, TAG_SCATTER, comm);
+            self.send(
+                &block[off..off + child_span * chunk],
+                child,
+                TAG_SCATTER,
+                comm,
+            );
         }
         block.truncate(chunk);
         block
@@ -206,6 +216,7 @@ impl Ctx<'_> {
 
     /// Recursive-doubling allgather (requires power-of-two ranks).
     pub fn allgather_rdb<T: Datatype>(&self, send: &[T], comm: &Comm) -> Vec<T> {
+        let _region = self.coll_region("allgather_rdb");
         let p = comm.size();
         assert!(p.is_power_of_two());
         let chunk = send.len();
@@ -239,6 +250,7 @@ impl Ctx<'_> {
     /// Ring allgather (works for any communicator size): p-1 steps, each
     /// forwarding the most recently received block to the right neighbour.
     pub fn allgather_ring<T: Datatype>(&self, send: &[T], comm: &Comm) -> Vec<T> {
+        let _region = self.coll_region("allgather_ring");
         let p = comm.size();
         let chunk = send.len();
         let r = self.comm_rank(comm);

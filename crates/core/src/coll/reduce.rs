@@ -34,6 +34,7 @@ impl Ctx<'_> {
         root: usize,
         comm: &Comm,
     ) -> Option<Vec<T>> {
+        let _region = self.coll_region("reduce_binomial");
         let p = comm.size();
         let r = self.comm_rank(comm);
         let v = (r + p - root) % p;
@@ -64,6 +65,7 @@ impl Ctx<'_> {
         root: usize,
         comm: &Comm,
     ) -> Option<Vec<T>> {
+        let _region = self.coll_region("reduce_linear");
         let p = comm.size();
         let r = self.comm_rank(comm);
         if r == root {
@@ -113,6 +115,7 @@ impl Ctx<'_> {
 
     /// Recursive-doubling allreduce (power-of-two ranks, commutative op).
     pub fn allreduce_rdb<T: Datatype>(&self, send: &[T], op: &Op<T>, comm: &Comm) -> Vec<T> {
+        let _region = self.coll_region("allreduce_rdb");
         let p = comm.size();
         assert!(p.is_power_of_two());
         let r = self.comm_rank(comm);

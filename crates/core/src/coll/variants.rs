@@ -22,6 +22,7 @@ impl Ctx<'_> {
         root: usize,
         comm: &Comm,
     ) -> Vec<T> {
+        let _region = self.coll_region("scatter_linear");
         let p = comm.size();
         let counts = vec![chunk; p];
         let r = self.comm_rank(comm);
@@ -41,6 +42,7 @@ impl Ctx<'_> {
 
     /// Flat-tree broadcast: the root sends the whole buffer to every rank.
     pub fn bcast_linear<T: Datatype>(&self, buf: &mut [T], root: usize, comm: &Comm) {
+        let _region = self.coll_region("bcast_linear");
         let p = comm.size();
         let r = self.comm_rank(comm);
         if r == root {
@@ -66,6 +68,7 @@ impl Ctx<'_> {
         root: usize,
         comm: &Comm,
     ) -> Vec<T> {
+        let _region = self.coll_region("scatter_chain");
         let p = comm.size();
         let r = self.comm_rank(comm);
         let v = (r + p - root) % p; // position along the chain

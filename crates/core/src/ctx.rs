@@ -201,13 +201,7 @@ impl<'h> Ctx<'h> {
     // ----- point-to-point ------------------------------------------------
 
     /// Nonblocking send of a typed buffer (`MPI_Isend`).
-    pub fn isend<T: Datatype>(
-        &self,
-        buf: &[T],
-        dst: usize,
-        tag: i32,
-        comm: &Comm,
-    ) -> SendRequest {
+    pub fn isend<T: Datatype>(&self, buf: &[T], dst: usize, tag: i32, comm: &Comm) -> SendRequest {
         let payload = to_bytes(buf).into_boxed_slice();
         let dst_world = comm.world_rank(dst);
         match self.call(Simcall::Isend {
@@ -350,13 +344,7 @@ impl<'h> Ctx<'h> {
     /// status. Elements beyond the message length are left untouched.
     /// Decodes the payload directly into `buf` (no intermediate vector) —
     /// this is the hot path of every collective.
-    pub fn recv<T: Datatype>(
-        &self,
-        buf: &mut [T],
-        src: i32,
-        tag: i32,
-        comm: &Comm,
-    ) -> Status {
+    pub fn recv<T: Datatype>(&self, buf: &mut [T], src: i32, tag: i32, comm: &Comm) -> Status {
         let r = self.irecv::<T>(src, tag, buf.len(), comm);
         self.wait_recv_into(r, buf, comm)
     }
@@ -497,6 +485,60 @@ impl<'h> Ctx<'h> {
         let status = self.wait_recv_sized(rr, comm);
         self.wait_send(sr);
         status
+    }
+
+    // ----- raw replay interface --------------------------------------------
+    //
+    // The `smpi-replay` scheduler re-issues captured time-independent ops
+    // without any application data or communicator bookkeeping: context ids
+    // and *world* ranks come straight from the trace, payloads never exist
+    // (data-less messages), and requests are identified positionally by the
+    // caller. These entry points deliberately bypass the typed API above.
+
+    /// Replays a captured send post: data-less, addressed by world rank and
+    /// raw context id. Returns the raw request id (replay tracks requests
+    /// positionally, not through the typed wrappers).
+    pub fn replay_send(&self, dst_world: u32, cid: u32, tag: i32, bytes: u64) -> ReqId {
+        match self.call(Simcall::IsendSized {
+            dst: dst_world,
+            cid,
+            tag,
+            bytes,
+        }) {
+            SimResp::Req(id) => id,
+            other => unreachable!("bad response {other:?}"),
+        }
+    }
+
+    /// Replays a captured receive post ([`ANY_SOURCE`]/`ANY_TAG` wildcards
+    /// pass through unchanged).
+    pub fn replay_recv(&self, src_world: i32, cid: u32, tag: i32, max_bytes: u64) -> ReqId {
+        match self.call(Simcall::Irecv {
+            src: src_world,
+            cid,
+            tag,
+            max_bytes,
+        }) {
+            SimResp::Req(id) => id,
+            other => unreachable!("bad response {other:?}"),
+        }
+    }
+
+    /// Replays a captured wait over raw request ids; returns the raw
+    /// completions (unsorted, as delivered by the maestro).
+    pub fn replay_wait(&self, reqs: Vec<ReqId>, mode: WaitMode) -> Vec<Completion> {
+        self.wait_ids(reqs, mode)
+    }
+
+    /// Replays a captured region annotation. Gated on metrics being enabled,
+    /// like the collectives' own region guards.
+    pub fn replay_region(&self, name: &'static str, enter: bool) {
+        if self.shared.config.obs {
+            match self.call(Simcall::Region { name, enter }) {
+                SimResp::Unit => {}
+                other => unreachable!("bad response {other:?}"),
+            }
+        }
     }
 
     // ----- persistent requests -------------------------------------------

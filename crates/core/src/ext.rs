@@ -45,12 +45,7 @@ impl Ctx<'_> {
             .collect();
         members.sort_unstable();
         debug_assert!(members.iter().any(|&(_, i)| i == r));
-        let group = Group::new(
-            members
-                .iter()
-                .map(|&(_, i)| comm.world_rank(i))
-                .collect(),
-        );
+        let group = Group::new(members.iter().map(|&(_, i)| comm.world_rank(i)).collect());
         Some(self.comm_create(comm, &group))
     }
 

@@ -88,9 +88,7 @@ impl Fabric for SurfFabric {
     fn start_transfer(&mut self, src: HostIx, dst: HostIx, bytes: u64) -> FabricToken {
         assert_ne!(src, dst, "self-transfers are handled by the runtime");
         let route = self.mat.route(&self.rp, src, dst);
-        let action = self
-            .sim
-            .start_transfer(&route, bytes as f64, &self.model);
+        let action = self.sim.start_transfer(&route, bytes as f64, &self.model);
         FabricToken(action.index() as u64)
     }
 

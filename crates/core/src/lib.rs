@@ -28,6 +28,7 @@
 //! backend (`World::testbed`), which is how the reproduction regenerates the
 //! paper's accuracy figures.
 
+pub mod capture;
 pub mod coll;
 pub mod comm;
 pub mod ctx;
@@ -44,6 +45,7 @@ pub mod state;
 pub mod trace;
 pub mod world;
 
+pub use capture::{TiDecodeError, TiOp, TiSummary, TiTrace};
 pub use coll::alltoall::pairwise_peers;
 pub use coll::tree;
 pub use comm::Comm;
@@ -51,10 +53,10 @@ pub use ctx::{AnyRequest, Ctx, RecvRequest, SendRequest, SizedRecvRequest, Statu
 pub use datatype::Datatype;
 pub use ext::UNDEFINED_COLOR;
 pub use fabric::{Fabric, MpiProfile, PacketFabric, SurfFabric};
-pub use obs_export::CriticalPath;
 pub use group::Group;
+pub use obs_export::CriticalPath;
 pub use op::Op;
-pub use runtime::{ANY_SOURCE, ANY_TAG};
+pub use runtime::{Completion, ReqId, WaitMode, ANY_SOURCE, ANY_TAG};
 pub use shared_mem::{MemoryReport, SharedSlice};
 pub use trace::{TraceEvent, TraceKind};
 pub use world::{Backend, RunReport, World};

@@ -24,12 +24,12 @@ use crate::world::RunReport;
 /// Fixed palette for rank-state entity values (cycled when states outnumber
 /// entries); indices are assigned in order of first appearance.
 const PALETTE: &[&str] = &[
-    "0.2 0.6 0.2",  // running: green
-    "0.9 0.5 0.1",  // computing: orange
-    "0.8 0.1 0.1",  // blocked_in_recv: red
-    "0.6 0.1 0.6",  // blocked_in_send: purple
-    "0.3 0.3 0.9",  // collectives: blue
-    "0.5 0.5 0.5",  // sleeping / finished: grey
+    "0.2 0.6 0.2", // running: green
+    "0.9 0.5 0.1", // computing: orange
+    "0.8 0.1 0.1", // blocked_in_recv: red
+    "0.6 0.1 0.6", // blocked_in_send: purple
+    "0.3 0.3 0.9", // collectives: blue
+    "0.5 0.5 0.5", // sleeping / finished: grey
     "0.1 0.7 0.7",
     "0.7 0.7 0.1",
 ];
@@ -92,7 +92,13 @@ impl<R> RunReport<R> {
 
         w.create_container(0.0, "sim", "CT_sim", "0", "simulation");
         for r in 0..nranks {
-            w.create_container(0.0, &format!("rank{r}"), "CT_rank", "sim", &format!("rank {r}"));
+            w.create_container(
+                0.0,
+                &format!("rank{r}"),
+                "CT_rank",
+                "sim",
+                &format!("rank {r}"),
+            );
         }
         let mut links: Vec<usize> = self
             .metrics
@@ -103,7 +109,13 @@ impl<R> RunReport<R> {
         links.sort_unstable();
         links.dedup();
         for &l in &links {
-            w.create_container(0.0, &format!("link{l}"), "CT_link", "sim", &format!("link {l}"));
+            w.create_container(
+                0.0,
+                &format!("link{l}"),
+                "CT_link",
+                "sim",
+                &format!("link {l}"),
+            );
         }
 
         // Merge every timed event source, then emit in time order. The
@@ -278,7 +290,10 @@ impl<R> RunReport<R> {
 
         // Walk back from the last event (ties broken by trace order).
         let mut cur = (0..n).max_by(|&a, &b| {
-            self.trace[a].time.total_cmp(&self.trace[b].time).then(a.cmp(&b))
+            self.trace[a]
+                .time
+                .total_cmp(&self.trace[b].time)
+                .then(a.cmp(&b))
         })?;
         let total = self.trace[cur].time;
         let mut acc: HashMap<String, f64> = HashMap::new();
@@ -359,15 +374,27 @@ mod tests {
         let trace = vec![
             TraceEvent {
                 time: 0.0,
-                kind: TraceKind::ExecStarted { rank: 0, flops: 1e9 },
+                kind: TraceKind::ExecStarted {
+                    rank: 0,
+                    flops: 1e9,
+                },
             },
             TraceEvent {
                 time: 2.0,
-                kind: TraceKind::TransferStarted { src: 0, dst: 1, bytes: 1000 },
+                kind: TraceKind::TransferStarted {
+                    src: 0,
+                    dst: 1,
+                    bytes: 1000,
+                },
             },
             TraceEvent {
                 time: 5.0,
-                kind: TraceKind::Delivered { src: 0, dst: 1, tag: 0, bytes: 1000 },
+                kind: TraceKind::Delivered {
+                    src: 0,
+                    dst: 1,
+                    tag: 0,
+                    bytes: 1000,
+                },
             },
             TraceEvent {
                 time: 5.0,
@@ -383,6 +410,7 @@ mod tests {
             metrics: None,
             profile: Default::default(),
             trace,
+            ti_trace: None,
         };
         let cp = report.critical_path().unwrap();
         assert_eq!(cp.total, 5.0);
@@ -410,6 +438,7 @@ mod tests {
             metrics: None,
             profile: Default::default(),
             trace: vec![],
+            ti_trace: None,
         };
         assert!(report.critical_path().is_none());
         // The JSON export still works without metrics or trace.

@@ -24,6 +24,7 @@ use simix::{ActorEvent, ActorId, Simix};
 use smpi_obs::{Rec, Recorder, SelfProfile};
 use smpi_platform::HostIx;
 
+use crate::capture::{Capture, TiOp, TiTrace};
 use crate::fabric::{Fabric, FabricToken, MpiProfile};
 use crate::trace::{TraceEvent, TraceKind};
 
@@ -246,6 +247,8 @@ pub struct Runtime {
     finish_times: Vec<f64>,
     /// Event trace, when enabled.
     trace: Option<Vec<TraceEvent>>,
+    /// Time-independent capture, when enabled (see [`crate::capture`]).
+    capture: Option<Capture>,
     /// Metrics recorder (disabled by default: every emit is one branch).
     rec: Rec,
     /// Whether the drive loop takes wall-clock phase timings.
@@ -281,6 +284,7 @@ impl Runtime {
             delayed_actors: Vec::new(),
             finish_times: vec![0.0; n],
             trace: None,
+            capture: None,
             rec: Rec::disabled(),
             profiling: false,
             n_simcalls: 0,
@@ -340,6 +344,16 @@ impl Runtime {
     /// Takes the recorded trace (empty if tracing was off).
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         self.trace.take().unwrap_or_default()
+    }
+
+    /// Enables time-independent trace capture (see [`crate::capture`]).
+    pub fn enable_capture(&mut self) {
+        self.capture = Some(Capture::new(self.finish_times.len()));
+    }
+
+    /// Takes the captured time-independent trace, if capture was enabled.
+    pub fn take_capture(&mut self) -> Option<TiTrace> {
+        self.capture.take().map(Capture::into_trace)
     }
 
     fn record(&mut self, kind: TraceKind) {
@@ -440,6 +454,18 @@ impl Runtime {
                 assert!(tag >= 0, "send tags must be non-negative");
                 let bytes = payload.len() as u64;
                 let req = self.post_send(actor.0, dst, cid, tag, Some(payload), bytes);
+                if let Some(cap) = &mut self.capture {
+                    cap.on_post(
+                        actor.0,
+                        req,
+                        TiOp::Send {
+                            dst,
+                            cid,
+                            tag,
+                            bytes,
+                        },
+                    );
+                }
                 sx.resolve(actor, SimResp::Req(req));
             }
             Simcall::IsendSized {
@@ -450,6 +476,18 @@ impl Runtime {
             } => {
                 assert!(tag >= 0, "send tags must be non-negative");
                 let req = self.post_send(actor.0, dst, cid, tag, None, bytes);
+                if let Some(cap) = &mut self.capture {
+                    cap.on_post(
+                        actor.0,
+                        req,
+                        TiOp::Send {
+                            dst,
+                            cid,
+                            tag,
+                            bytes,
+                        },
+                    );
+                }
                 sx.resolve(actor, SimResp::Req(req));
             }
             Simcall::Irecv {
@@ -459,9 +497,24 @@ impl Runtime {
                 max_bytes,
             } => {
                 let req = self.post_recv(actor.0, src, cid, tag, max_bytes);
+                if let Some(cap) = &mut self.capture {
+                    cap.on_post(
+                        actor.0,
+                        req,
+                        TiOp::Recv {
+                            src,
+                            cid,
+                            tag,
+                            max_bytes,
+                        },
+                    );
+                }
                 sx.resolve(actor, SimResp::Req(req));
             }
             Simcall::Wait { reqs, mode } => {
+                if let Some(cap) = &mut self.capture {
+                    cap.on_wait(actor.0, &reqs, mode);
+                }
                 if mode != WaitMode::Poll && self.rec.is_enabled() {
                     // Blocked state: receives dominate the wait semantics,
                     // so any incomplete receive in the set labels it.
@@ -483,16 +536,23 @@ impl Runtime {
                 // immediately — Poll always does.
             }
             Simcall::Exec { flops } => {
+                if let Some(cap) = &mut self.capture {
+                    cap.on_op(actor.0, TiOp::Compute { flops });
+                }
                 self.record(TraceKind::ExecStarted {
                     rank: actor.0,
                     flops,
                 });
-                self.rec.state_push("rank", actor.0, self.now(), "computing");
+                self.rec
+                    .state_push("rank", actor.0, self.now(), "computing");
                 let host = self.placement[actor.0 as usize];
                 let tok = self.fabric.start_exec(host, flops);
                 self.tokens.insert(tok, TokenUse::ActorDelay(actor));
             }
             Simcall::Sleep { secs } => {
+                if let Some(cap) = &mut self.capture {
+                    cap.on_op(actor.0, TiOp::Sleep { secs });
+                }
                 self.rec.state_push("rank", actor.0, self.now(), "sleeping");
                 let tok = self.fabric.start_sleep(secs);
                 self.tokens.insert(tok, TokenUse::ActorDelay(actor));
@@ -501,6 +561,15 @@ impl Runtime {
                 sx.resolve(actor, SimResp::Now(self.now()));
             }
             Simcall::Region { name, enter } => {
+                if let Some(cap) = &mut self.capture {
+                    cap.on_op(
+                        actor.0,
+                        TiOp::Region {
+                            name: name.to_string(),
+                            enter,
+                        },
+                    );
+                }
                 if self.rec.is_enabled() {
                     let t = self.now();
                     self.rec.with(|r| {
@@ -714,9 +783,11 @@ impl Runtime {
         let mut delay = self.profile.send_overhead;
         if self.profile.rendezvous_handshake {
             // RTS + CTS round trip before data flows.
-            delay += 2.0 * self
-                .fabric
-                .control_latency(self.placement[m.src as usize], self.placement[m.dst as usize]);
+            delay += 2.0
+                * self.fabric.control_latency(
+                    self.placement[m.src as usize],
+                    self.placement[m.dst as usize],
+                );
         }
         if delay > 0.0 {
             m.state = MsgState::PreDelay;
@@ -875,11 +946,7 @@ impl Runtime {
         let mut ready = Vec::new();
         for actor in actors {
             let w = &self.waiting[&actor];
-            let complete_count = w
-                .reqs
-                .iter()
-                .filter(|r| self.requests[r].complete)
-                .count();
+            let complete_count = w.reqs.iter().filter(|r| self.requests[r].complete).count();
             let satisfied = match w.mode {
                 WaitMode::All => complete_count == w.reqs.len(),
                 WaitMode::Any | WaitMode::Some => complete_count > 0,

@@ -95,7 +95,10 @@ impl SampleStore {
 
     /// Statistics of a global site.
     pub fn global_stats(&self, site: &str) -> Option<SampleStats> {
-        self.inner.lock().get(&Key::Global(site.to_string())).copied()
+        self.inner
+            .lock()
+            .get(&Key::Global(site.to_string()))
+            .copied()
     }
 
     fn decide(&self, key: Key, n: u32) -> Decision {

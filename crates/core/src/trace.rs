@@ -111,9 +111,7 @@ pub fn render(events: &[TraceEvent]) -> String {
             TraceKind::ExecStarted { rank, flops } => {
                 out.push_str(&format!("exec        rank {rank}  flops={flops}"))
             }
-            TraceKind::RankFinished { rank } => {
-                out.push_str(&format!("finished    rank {rank}"))
-            }
+            TraceKind::RankFinished { rank } => out.push_str(&format!("finished    rank {rank}")),
         }
         out.push('\n');
     }

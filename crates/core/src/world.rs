@@ -14,6 +14,7 @@ use smpi_obs::{MetricsReport, Rec, SelfProfile};
 use smpi_platform::{HostIx, RoutedPlatform};
 use surf_sim::{EngineConfig, TransferModel};
 
+use crate::capture::TiTrace;
 use crate::ctx::Ctx;
 use crate::fabric::{Fabric, MpiProfile, PacketFabric, SurfFabric};
 use crate::runtime::{Runtime, Sx};
@@ -47,6 +48,7 @@ pub struct World {
     run_config: RunConfig,
     placement: Option<Vec<HostIx>>,
     tracing: bool,
+    capture: bool,
 }
 
 /// Results of one run.
@@ -71,6 +73,9 @@ pub struct RunReport<R> {
     /// Simulator self-profile: events processed, events/sec, and (when
     /// metrics are on) wall-clock per drive-loop phase.
     pub profile: SelfProfile,
+    /// Captured time-independent trace (`None` unless [`World::capture`]
+    /// was enabled); feed it to `smpi-replay` for off-line re-simulation.
+    pub ti_trace: Option<TiTrace>,
 }
 
 impl World {
@@ -83,6 +88,7 @@ impl World {
             run_config: RunConfig::default(),
             placement: None,
             tracing: false,
+            capture: false,
         }
     }
 
@@ -133,6 +139,17 @@ impl World {
     /// timestamped event per protocol transition (see [`crate::trace`]).
     pub fn tracing(mut self, enabled: bool) -> Self {
         self.tracing = enabled;
+        self
+    }
+
+    /// Enables time-independent trace capture: the run report's `ti_trace`
+    /// carries each rank's sequence of compute bursts and MPI events with
+    /// no timestamps (see [`crate::capture`]). Such a trace replays against
+    /// any platform/model with the `smpi-replay` crate. Region annotations
+    /// appear in the capture only when [`metrics`](Self::metrics) is also
+    /// on (ranks skip the region simcall entirely otherwise).
+    pub fn capture(mut self, enabled: bool) -> Self {
+        self.capture = enabled;
         self
     }
 
@@ -207,6 +224,9 @@ impl World {
         if self.tracing {
             runtime.enable_tracing();
         }
+        if self.capture {
+            runtime.enable_capture();
+        }
         if self.run_config.obs {
             runtime.set_recorder(Rec::enabled());
             runtime.enable_profiling();
@@ -234,6 +254,7 @@ impl World {
             metrics: runtime.take_metrics(),
             profile,
             trace: runtime.take_trace(),
+            ti_trace: runtime.take_capture(),
         }
     }
 }

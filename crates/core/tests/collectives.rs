@@ -79,8 +79,8 @@ fn scatter_distributes_chunks() {
                 let report = world.run(p, move |ctx| {
                     let comm = ctx.world();
                     let chunk = 16;
-                    let data: Option<Vec<f64>> = (ctx.rank() == root)
-                        .then(|| (0..p * chunk).map(|i| i as f64).collect());
+                    let data: Option<Vec<f64>> =
+                        (ctx.rank() == root).then(|| (0..p * chunk).map(|i| i as f64).collect());
                     let mine = ctx.scatter(data.as_deref(), chunk, root, &comm);
                     assert_eq!(mine.len(), chunk);
                     mine[0]
@@ -128,8 +128,7 @@ fn scatterv_gatherv_roundtrip() {
                 let r = ctx.rank();
                 let counts: Vec<usize> = (0..p).map(|i| i + 1).collect();
                 let total: usize = counts.iter().sum();
-                let data: Option<Vec<i64>> =
-                    (r == 0).then(|| (0..total as i64).collect());
+                let data: Option<Vec<i64>> = (r == 0).then(|| (0..total as i64).collect());
                 let mine = ctx.scatterv(
                     data.as_deref(),
                     (r == 0).then_some(&counts[..]),
@@ -250,13 +249,8 @@ fn reduce_non_commutative_preserves_rank_order() {
             });
             // 1 ⊕ 2 ⊕ … ⊕ p with f(a,b) = 10a + b → the decimal digits in
             // rank order.
-            let expect: i64 = (1..=p as i64).fold(0, |acc, d| {
-                if acc == 0 {
-                    d
-                } else {
-                    acc * 10 + d
-                }
-            });
+            let expect: i64 =
+                (1..=p as i64).fold(0, |acc, d| if acc == 0 { d } else { acc * 10 + d });
             assert_eq!(report.results[0].as_ref().unwrap(), &[expect]);
         }
     }
@@ -315,7 +309,11 @@ fn scan_non_commutative_order() {
             });
             for (r, &(l, rr)) in report.results.iter().enumerate() {
                 assert_eq!(l, 100, "rank {r}: keep_left scan must give x0");
-                assert_eq!(rr, r as i64 + 100, "rank {r}: keep_right scan must give x_r");
+                assert_eq!(
+                    rr,
+                    r as i64 + 100,
+                    "rank {r}: keep_right scan must give x_r"
+                );
             }
         }
     }

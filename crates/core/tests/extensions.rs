@@ -171,7 +171,16 @@ fn nested_splits_compose() {
         (parity.size(), sum[0])
     });
     // Halves {0..4} and {4..8}; parities {0,2}/{1,3} and {4,6}/{5,7}.
-    let expect = [(2, 2), (2, 4), (2, 2), (2, 4), (2, 10), (2, 12), (2, 10), (2, 12)];
+    let expect = [
+        (2, 2),
+        (2, 4),
+        (2, 2),
+        (2, 4),
+        (2, 10),
+        (2, 12),
+        (2, 10),
+        (2, 12),
+    ];
     for (r, (&got, &want)) in report.results.iter().zip(&expect).enumerate() {
         assert_eq!(got, want, "rank {r}");
     }

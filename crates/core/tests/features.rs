@@ -73,7 +73,10 @@ fn sample_delay_burns_flops_without_executing() {
         ctx.wtime()
     });
     for &t in &report.results {
-        assert!((t - 1.0).abs() < 1e-9, "expected 1 s of simulated compute, got {t}");
+        assert!(
+            (t - 1.0).abs() < 1e-9,
+            "expected 1 s of simulated compute, got {t}"
+        );
     }
 }
 

@@ -172,6 +172,44 @@ fn collective_regions_are_counted_and_timed() {
 }
 
 #[test]
+fn algorithm_variants_are_region_annotated() {
+    // Dispatchers name the MPI operation; the variants underneath name the
+    // actual algorithm, so captured traces and Paje regions identify both.
+    let report = world(4).metrics(true).run(4, |ctx| {
+        let comm = ctx.world();
+        let mine = [ctx.rank() as f64];
+        // allreduce on 4 ranks dispatches to recursive doubling.
+        let _ = ctx.allreduce(&mine, &smpi::op::sum::<f64>(), &comm);
+        let _ = ctx.reduce(&mine, &smpi::op::sum::<f64>(), 0, &comm);
+        let _ = ctx.allgather_ring(&mine, &comm);
+        let _ = ctx.allgather_rdb(&mine, &comm);
+        let mut buf = [0.0f64];
+        ctx.bcast_linear(&mut buf, 0, &comm);
+        let chunk = 1;
+        let root_buf = [0.0f64; 4];
+        let send = (ctx.rank() == 0).then_some(&root_buf[..]);
+        let _ = ctx.scatter_linear(send, chunk, 0, &comm);
+        let _ = ctx.scatter_chain(send, chunk, 0, &comm);
+    });
+    let m = report.metrics.as_ref().unwrap();
+    // Nested: the dispatcher region plus the variant it picked.
+    assert_eq!(m.counter("core.coll.allreduce"), 4);
+    assert_eq!(m.counter("core.coll.allreduce_rdb"), 4);
+    // reduce on 4 ranks with a commutative op takes the binomial tree.
+    assert_eq!(m.counter("core.coll.reduce"), 4);
+    assert_eq!(m.counter("core.coll.reduce_binomial"), 4);
+    for variant in [
+        "allgather_ring",
+        "allgather_rdb",
+        "bcast_linear",
+        "scatter_linear",
+        "scatter_chain",
+    ] {
+        assert_eq!(m.counter(&format!("core.coll.{variant}")), 4, "{variant}");
+    }
+}
+
+#[test]
 fn packet_backend_emits_queue_and_hop_metrics() {
     let rp = Arc::new(RoutedPlatform::new(flat_cluster(
         "p",
@@ -192,7 +230,9 @@ fn packet_backend_emits_queue_and_hop_metrics() {
     assert!(m.counter("packetnet.messages") >= 1);
     assert!(m.counter("packetnet.frames.total") >= 1);
     assert!(m.counter("packetnet.frames.hops") >= m.counter("packetnet.frames.total"));
-    let h = m.histogram("packetnet.hop_latency_ns").expect("hop histogram");
+    let h = m
+        .histogram("packetnet.hop_latency_ns")
+        .expect("hop histogram");
     assert_eq!(h.count, m.counter("packetnet.frames.hops"));
     assert!(h.min > 0.0);
     assert!(m.hwms.iter().any(|(k, _)| k.starts_with("packetnet.chan.")));
@@ -312,7 +352,9 @@ fn paje_export_is_structurally_valid() {
     let creates: Vec<&str> = paje.lines().filter(|l| l.starts_with("5 ")).collect();
     for c in ["sim", "rank0", "rank1"] {
         assert!(
-            creates.iter().any(|l| l.split_whitespace().nth(2) == Some(c)),
+            creates
+                .iter()
+                .any(|l| l.split_whitespace().nth(2) == Some(c)),
             "container {c} missing"
         );
     }

@@ -150,9 +150,7 @@ fn isend_irecv_wait_family() {
                     .collect();
                 ctx.wait_all_sends(reqs);
             } else {
-                let reqs: Vec<_> = (0..4)
-                    .map(|i| ctx.irecv::<u32>(0, i, 8, &comm))
-                    .collect();
+                let reqs: Vec<_> = (0..4).map(|i| ctx.irecv::<u32>(0, i, 8, &comm)).collect();
                 let results = ctx.wait_all_recvs(reqs, &comm);
                 for (i, (data, status)) in results.iter().enumerate() {
                     assert_eq!(data[0], i as u32);

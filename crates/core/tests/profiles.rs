@@ -63,14 +63,14 @@ fn copy_rate_penalizes_eager_only() {
     slow_copy.copy_rate = Some(1e6); // absurdly slow: 1 MB/s
     let base = MpiProfile::smpi();
     // Eager message (under threshold): copy penalty applies.
-    let eager_delta = pingpong_time(slow_copy.clone(), 10_000) - pingpong_time(base.clone(), 10_000);
+    let eager_delta =
+        pingpong_time(slow_copy.clone(), 10_000) - pingpong_time(base.clone(), 10_000);
     assert!(
         eager_delta > 0.015,
         "eager copy penalty missing: {eager_delta}"
     );
     // Rendezvous message: zero-copy, no penalty.
-    let rdv_delta =
-        pingpong_time(slow_copy, 100_000) - pingpong_time(base, 100_000);
+    let rdv_delta = pingpong_time(slow_copy, 100_000) - pingpong_time(base, 100_000);
     assert!(
         rdv_delta.abs() < 1e-3,
         "rendezvous must be zero-copy: {rdv_delta}"

@@ -8,7 +8,10 @@
 
 /// `|ln x − ln r|`. Panics on non-positive inputs (times are positive).
 pub fn log_error(x: f64, r: f64) -> f64 {
-    assert!(x > 0.0 && r > 0.0, "log error needs positive values ({x}, {r})");
+    assert!(
+        x > 0.0 && r > 0.0,
+        "log error needs positive values ({x}, {r})"
+    );
     (x.ln() - r.ln()).abs()
 }
 

@@ -84,7 +84,14 @@ mod tests {
         // Deterministic "noise".
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 1.0 + x + if (x as u64).is_multiple_of(2) { 5.0 } else { -5.0 })
+            .map(|&x| {
+                1.0 + x
+                    + if (x as u64).is_multiple_of(2) {
+                        5.0
+                    } else {
+                        -5.0
+                    }
+            })
             .collect();
         let f = fit(&xs, &ys);
         assert!(f.r2 < 0.99);

@@ -81,11 +81,7 @@ fn fit_segments_impl(xs: &[f64], ys: &[f64], k: usize, relative: bool) -> Segmen
         relative.then(|| sy.iter().map(|&y| 1.0 / (y * y).max(1e-300)).collect());
 
     let seg_fit = |a: usize, b: usize| -> LinearFit {
-        fit_weighted(
-            &sx[a..b],
-            &sy[a..b],
-            weights.as_ref().map(|w| &w[a..b]),
-        )
+        fit_weighted(&sx[a..b], &sy[a..b], weights.as_ref().map(|w| &w[a..b]))
     };
     // seg_score[a][b] = log r² of fitting points a..b (exclusive b).
     // Computed lazily for valid ranges only.

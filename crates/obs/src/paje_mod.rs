@@ -42,19 +42,112 @@ impl PajeWriter {
     pub fn new() -> Self {
         let mut out = String::with_capacity(4096);
         let defs: &[(&str, u8, &[&str])] = &[
-            ("PajeDefineContainerType", DEFINE_CONTAINER_TYPE, &["Alias string", "Type string", "Name string"]),
-            ("PajeDefineStateType", DEFINE_STATE_TYPE, &["Alias string", "Type string", "Name string"]),
-            ("PajeDefineVariableType", DEFINE_VARIABLE_TYPE, &["Alias string", "Type string", "Name string"]),
-            ("PajeDefineLinkType", DEFINE_LINK_TYPE, &["Alias string", "Type string", "StartContainerType string", "EndContainerType string", "Name string"]),
-            ("PajeDefineEntityValue", DEFINE_ENTITY_VALUE, &["Alias string", "Type string", "Name string", "Color color"]),
-            ("PajeCreateContainer", CREATE_CONTAINER, &["Time date", "Alias string", "Type string", "Container string", "Name string"]),
-            ("PajeDestroyContainer", DESTROY_CONTAINER, &["Time date", "Type string", "Name string"]),
-            ("PajeSetState", SET_STATE, &["Time date", "Type string", "Container string", "Value string"]),
-            ("PajePushState", PUSH_STATE, &["Time date", "Type string", "Container string", "Value string"]),
-            ("PajePopState", POP_STATE, &["Time date", "Type string", "Container string"]),
-            ("PajeSetVariable", SET_VARIABLE, &["Time date", "Type string", "Container string", "Value double"]),
-            ("PajeStartLink", START_LINK, &["Time date", "Type string", "Container string", "Value string", "StartContainer string", "Key string"]),
-            ("PajeEndLink", END_LINK, &["Time date", "Type string", "Container string", "Value string", "EndContainer string", "Key string"]),
+            (
+                "PajeDefineContainerType",
+                DEFINE_CONTAINER_TYPE,
+                &["Alias string", "Type string", "Name string"],
+            ),
+            (
+                "PajeDefineStateType",
+                DEFINE_STATE_TYPE,
+                &["Alias string", "Type string", "Name string"],
+            ),
+            (
+                "PajeDefineVariableType",
+                DEFINE_VARIABLE_TYPE,
+                &["Alias string", "Type string", "Name string"],
+            ),
+            (
+                "PajeDefineLinkType",
+                DEFINE_LINK_TYPE,
+                &[
+                    "Alias string",
+                    "Type string",
+                    "StartContainerType string",
+                    "EndContainerType string",
+                    "Name string",
+                ],
+            ),
+            (
+                "PajeDefineEntityValue",
+                DEFINE_ENTITY_VALUE,
+                &["Alias string", "Type string", "Name string", "Color color"],
+            ),
+            (
+                "PajeCreateContainer",
+                CREATE_CONTAINER,
+                &[
+                    "Time date",
+                    "Alias string",
+                    "Type string",
+                    "Container string",
+                    "Name string",
+                ],
+            ),
+            (
+                "PajeDestroyContainer",
+                DESTROY_CONTAINER,
+                &["Time date", "Type string", "Name string"],
+            ),
+            (
+                "PajeSetState",
+                SET_STATE,
+                &[
+                    "Time date",
+                    "Type string",
+                    "Container string",
+                    "Value string",
+                ],
+            ),
+            (
+                "PajePushState",
+                PUSH_STATE,
+                &[
+                    "Time date",
+                    "Type string",
+                    "Container string",
+                    "Value string",
+                ],
+            ),
+            (
+                "PajePopState",
+                POP_STATE,
+                &["Time date", "Type string", "Container string"],
+            ),
+            (
+                "PajeSetVariable",
+                SET_VARIABLE,
+                &[
+                    "Time date",
+                    "Type string",
+                    "Container string",
+                    "Value double",
+                ],
+            ),
+            (
+                "PajeStartLink",
+                START_LINK,
+                &[
+                    "Time date",
+                    "Type string",
+                    "Container string",
+                    "Value string",
+                    "StartContainer string",
+                    "Key string",
+                ],
+            ),
+            (
+                "PajeEndLink",
+                END_LINK,
+                &[
+                    "Time date",
+                    "Type string",
+                    "Container string",
+                    "Value string",
+                    "EndContainer string",
+                    "Key string",
+                ],
+            ),
         ];
         for (name, id, fields) in defs {
             out.push_str(&format!("%EventDef {name} {id}\n"));
@@ -272,7 +365,10 @@ mod tests {
             "PajeStartLink",
             "PajeEndLink",
         ] {
-            assert!(trace.contains(&format!("%EventDef {name} ")), "{name} missing");
+            assert!(
+                trace.contains(&format!("%EventDef {name} ")),
+                "{name} missing"
+            );
         }
         assert_eq!(trace.matches("%EndEventDef").count(), 13);
     }
@@ -297,7 +393,9 @@ mod tests {
     fn fields_with_spaces_are_quoted() {
         let mut w = PajeWriter::new();
         w.set_state(1.0, "ST", "c0", "blocked in recv");
-        assert!(w.into_string().contains("7 1.000000000 ST c0 \"blocked in recv\"\n"));
+        assert!(w
+            .into_string()
+            .contains("7 1.000000000 ST c0 \"blocked in recv\"\n"));
     }
 
     #[test]

@@ -76,7 +76,10 @@ impl SelfProfile {
             } else {
                 0.0
             };
-            out.push_str(&format!("  phase {name:<20} {:>9.3} ms ({pct:>4.1}%)\n", secs * 1e3));
+            out.push_str(&format!(
+                "  phase {name:<20} {:>9.3} ms ({pct:>4.1}%)\n",
+                secs * 1e3
+            ));
         }
         if self.wall_seconds > accounted && !self.phases.is_empty() {
             let other = self.wall_seconds - accounted;

@@ -214,24 +214,33 @@ impl Recorder for MemoryRecorder {
     }
 
     fn state_push(&mut self, kind: &'static str, id: u32, time: f64, state: &'static str) {
-        self.timelines.entry((kind, id)).or_default().push(StateEvent {
-            time,
-            op: StateOp::Push(state),
-        });
+        self.timelines
+            .entry((kind, id))
+            .or_default()
+            .push(StateEvent {
+                time,
+                op: StateOp::Push(state),
+            });
     }
 
     fn state_pop(&mut self, kind: &'static str, id: u32, time: f64) {
-        self.timelines.entry((kind, id)).or_default().push(StateEvent {
-            time,
-            op: StateOp::Pop,
-        });
+        self.timelines
+            .entry((kind, id))
+            .or_default()
+            .push(StateEvent {
+                time,
+                op: StateOp::Pop,
+            });
     }
 
     fn state_set(&mut self, kind: &'static str, id: u32, time: f64, state: &'static str) {
-        self.timelines.entry((kind, id)).or_default().push(StateEvent {
-            time,
-            op: StateOp::Set(state),
-        });
+        self.timelines
+            .entry((kind, id))
+            .or_default()
+            .push(StateEvent {
+                time,
+                op: StateOp::Set(state),
+            });
     }
 }
 
@@ -402,9 +411,18 @@ mod tests {
         assert_eq!(
             tl.events,
             vec![
-                StateEvent { time: 0.0, op: StateOp::Set("idle") },
-                StateEvent { time: 1.0, op: StateOp::Push("computing") },
-                StateEvent { time: 2.0, op: StateOp::Pop },
+                StateEvent {
+                    time: 0.0,
+                    op: StateOp::Set("idle")
+                },
+                StateEvent {
+                    time: 1.0,
+                    op: StateOp::Push("computing")
+                },
+                StateEvent {
+                    time: 2.0,
+                    op: StateOp::Pop
+                },
             ]
         );
     }

@@ -132,9 +132,7 @@ impl MetricsReport {
 
     /// State timeline of container `(kind, id)`, if present.
     pub fn timeline(&self, kind: &str, id: u32) -> Option<&TimelineSnapshot> {
-        self.timelines
-            .iter()
-            .find(|t| t.kind == kind && t.id == id)
+        self.timelines.iter().find(|t| t.kind == kind && t.id == id)
     }
 
     /// All timelines of one kind.

@@ -200,7 +200,12 @@ impl PacketNet {
         self.seq += 1;
     }
 
-    fn route_channels(&mut self, rp: &RoutedPlatform, src: HostIx, dst: HostIx) -> (Vec<u32>, Vec<f64>) {
+    fn route_channels(
+        &mut self,
+        rp: &RoutedPlatform,
+        src: HostIx,
+        dst: HostIx,
+    ) -> (Vec<u32>, Vec<f64>) {
         if let Some(cached) = self.route_cache.get(&(src, dst)) {
             return cached.clone();
         }
@@ -463,8 +468,8 @@ mod tests {
         let rem = (bytes % cfg.mtu_payload as u64) as u32;
         let full_ser = cfg.wire_bytes(cfg.mtu_payload) as f64 / bw;
         let rem_ser = cfg.wire_bytes(rem) as f64 / bw;
-        let first_chan = full_frames as f64 * full_ser
-            + if rem > 0 || bytes == 0 { rem_ser } else { 0.0 };
+        let first_chan =
+            full_frames as f64 * full_ser + if rem > 0 || bytes == 0 { rem_ser } else { 0.0 };
         let per_hop = if full_frames > 0 { full_ser } else { rem_ser };
         first_chan + (hops - 1) as f64 * per_hop + lat_total
     }

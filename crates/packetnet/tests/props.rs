@@ -1,8 +1,8 @@
 //! Property-based tests of the packet-level simulator.
 
+use packetnet::{PacketConfig, PacketNet};
 use proptest::prelude::*;
 use smpi_platform::{flat_cluster, ClusterConfig, HostIx, RoutedPlatform};
-use packetnet::{PacketConfig, PacketNet};
 
 fn cluster(n: usize) -> RoutedPlatform {
     RoutedPlatform::new(flat_cluster(

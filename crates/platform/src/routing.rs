@@ -8,7 +8,7 @@
 //! Explicit routes declared on the [`Platform`] (e.g. parsed from an XML
 //! file) take precedence.
 
-use crate::spec::{Dir, HostIx, Hop, LinkIx, NodeIx, Platform};
+use crate::spec::{Dir, Hop, HostIx, LinkIx, NodeIx, Platform};
 
 /// Precomputed routing tables for a platform.
 #[derive(Debug, Clone)]
@@ -167,10 +167,31 @@ mod tests {
         let h2 = p.add_host("h2", 1e9);
         let s1 = p.add_switch("sw1");
         let s2 = p.add_switch("sw2");
-        p.link_between(p.host_node(h0), s1, "l0", 125e6, 1e-6, SharingPolicy::Shared);
+        p.link_between(
+            p.host_node(h0),
+            s1,
+            "l0",
+            125e6,
+            1e-6,
+            SharingPolicy::Shared,
+        );
         p.link_between(s1, s2, "trunk", 1.25e9, 2e-6, SharingPolicy::Shared);
-        p.link_between(p.host_node(h1), s2, "l1", 125e6, 1e-6, SharingPolicy::Shared);
-        p.link_between(p.host_node(h2), s1, "l2", 125e6, 1e-6, SharingPolicy::Shared);
+        p.link_between(
+            p.host_node(h1),
+            s2,
+            "l1",
+            125e6,
+            1e-6,
+            SharingPolicy::Shared,
+        );
+        p.link_between(
+            p.host_node(h2),
+            s1,
+            "l2",
+            125e6,
+            1e-6,
+            SharingPolicy::Shared,
+        );
         p
     }
 

@@ -187,7 +187,10 @@ impl Platform {
         policy: SharingPolicy,
     ) -> LinkIx {
         let name = name.into();
-        assert!(bandwidth > 0.0 && bandwidth.is_finite(), "invalid bandwidth");
+        assert!(
+            bandwidth > 0.0 && bandwidth.is_finite(),
+            "invalid bandwidth"
+        );
         assert!(latency >= 0.0 && latency.is_finite(), "invalid latency");
         assert!(
             !self.link_names.contains_key(&name),
@@ -361,8 +364,22 @@ mod tests {
         let h0 = p.add_host("h0", 1e9);
         let h1 = p.add_host("h1", 1e9);
         let sw = p.add_switch("sw");
-        p.link_between(p.host_node(h0), sw, "l0", 125e6, 50e-6, SharingPolicy::Shared);
-        p.link_between(p.host_node(h1), sw, "l1", 125e6, 50e-6, SharingPolicy::Shared);
+        p.link_between(
+            p.host_node(h0),
+            sw,
+            "l0",
+            125e6,
+            50e-6,
+            SharingPolicy::Shared,
+        );
+        p.link_between(
+            p.host_node(h1),
+            sw,
+            "l1",
+            125e6,
+            50e-6,
+            SharingPolicy::Shared,
+        );
         assert_eq!(p.num_hosts(), 2);
         assert_eq!(p.num_nodes(), 3);
         assert_eq!(p.num_links(), 2);

@@ -160,11 +160,15 @@ mod tests {
     fn split_duplex_same_direction_contends() {
         // Three hosts on a star; two flows *into* the same destination share
         // its down-link.
-        let rp = RoutedPlatform::new(flat_cluster("c", 3, &ClusterConfig {
-            link_bandwidth: 100.0,
-            link_latency: 0.0,
-            ..ClusterConfig::default()
-        }));
+        let rp = RoutedPlatform::new(flat_cluster(
+            "c",
+            3,
+            &ClusterConfig {
+                link_bandwidth: 100.0,
+                link_latency: 0.0,
+                ..ClusterConfig::default()
+            },
+        ));
         let mut sim = Simulation::new();
         let m = Materialized::build(&rp, &mut sim);
         let r1 = m.route(&rp, HostIx(1), HostIx(0));

@@ -26,7 +26,9 @@ fn split_suffix(s: &str) -> (&str, &str) {
     let trimmed = s.trim();
     let split = trimmed
         .char_indices()
-        .find(|(_, c)| !(c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+' || *c == 'e' || *c == 'E'))
+        .find(|(_, c)| {
+            !(c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+' || *c == 'e' || *c == 'E')
+        })
         .map(|(i, _)| i)
         .unwrap_or(trimmed.len());
     // Guard against scientific notation capturing a trailing exponent letter

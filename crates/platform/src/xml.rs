@@ -86,11 +86,9 @@ fn tokenize(input: &str) -> Result<Vec<Tag>, XmlError> {
             }
             continue;
         }
-        let close = input[i..]
-            .find('>')
-            .ok_or_else(|| XmlError {
-                message: format!("unterminated tag at byte {i}"),
-            })?;
+        let close = input[i..].find('>').ok_or_else(|| XmlError {
+            message: format!("unterminated tag at byte {i}"),
+        })?;
         let inner = &input[i + 1..i + close];
         i += close + 1;
         if let Some(name) = inner.strip_prefix('/') {
@@ -147,12 +145,9 @@ fn require<'a>(
     key: &str,
     tag: &str,
 ) -> Result<&'a str, XmlError> {
-    attrs
-        .get(key)
-        .map(|s| s.as_str())
-        .ok_or_else(|| XmlError {
-            message: format!("<{tag}> is missing required attribute {key:?}"),
-        })
+    attrs.get(key).map(|s| s.as_str()).ok_or_else(|| XmlError {
+        message: format!("<{tag}> is missing required attribute {key:?}"),
+    })
 }
 
 /// Parses a platform file.
@@ -171,8 +166,8 @@ pub fn from_xml(input: &str) -> Result<Platform, XmlError> {
             Tag::SelfClosing(name, attrs) => match name.as_str() {
                 "host" => {
                     let id = require(&attrs, "id", "host")?;
-                    let speed = parse_speed(require(&attrs, "speed", "host")?)
-                        .map_err(|e| XmlError {
+                    let speed =
+                        parse_speed(require(&attrs, "speed", "host")?).map_err(|e| XmlError {
                             message: e.to_string(),
                         })?;
                     platform.add_host(id, speed);
@@ -182,21 +177,22 @@ pub fn from_xml(input: &str) -> Result<Platform, XmlError> {
                 }
                 "link" => {
                     let id = require(&attrs, "id", "link")?;
-                    let bw = parse_bandwidth(require(&attrs, "bandwidth", "link")?)
-                        .map_err(|e| XmlError {
-                            message: e.to_string(),
+                    let bw =
+                        parse_bandwidth(require(&attrs, "bandwidth", "link")?).map_err(|e| {
+                            XmlError {
+                                message: e.to_string(),
+                            }
                         })?;
-                    let lat = parse_latency(require(&attrs, "latency", "link")?)
-                        .map_err(|e| XmlError {
+                    let lat = parse_latency(require(&attrs, "latency", "link")?).map_err(|e| {
+                        XmlError {
                             message: e.to_string(),
-                        })?;
+                        }
+                    })?;
                     let policy = match attrs.get("sharing_policy").map(String::as_str) {
                         None | Some("SHARED") => SharingPolicy::Shared,
                         Some("SPLITDUPLEX") => SharingPolicy::SplitDuplex,
                         Some("FATPIPE") => SharingPolicy::FatPipe,
-                        Some(other) => {
-                            return err(format!("unknown sharing_policy {other:?}"))
-                        }
+                        Some(other) => return err(format!("unknown sharing_policy {other:?}")),
                     };
                     platform.add_link(id, bw, lat, policy);
                 }
@@ -204,16 +200,12 @@ pub fn from_xml(input: &str) -> Result<Platform, XmlError> {
                     let a = require(&attrs, "a", "edge")?;
                     let b = require(&attrs, "b", "edge")?;
                     let link = require(&attrs, "link", "edge")?;
-                    let a = platform
-                        .node_by_name(a)
-                        .ok_or_else(|| XmlError {
-                            message: format!("edge endpoint {a:?} is not declared"),
-                        })?;
-                    let b = platform
-                        .node_by_name(b)
-                        .ok_or_else(|| XmlError {
-                            message: format!("edge endpoint {b:?} is not declared"),
-                        })?;
+                    let a = platform.node_by_name(a).ok_or_else(|| XmlError {
+                        message: format!("edge endpoint {a:?} is not declared"),
+                    })?;
+                    let b = platform.node_by_name(b).ok_or_else(|| XmlError {
+                        message: format!("edge endpoint {b:?} is not declared"),
+                    })?;
                     let link = platform.link_by_name(link).ok_or_else(|| XmlError {
                         message: format!("edge link {link:?} is not declared"),
                     })?;
@@ -235,9 +227,7 @@ pub fn from_xml(input: &str) -> Result<Platform, XmlError> {
                             links.push(crate::spec::Hop::fwd(l));
                         }
                         Some(Tag::Close(n)) if n == "route" => break,
-                        other => {
-                            return err(format!("unexpected content in <route>: {other:?}"))
-                        }
+                        other => return err(format!("unexpected content in <route>: {other:?}")),
                     }
                 }
                 let src = platform.host_by_name(&src).ok_or_else(|| XmlError {
@@ -393,7 +383,10 @@ mod tests {
   <link id="l" bandwidth="1MBps" latency="1us" sharing_policy="FATPIPE"/>
 </platform>"#;
         let p = from_xml(xml).unwrap();
-        assert_eq!(p.link(p.link_by_name("l").unwrap()).policy, SharingPolicy::FatPipe);
+        assert_eq!(
+            p.link(p.link_by_name("l").unwrap()).policy,
+            SharingPolicy::FatPipe
+        );
         let again = from_xml(&to_xml(&p)).unwrap();
         assert_eq!(
             again.link(again.link_by_name("l").unwrap()).policy,

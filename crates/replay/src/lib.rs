@@ -1,0 +1,321 @@
+//! # smpi-replay — off-line replay of time-independent traces
+//!
+//! The complement of the paper's on-line simulator: capture a run once
+//! (with [`World::capture`]), then re-simulate its time-independent trace
+//! against *any* platform spec and network model — no rank bodies, no
+//! application compute, no payload allocation. Only the simulation kernel
+//! runs, which is what makes thousands-of-run sensitivity sweeps (swap the
+//! transfer model, the topology, the MPI profile) tractable.
+//!
+//! ```
+//! use smpi::World;
+//! use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
+//! use surf_sim::TransferModel;
+//! use std::sync::Arc;
+//!
+//! let rp = Arc::new(RoutedPlatform::new(flat_cluster("c", 4, &ClusterConfig::default())));
+//! let world = World::smpi(rp, TransferModel::default_affine()).capture(true);
+//! let online = world.run(4, |ctx| {
+//!     ctx.compute(1e6);
+//!     let x = [ctx.rank() as f64];
+//!     ctx.allreduce(&x, &smpi::op::sum::<f64>(), &ctx.world())[0]
+//! });
+//! let trace = online.ti_trace.as_ref().unwrap();
+//!
+//! // Same platform: the replayed makespan is the online makespan.
+//! let replayed = smpi_replay::replay(&world, trace);
+//! assert_eq!(replayed.sim_time, online.sim_time);
+//! ```
+//!
+//! ## Semantics under model swap
+//!
+//! The trace fixes each rank's *order* of simcalls; the target world fixes
+//! their *timing*. Eager/rendezvous is re-decided under the target world's
+//! [`smpi::MpiProfile`], transfers are re-timed by its fabric, and waits
+//! re-block until the re-timed requests complete. One divergence class
+//! needs care: on a different platform, a captured `Poll`/`Waitany` may
+//! complete a *different subset* of requests than it did on-line, so later
+//! captured waits can name requests the replay has already consumed (or
+//! miss ones it has not). The replayer tracks consumption per rank and
+//! filters every captured wait down to the requests still live in *this*
+//! replay, skipping waits that become empty. On the capture platform
+//! nothing is ever filtered and the replay is bit-identical.
+//!
+//! Replay is faithful only for applications whose communication structure
+//! does not depend on message *values* or wall-clock races (the standard
+//! time-independent-trace caveat); wildcard receives replay correctly as
+//! long as their matching order stays deterministic.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use smpi::capture::intern_region;
+use smpi::{Ctx, ReqId, RunReport, TiOp, TiTrace, World};
+
+/// Re-simulates a captured trace on `world` and returns the ordinary run
+/// report (same observability artifacts as an on-line run: metrics, Paje
+/// timelines, self-profile — per the world's configuration).
+///
+/// No application code executes: each rank is a trace cursor issuing the
+/// captured simcalls with data-less messages.
+pub fn replay(world: &World, trace: &TiTrace) -> RunReport<()> {
+    let nranks = trace.num_ranks();
+    assert!(nranks > 0, "cannot replay an empty trace");
+    let trace = Arc::new(trace.clone());
+    world.run(nranks, move |ctx| {
+        replay_rank(ctx, &trace.ranks[ctx.rank()])
+    })
+}
+
+/// Replays one rank's op sequence (the whole replay "application").
+fn replay_rank(ctx: &Ctx, ops: &[TiOp]) {
+    // Requests are named by post index in the trace; `live` maps the index
+    // of each not-yet-consumed request to its id in this replay.
+    let mut n_posted: u32 = 0;
+    let mut live: HashMap<u32, ReqId> = HashMap::new();
+    for op in ops {
+        match op {
+            TiOp::Compute { flops } => ctx.compute(*flops),
+            TiOp::Sleep { secs } => ctx.sleep(*secs),
+            TiOp::Send {
+                dst,
+                cid,
+                tag,
+                bytes,
+            } => {
+                let req = ctx.replay_send(*dst, *cid, *tag, *bytes);
+                live.insert(n_posted, req);
+                n_posted += 1;
+            }
+            TiOp::Recv {
+                src,
+                cid,
+                tag,
+                max_bytes,
+            } => {
+                let req = ctx.replay_recv(*src, *cid, *tag, *max_bytes);
+                live.insert(n_posted, req);
+                n_posted += 1;
+            }
+            TiOp::Wait { reqs, mode } => {
+                // Filter to requests still live in this replay (see the
+                // crate docs on divergence under model swap).
+                let waited: Vec<(u32, ReqId)> = reqs
+                    .iter()
+                    .filter_map(|ix| live.get(ix).map(|r| (*ix, *r)))
+                    .collect();
+                if waited.is_empty() {
+                    continue; // captured wait already satisfied here
+                }
+                let ids = waited.iter().map(|(_, r)| *r).collect();
+                for c in ctx.replay_wait(ids, *mode) {
+                    live.remove(&waited[c.index].0);
+                }
+            }
+            TiOp::Region { name, enter } => {
+                ctx.replay_region(intern_region(name), *enter);
+            }
+        }
+    }
+}
+
+/// Outcome of an on-line vs replayed comparison on the same world.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossValidation {
+    /// On-line simulated makespan (seconds).
+    pub online: f64,
+    /// Replayed simulated makespan (seconds).
+    pub replayed: f64,
+    /// `|replayed - online| / online`.
+    pub rel_err: f64,
+}
+
+impl CrossValidation {
+    /// `true` when the replayed makespan is within `tol` relative error.
+    pub fn within(&self, tol: f64) -> bool {
+        self.rel_err <= tol
+    }
+}
+
+/// Replays `online`'s captured trace on the *same* world and compares
+/// makespans. Panics if the report carries no trace (run the world with
+/// [`World::capture`]).
+pub fn cross_validate<R>(world: &World, online: &RunReport<R>) -> CrossValidation {
+    let trace = online
+        .ti_trace
+        .as_ref()
+        .expect("cross_validate needs a captured trace (World::capture)");
+    let replayed = replay(world, trace);
+    CrossValidation {
+        online: online.sim_time,
+        replayed: replayed.sim_time,
+        rel_err: (replayed.sim_time - online.sim_time).abs() / online.sim_time,
+    }
+}
+
+/// Writes a trace to `path` in the `TITRACE v1` text format.
+pub fn save_trace(path: impl AsRef<Path>, trace: &TiTrace) -> io::Result<()> {
+    std::fs::write(path, trace.encode())
+}
+
+/// Reads a `TITRACE v1` file. Decode failures surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn load_trace(path: impl AsRef<Path>) -> io::Result<TiTrace> {
+    let text = std::fs::read_to_string(path)?;
+    TiTrace::decode(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smpi::WaitMode;
+    use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
+    use surf_sim::TransferModel;
+
+    fn small_world() -> World {
+        let rp = Arc::new(RoutedPlatform::new(flat_cluster(
+            "n",
+            4,
+            &ClusterConfig::default(),
+        )));
+        World::smpi(rp, TransferModel::default_affine())
+    }
+
+    /// A little app exercising p2p (eager + rendezvous), wildcard waits,
+    /// collectives and compute.
+    fn app(ctx: &Ctx) -> f64 {
+        let w = ctx.world();
+        ctx.compute(5e5 * (ctx.rank() + 1) as f64);
+        let right = (ctx.rank() + 1) % ctx.size();
+        let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        let mut buf = vec![0.0f64; 64 * 1024];
+        let big = vec![ctx.rank() as f64; 64 * 1024];
+        ctx.sendrecv(&big, right, 7, &mut buf, left as i32, 7, &w);
+        let x = [buf[0] + 1.0];
+        ctx.allreduce(&x, &smpi::op::sum::<f64>(), &w)[0]
+    }
+
+    #[test]
+    fn same_world_replay_is_exact() {
+        let world = small_world().capture(true);
+        let online = world.run(4, app);
+        let trace = online.ti_trace.as_ref().unwrap();
+        assert!(trace.summary().sends > 0);
+        let replayed = replay(&world, trace);
+        assert_eq!(replayed.sim_time, online.sim_time);
+        assert_eq!(replayed.finish_times, online.finish_times);
+        let cv = cross_validate(&world, &online);
+        assert!(cv.within(0.0));
+    }
+
+    #[test]
+    fn recapturing_a_replay_reproduces_the_trace() {
+        // Capturing a replay must yield the original trace: the replayer
+        // issues exactly the captured simcall stream.
+        let world = small_world().capture(true);
+        let online = world.run(4, app);
+        let trace = online.ti_trace.unwrap();
+        let replayed = replay(&world, &trace);
+        assert_eq!(replayed.ti_trace.unwrap(), trace);
+    }
+
+    #[test]
+    fn replay_carries_observability() {
+        let world = small_world().capture(true).metrics(true);
+        let online = world.run(4, app);
+        let trace = online.ti_trace.as_ref().unwrap();
+        let replayed = replay(&world.clone().metrics(true), trace);
+        // Paje export works on the replayed report too.
+        assert!(replayed.paje().contains("PajeSetState"));
+        let metrics = replayed.metrics.expect("replay run produces metrics");
+        let online_metrics = online.metrics.unwrap();
+        // Same protocol traffic either way, including region counters.
+        let counter = |m: &smpi_obs::MetricsReport, key: &str| {
+            m.counters
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(
+            counter(&online_metrics, "core.coll.allreduce"),
+            counter(&metrics, "core.coll.allreduce"),
+        );
+        assert_eq!(
+            counter(&online_metrics, "core.sends.eager"),
+            counter(&metrics, "core.sends.eager"),
+        );
+        assert!(counter(&metrics, "core.coll.allreduce") > 0);
+    }
+
+    #[test]
+    fn waits_on_consumed_requests_are_skipped() {
+        // A hand-written trace whose second wait re-lists an index that the
+        // first wait consumed and adds nothing live: replay must skip it
+        // rather than panic, and still finish.
+        let trace = TiTrace {
+            ranks: vec![
+                vec![
+                    TiOp::Send {
+                        dst: 1,
+                        cid: 0,
+                        tag: 1,
+                        bytes: 100,
+                    },
+                    TiOp::Wait {
+                        reqs: vec![0],
+                        mode: WaitMode::All,
+                    },
+                    TiOp::Wait {
+                        reqs: vec![0],
+                        mode: WaitMode::All,
+                    },
+                ],
+                vec![
+                    TiOp::Recv {
+                        src: 0,
+                        cid: 0,
+                        tag: 1,
+                        max_bytes: 100,
+                    },
+                    TiOp::Wait {
+                        reqs: vec![0],
+                        mode: WaitMode::Any,
+                    },
+                    TiOp::Wait {
+                        reqs: vec![0, 0],
+                        mode: WaitMode::Poll,
+                    },
+                ],
+            ],
+        };
+        let world = small_world();
+        let report = replay(&world, &trace);
+        assert!(report.sim_time > 0.0);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let world = small_world().capture(true);
+        let trace = world.run(3, app).ti_trace.unwrap();
+        let dir = std::env::temp_dir().join("smpi_replay_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.tit");
+        save_trace(&path, &trace).unwrap();
+        assert_eq!(load_trace(&path).unwrap(), trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("smpi_replay_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.tit");
+        std::fs::write(&path, "not a trace\n").unwrap();
+        let err = load_trace(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

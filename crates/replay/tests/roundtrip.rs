@@ -1,0 +1,69 @@
+//! Property test: the `TITRACE v1` codec is lossless — for arbitrary op
+//! sequences, encode → decode → encode is the identity on both the value
+//! and the text.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+
+use smpi::{TiOp, TiTrace, WaitMode};
+
+fn op_strategy() -> impl Strategy<Value = TiOp> {
+    let region_names = ["allreduce", "reduce_binomial", "allgather_ring", "barrier"];
+    prop_oneof![
+        (0.0f64..1e15).prop_map(|flops| TiOp::Compute { flops }),
+        (0.0f64..1e3).prop_map(|secs| TiOp::Sleep { secs }),
+        (0u32..64, 0u32..8, 0i32..1000, 0u64..(1 << 40)).prop_map(|(dst, cid, tag, bytes)| {
+            TiOp::Send {
+                dst,
+                cid,
+                tag,
+                bytes,
+            }
+        }),
+        (-1i32..64, 0u32..8, -1i32..1000, 0u64..(1 << 40)).prop_map(
+            |(src, cid, tag, max_bytes)| TiOp::Recv {
+                src,
+                cid,
+                tag,
+                max_bytes,
+            }
+        ),
+        (vec(0u32..256, 0..6), 0usize..4).prop_map(|(reqs, m)| TiOp::Wait {
+            reqs,
+            mode: [WaitMode::All, WaitMode::Any, WaitMode::Some, WaitMode::Poll][m],
+        }),
+        (0usize..4, 0usize..2).prop_map(move |(n, e)| TiOp::Region {
+            name: region_names[n].to_string(),
+            enter: e == 0,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_encode_is_lossless(ranks in vec(vec(op_strategy(), 0..40), 1..6)) {
+        let trace = TiTrace { ranks };
+        let encoded = trace.encode();
+        let decoded = TiTrace::decode(&encoded)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(&decoded, &trace);
+        prop_assert_eq!(decoded.encode(), encoded);
+    }
+
+    #[test]
+    fn extreme_floats_roundtrip(bits in 0u64..u64::MAX) {
+        // Any finite f64 bit pattern must survive the text codec exactly.
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            let trace = TiTrace {
+                ranks: vec![vec![TiOp::Compute { flops: f }, TiOp::Sleep { secs: f }]],
+            };
+            let decoded = TiTrace::decode(&trace.encode())
+                .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+            prop_assert_eq!(decoded, trace);
+        }
+    }
+}

@@ -111,7 +111,9 @@ impl<Req, Resp> ActorHandle<Req, Resp> {
             drop(slot);
             std::panic::panic_any(ActorKilled);
         }
-        slot.response.take().expect("maestro resolved with a response")
+        slot.response
+            .take()
+            .expect("maestro resolved with a response")
     }
 }
 

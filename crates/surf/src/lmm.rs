@@ -141,8 +141,7 @@ impl MaxMinProblem {
             let mut best_var: Option<usize> = None;
             for c in 0..nc {
                 if wsum_unfrozen[c] > 0.0 {
-                    let lam = (self.capacities[c] - frozen_usage[c]).max(0.0)
-                        / wsum_unfrozen[c];
+                    let lam = (self.capacities[c] - frozen_usage[c]).max(0.0) / wsum_unfrozen[c];
                     if lam < best {
                         best = lam;
                         best_cnst = Some(c);

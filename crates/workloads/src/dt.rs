@@ -304,7 +304,11 @@ pub fn dt_rank(ctx: &Ctx, graph: &TaskGraph, class: DtClass) -> f64 {
                 let chunk = payload.len() / k;
                 for (j, &s) in succs.iter().enumerate() {
                     let lo = j * chunk;
-                    let hi = if j == k - 1 { payload.len() } else { lo + chunk };
+                    let hi = if j == k - 1 {
+                        payload.len()
+                    } else {
+                        lo + chunk
+                    };
                     ctx.send(&payload[lo..hi], s, DT_TAG, &comm);
                 }
             }
@@ -451,10 +455,7 @@ mod tests {
         let g = build_graph(class, DtGraph::Bh);
         let sink = g.sinks()[0];
         // The sink's combined buffer holds everything the sources produced.
-        assert_eq!(
-            produced_len(&g, class, sink),
-            16 * class.num_samples()
-        );
+        assert_eq!(produced_len(&g, class, sink), 16 * class.num_samples());
     }
 
     #[test]

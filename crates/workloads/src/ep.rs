@@ -139,11 +139,7 @@ pub fn ep_rank(ctx: &Ctx, cfg: EpConfig) -> EpResult {
 
     // Final reduction, as in NPB EP.
     let reduced = ctx.allreduce(
-        &[
-            acc.sx,
-            acc.sy,
-            acc.q.iter().sum::<f64>(),
-        ],
+        &[acc.sx, acc.sy, acc.q.iter().sum::<f64>()],
         &op::sum::<f64>(),
         &ctx.world(),
     );

@@ -52,7 +52,10 @@ fn main() {
     // 4. Accuracy summary (the paper's Fig. 3 bottom line).
     let truth: Vec<f64> = samples.iter().map(|s| s.time).collect();
     let sim: Vec<f64> = simulated.iter().map(|s| s.time).collect();
-    println!("\nSMPI vs testbed ping-pong: {}", ErrorSummary::compare(&sim, &truth));
+    println!(
+        "\nSMPI vs testbed ping-pong: {}",
+        ErrorSummary::compare(&sim, &truth)
+    );
 
     // Export the platform file (truncated preview).
     let xml = to_xml(rp.platform());

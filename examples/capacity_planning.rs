@@ -25,7 +25,10 @@ fn main() {
     ];
     let chunk = 128 * 1024; // 1 MiB per peer
 
-    println!("{:<16} {:>14} {:>12}", "interconnect", "alltoall(s)", "speedup");
+    println!(
+        "{:<16} {:>14} {:>12}",
+        "interconnect", "alltoall(s)", "speedup"
+    );
     let mut baseline = None;
     for (name, bw, lat) in candidates {
         let platform = Arc::new(RoutedPlatform::new(flat_cluster(

@@ -25,7 +25,11 @@ fn serial(cells: usize, steps: usize) -> Vec<f64> {
     for _ in 0..steps {
         for i in 0..cells {
             let left = if i == 0 { u[0] } else { u[i - 1] };
-            let right = if i == cells - 1 { u[cells - 1] } else { u[i + 1] };
+            let right = if i == cells - 1 {
+                u[cells - 1]
+            } else {
+                u[i + 1]
+            };
             next[i] = u[i] + ALPHA * (left - 2.0 * u[i] + right);
         }
         std::mem::swap(&mut u, &mut next);
@@ -35,7 +39,13 @@ fn serial(cells: usize, steps: usize) -> Vec<f64> {
 
 fn initial(cells: usize) -> Vec<f64> {
     (0..cells)
-        .map(|i| if i >= cells / 4 && i < cells / 2 { 100.0 } else { 0.0 })
+        .map(|i| {
+            if i >= cells / 4 && i < cells / 2 {
+                100.0
+            } else {
+                0.0
+            }
+        })
         .collect()
 }
 
@@ -74,12 +84,24 @@ fn main() {
             }
             if r + 1 < p {
                 let mut incoming = [0.0f64];
-                ctx.sendrecv(&[u[local - 1]], r + 1, 1, &mut incoming, (r + 1) as i32, 0, &comm);
+                ctx.sendrecv(
+                    &[u[local - 1]],
+                    r + 1,
+                    1,
+                    &mut incoming,
+                    (r + 1) as i32,
+                    0,
+                    &comm,
+                );
                 right_halo = incoming;
             }
             for i in 0..local {
                 let left = if i == 0 { left_halo[0] } else { u[i - 1] };
-                let right = if i == local - 1 { right_halo[0] } else { u[i + 1] };
+                let right = if i == local - 1 {
+                    right_halo[0]
+                } else {
+                    u[i + 1]
+                };
                 next[i] = u[i] + ALPHA * (left - 2.0 * u[i] + right);
             }
             std::mem::swap(&mut u, &mut next);
@@ -102,6 +124,9 @@ fn main() {
     println!("ranks={ranks} cells={cells} steps={steps}");
     println!("max |distributed - serial| = {max_err:.3e}");
     println!("simulated execution time   = {:.4} s", report.sim_time);
-    println!("simulation wall-clock      = {:.4} s", report.wall.as_secs_f64());
+    println!(
+        "simulation wall-clock      = {:.4} s",
+        report.wall.as_secs_f64()
+    );
     assert!(max_err < 1e-9, "distributed result diverged");
 }

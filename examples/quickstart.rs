@@ -48,7 +48,10 @@ fn main() {
     });
 
     let expect: f64 = (0..N).map(|i| i as f64 / (i + 1) as f64).sum();
-    println!("dot product   : {:.6} (expected {:.6})", report.results[0], expect);
+    println!(
+        "dot product   : {:.6} (expected {:.6})",
+        report.results[0], expect
+    );
     println!("simulated time: {:.6} s", report.sim_time);
     println!("wall-clock    : {:.6} s", report.wall.as_secs_f64());
     assert!((report.results[0] - expect).abs() < 1e-6);

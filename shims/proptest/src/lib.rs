@@ -274,7 +274,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Anything usable as the vector-length parameter of [`vec`].
+    /// Anything usable as the vector-length parameter of [`vec()`].
     pub trait SizeRange {
         /// Draws a length.
         fn sample(&self, rng: &mut TestRng) -> usize;
@@ -307,7 +307,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,

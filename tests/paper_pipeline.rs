@@ -7,7 +7,9 @@
 
 use std::sync::Arc;
 
-use smpi_suite::calibrate::{fit_best_affine, fit_default_affine, fit_piecewise, pingpong, RouteRef};
+use smpi_suite::calibrate::{
+    fit_best_affine, fit_default_affine, fit_piecewise, pingpong, RouteRef,
+};
 use smpi_suite::metrics::ErrorSummary;
 use smpi_suite::platform::{flat_cluster, ClusterConfig, HostIx, RoutedPlatform};
 use smpi_suite::smpi::{MpiProfile, World};
@@ -109,7 +111,10 @@ fn contention_blind_underestimates_alltoall() {
         },
         MpiProfile::smpi(),
     ));
-    let truth = run_max(&World::testbed(Arc::clone(&cal.rp), MpiProfile::openmpi_like()));
+    let truth = run_max(&World::testbed(
+        Arc::clone(&cal.rp),
+        MpiProfile::openmpi_like(),
+    ));
     // The paper's Fig. 11 shape: ignoring contention underestimates badly;
     // modelling it lands close.
     assert!(
@@ -150,7 +155,11 @@ fn platform_xml_roundtrip_preserves_simulation_results() {
             .run(8, move |ctx| timed_scatter(ctx, chunk))
             .results
     };
-    assert_eq!(run(rp), run(rp2), "XML roundtrip changed simulation results");
+    assert_eq!(
+        run(rp),
+        run(rp2),
+        "XML roundtrip changed simulation results"
+    );
 }
 
 #[test]
@@ -162,7 +171,11 @@ fn full_runs_are_deterministic_across_repetitions() {
                 let comm = ctx.world();
                 let mine = vec![ctx.rank() as f64; 1000];
                 let all = ctx.allgather(&mine, &comm);
-                let sum = ctx.allreduce(&[all.iter().sum::<f64>()], &smpi_suite::smpi::op::sum(), &comm);
+                let sum = ctx.allreduce(
+                    &[all.iter().sum::<f64>()],
+                    &smpi_suite::smpi::op::sum(),
+                    &comm,
+                );
                 (sum[0], ctx.wtime())
             })
             .results

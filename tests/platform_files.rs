@@ -1,7 +1,7 @@
 //! The shipped platform files parse and match the programmatic builders.
 
-use smpi_suite::platform::{from_xml, gdx, griffon, RoutedPlatform};
 use smpi_suite::platform::HostIx;
+use smpi_suite::platform::{from_xml, gdx, griffon, RoutedPlatform};
 
 fn check(file: &str, reference: smpi_suite::platform::Platform) {
     let path = format!("{}/platforms/{file}", env!("CARGO_MANIFEST_DIR"));
@@ -17,7 +17,10 @@ fn check(file: &str, reference: smpi_suite::platform::Platform) {
             rp.route(HostIx(a), HostIx(b)).len(),
             rr.route(HostIx(a), HostIx(b)).len()
         );
-        let (la, lb) = (rp.latency(HostIx(a), HostIx(b)), rr.latency(HostIx(a), HostIx(b)));
+        let (la, lb) = (
+            rp.latency(HostIx(a), HostIx(b)),
+            rr.latency(HostIx(a), HostIx(b)),
+        );
         assert!((la - lb).abs() < 1e-12, "latency {la} vs {lb}"); // unit formatting rounding
     }
 }

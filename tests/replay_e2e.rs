@@ -1,0 +1,131 @@
+//! Capture → replay end-to-end: cross-validation against the on-line
+//! simulation, model-swap replay, determinism, and the golden trace file.
+
+use std::sync::Arc;
+
+use smpi_suite::platform::{gdx, griffon, RoutedPlatform};
+use smpi_suite::replay;
+use smpi_suite::smpi::{TiTrace, World};
+use smpi_suite::surf::TransferModel;
+use smpi_suite::workloads::{build_graph, dt_rank, ep_rank, DtClass, DtGraph, EpConfig};
+
+fn griffon_world() -> World {
+    let rp = Arc::new(RoutedPlatform::new(griffon()));
+    World::smpi(rp, TransferModel::default_affine())
+}
+
+fn gdx_world() -> World {
+    let rp = Arc::new(RoutedPlatform::new(gdx()));
+    World::smpi(rp, TransferModel::default_affine())
+}
+
+fn dt_online(world: &World, class: DtClass, shape: DtGraph) -> smpi_suite::smpi::RunReport<f64> {
+    let graph = Arc::new(build_graph(class, shape));
+    let g = Arc::clone(&graph);
+    world.run(graph.num_nodes(), move |ctx| dt_rank(ctx, &g, class))
+}
+
+/// NAS DT on griffon: the replayed makespan must match the on-line
+/// simulated makespan within 0.1% on the same platform/model (it is in
+/// fact bit-identical: same simcall stream, same kernel).
+#[test]
+fn dt_cross_validation_on_griffon() {
+    let world = griffon_world().capture(true);
+    let online = dt_online(&world, DtClass::W, DtGraph::Bh);
+    let cv = replay::cross_validate(&world, &online);
+    assert!(
+        cv.within(0.001),
+        "DT replay drifted: online {} vs replayed {} (rel {:.2e})",
+        cv.online,
+        cv.replayed,
+        cv.rel_err
+    );
+    assert_eq!(cv.online, cv.replayed, "same-world replay should be exact");
+}
+
+/// NAS EP on griffon. EP's compute bursts are *measured* (wall-clock
+/// sampling), so two online runs differ — but the captured trace pins the
+/// measured values, and its replay must reproduce this run's makespan.
+#[test]
+fn ep_cross_validation_on_griffon() {
+    let cfg = EpConfig {
+        total_pairs: 1 << 16,
+        blocks_per_rank: 8,
+        sampling_ratio: 1.0,
+    };
+    let world = griffon_world().capture(true);
+    let online = world.run(8, move |ctx| ep_rank(ctx, cfg));
+    let cv = replay::cross_validate(&world, &online);
+    assert!(
+        cv.within(0.001),
+        "EP replay drifted: online {} vs replayed {} (rel {:.2e})",
+        cv.online,
+        cv.replayed,
+        cv.rel_err
+    );
+}
+
+/// Model-swap power: a trace captured on griffon replays against gdx (a
+/// different topology and link speed) without executing any application
+/// code, and predicts a different — but finite, positive — makespan.
+#[test]
+fn griffon_trace_replays_against_gdx() {
+    let world = griffon_world().capture(true);
+    let online = dt_online(&world, DtClass::S, DtGraph::Bh);
+    let trace = online.ti_trace.as_ref().unwrap();
+    let on_gdx = replay::replay(&gdx_world(), trace);
+    assert!(on_gdx.sim_time > 0.0 && on_gdx.sim_time.is_finite());
+    assert_eq!(on_gdx.finish_times.len(), trace.num_ranks());
+    // Different platform, different prediction (the whole point of replay).
+    assert_ne!(on_gdx.sim_time, online.sim_time);
+}
+
+/// Determinism: two identical online runs produce byte-identical captured
+/// traces and byte-identical `to_json()` reports (after zeroing the
+/// wall-clock fields, which measure the host machine, not the simulation).
+#[test]
+fn identical_runs_are_byte_identical() {
+    let run = || {
+        let world = griffon_world().capture(true).metrics(true).tracing(true);
+        let mut report = dt_online(&world, DtClass::S, DtGraph::Bh);
+        report.wall = std::time::Duration::ZERO;
+        report.profile.wall_seconds = 0.0;
+        for (_, secs) in &mut report.profile.phases {
+            *secs = 0.0;
+        }
+        (
+            report.ti_trace.as_ref().unwrap().encode(),
+            report.to_json(),
+            report.paje(),
+        )
+    };
+    let (trace_a, json_a, paje_a) = run();
+    let (trace_b, json_b, paje_b) = run();
+    assert_eq!(trace_a, trace_b, "captured traces differ between runs");
+    assert_eq!(json_a, json_b, "to_json() differs between runs");
+    assert_eq!(paje_a, paje_b, "paje() differs between runs");
+}
+
+/// The checked-in golden trace: DT class S (BH graph, 5 ranks) captured
+/// with regions on. Guards both the capture layer and the codec against
+/// silent format drift. Regenerate with
+/// `BLESS=1 cargo test --test replay_e2e`.
+#[test]
+fn captured_trace_matches_golden_file() {
+    let world = griffon_world().capture(true).metrics(true);
+    let online = dt_online(&world, DtClass::S, DtGraph::Bh);
+    let encoded = online.ti_trace.as_ref().unwrap().encode();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/dt_s_bh.tit");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(golden_path, &encoded).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file (run with BLESS=1)");
+    assert_eq!(
+        encoded, golden,
+        "captured trace drifted from the golden file"
+    );
+    // And the golden file itself decodes and replays.
+    let trace = TiTrace::decode(&golden).unwrap();
+    let report = replay::replay(&griffon_world(), &trace);
+    assert_eq!(report.sim_time, online.sim_time);
+}
