@@ -3,8 +3,8 @@
 //! Usage: `repro [fig3 fig4 ... | all]`. `REPRO_FAST=1` trims sweeps.
 
 use smpi_bench::{
-    ablations, fig_alltoall, fig_dt, fig_pingpong, fig_scatter, fig_schemes, fig_speed, obs_demo,
-    replay_demo,
+    ablations, e2e, fig_alltoall, fig_dt, fig_pingpong, fig_scatter, fig_schemes, fig_speed,
+    kernel_bench, obs_demo, replay_demo,
 };
 
 fn main() {
@@ -54,6 +54,9 @@ fn main() {
             "fig18" => fig_speed::fig18().render(),
             "obs" => obs_demo::obs(),
             "replay" => replay_demo::replay_demo(),
+            "dt" => e2e::dt_report(),
+            "ep" => e2e::ep_report(),
+            "kernel" => kernel_bench::kernel_bench(),
             "ablations" => format!(
                 "{}\n{}\n{}",
                 ablations::segment_sweep(),

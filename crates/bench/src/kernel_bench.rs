@@ -1,0 +1,163 @@
+//! Kernel churn microbenchmark (`repro -- kernel`).
+//!
+//! Stress-tests the O(active) kernel on a workload the paper's evaluation
+//! never reaches with 21 ranks: ~10 000 *concurrent* actions (paired
+//! contended transfers plus shared compute bursts) with continuous churn —
+//! every completion immediately starts a replacement somewhere else. The
+//! same workload runs twice:
+//!
+//! * **incremental** — the production configuration: slab storage, lazy
+//!   completion heap, dirty-constraint incremental reshare;
+//! * **full** — [`surf_sim::Simulation::set_full_reshare`] forces the
+//!   pre-refactor behaviour of rebuilding the whole max-min problem on
+//!   every event, as a baseline.
+//!
+//! Emits `BENCH_kernel.json` (see EXPERIMENTS.md for the schema) with the
+//! sustained completion throughput of both modes, their ratio, and the slab
+//! high-water mark. CI gates on the *speedup ratio* rather than absolute
+//! events/sec so the result is robust to runner hardware.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use surf_sim::{Simulation, TransferModel};
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants); value in the high bits.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+struct ChurnResult {
+    completions: usize,
+    wall_s: f64,
+    events_per_sec: f64,
+    peak_actions: usize,
+}
+
+/// Runs the churn workload until `target` actions have completed (after a
+/// small untimed warmup) and reports sustained throughput.
+///
+/// Topology: `pairs` private links carrying two contended flows each, plus
+/// `hosts` nodes carrying two contended compute bursts each — concurrency
+/// stays at `2 * (pairs + hosts)` for the whole run because every
+/// completion starts a replacement action on an LCG-chosen resource.
+fn churn(
+    force_full: bool,
+    pairs: usize,
+    hosts: usize,
+    warmup: usize,
+    target: usize,
+) -> ChurnResult {
+    let model = TransferModel::ideal();
+    let mut sim = Simulation::new();
+    sim.set_full_reshare(force_full);
+    let links: Vec<_> = (0..pairs).map(|_| sim.add_link(1e9, 1e-5)).collect();
+    let cpus: Vec<_> = (0..hosts).map(|_| sim.add_host(1e9)).collect();
+
+    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+    let start_one = |sim: &mut Simulation, rng: &mut u64| {
+        let work = 1e3 + (lcg(rng) % 1_000_000) as f64;
+        if lcg(rng) % 10 < 9 || cpus.is_empty() {
+            let l = links[lcg(rng) as usize % links.len()];
+            sim.start_transfer(&[l], work, &model);
+        } else {
+            let h = cpus[lcg(rng) as usize % cpus.len()];
+            sim.start_exec(h, work);
+        }
+    };
+    for &l in &links {
+        for _ in 0..2 {
+            let bytes = 1e3 + (lcg(&mut rng) % 1_000_000) as f64;
+            sim.start_transfer(&[l], bytes, &model);
+        }
+    }
+    for &h in &cpus {
+        for _ in 0..2 {
+            let flops = 1e3 + (lcg(&mut rng) % 1_000_000) as f64;
+            sim.start_exec(h, flops);
+        }
+    }
+
+    let mut completions = 0usize;
+    let mut t0 = Instant::now();
+    let timed = loop {
+        let (_, done) = sim
+            .advance_to_next()
+            .expect("churn workload never drains: every completion is replaced");
+        for _ in 0..done.len() {
+            start_one(&mut sim, &mut rng);
+        }
+        completions += done.len();
+        if completions <= warmup {
+            // Restart the clock until the warmup is over.
+            t0 = Instant::now();
+            continue;
+        }
+        if completions - warmup >= target {
+            break completions - warmup;
+        }
+    };
+    let wall_s = t0.elapsed().as_secs_f64();
+    ChurnResult {
+        completions: timed,
+        wall_s,
+        events_per_sec: timed as f64 / wall_s,
+        peak_actions: sim.peak_actions(),
+    }
+}
+
+/// Runs the kernel microbenchmark, writes `BENCH_kernel.json`, and returns
+/// the human-readable summary.
+pub fn kernel_bench() -> String {
+    let fast = std::env::var("REPRO_FAST").is_ok();
+    // 4500 link pairs + 500 hosts => 10 000 concurrent actions.
+    let (pairs, hosts) = if fast { (450, 50) } else { (4500, 500) };
+    // The full-rebuild baseline pays O(active) per *event*; keep its event
+    // budget small so the benchmark finishes in seconds.
+    let (inc_events, full_events) = if fast { (2_000, 40) } else { (10_000, 60) };
+
+    let inc = churn(false, pairs, hosts, inc_events / 10, inc_events);
+    let full = churn(true, pairs, hosts, full_events / 10, full_events);
+    let speedup = inc.events_per_sec / full.events_per_sec;
+
+    let json = format!(
+        "{{\n  \"concurrent_actions\": {},\n  \"incremental\": {{ \"completions\": {}, \
+         \"wall_s\": {:.6}, \"events_per_sec\": {:.1} }},\n  \"full_reshare\": {{ \
+         \"completions\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.1} }},\n  \
+         \"speedup\": {:.2},\n  \"peak_actions\": {},\n  \"fast_mode\": {}\n}}\n",
+        2 * (pairs + hosts),
+        inc.completions,
+        inc.wall_s,
+        inc.events_per_sec,
+        full.completions,
+        full.wall_s,
+        full.events_per_sec,
+        speedup,
+        inc.peak_actions,
+        fast,
+    );
+    std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# kernel churn: {} concurrent actions, continuous replacement",
+        2 * (pairs + hosts)
+    );
+    let _ = writeln!(
+        out,
+        "incremental  {:>8} completions in {:>8.3} s  ({:>12.1} events/s, peak slab {})",
+        inc.completions, inc.wall_s, inc.events_per_sec, inc.peak_actions
+    );
+    let _ = writeln!(
+        out,
+        "full-reshare {:>8} completions in {:>8.3} s  ({:>12.1} events/s)",
+        full.completions, full.wall_s, full.events_per_sec
+    );
+    let _ = writeln!(out, "speedup {speedup:.1}x");
+    let _ = writeln!(out, "wrote BENCH_kernel.json");
+    out
+}

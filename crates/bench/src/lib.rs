@@ -12,11 +12,13 @@
 
 pub mod ablations;
 pub mod common;
+pub mod e2e;
 pub mod fig_alltoall;
 pub mod fig_dt;
 pub mod fig_pingpong;
 pub mod fig_scatter;
 pub mod fig_schemes;
 pub mod fig_speed;
+pub mod kernel_bench;
 pub mod obs_demo;
 pub mod replay_demo;

@@ -1,0 +1,17 @@
+//! Byte-for-byte regression tests against golden `repro -- dt` / `-- ep`
+//! reports captured before the O(active) kernel refactor. Any change to the
+//! engine's completion-time or rate arithmetic shows up here first.
+
+#[test]
+fn dt_report_matches_golden() {
+    let got = smpi_bench::e2e::dt_report();
+    let want = include_str!("golden/dt_report.txt");
+    assert_eq!(got, want, "dt e2e report diverged from pre-refactor golden");
+}
+
+#[test]
+fn ep_report_matches_golden() {
+    let got = smpi_bench::e2e::ep_report();
+    let want = include_str!("golden/ep_report.txt");
+    assert_eq!(got, want, "ep e2e report diverged from pre-refactor golden");
+}

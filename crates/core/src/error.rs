@@ -1,0 +1,56 @@
+//! Typed simulation failures.
+//!
+//! A simulation that cannot make progress used to `panic!` from deep inside
+//! the kernel or the maestro loop. Both conditions are now surfaced as a
+//! [`SimError`] through [`crate::world::World::try_run`], so harnesses (and
+//! tests) can distinguish a modelling bug from an infrastructure crash and
+//! report *which* actions or ranks are stuck.
+
+use std::fmt;
+
+pub use surf_sim::{StallError, StuckAction};
+
+/// A simulation failed to make progress.
+#[derive(Debug)]
+pub enum SimError {
+    /// The transport kernel has running actions but none of them can ever
+    /// complete (for example a flow whose model bound is 0 bytes/s). The
+    /// payload names every stuck action with its remaining work, rate and
+    /// route.
+    Stall(StallError),
+    /// Every remaining rank is blocked on a request while nothing is in
+    /// flight on the fabric — the MPI-level analogue of a stall, typically
+    /// an unmatched send/recv pair.
+    Deadlock {
+        /// Number of ranks still blocked.
+        blocked: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stall(e) => write!(f, "{e}"),
+            SimError::Deadlock { blocked } => write!(
+                f,
+                "deadlock: {blocked} rank(s) blocked with no event in flight \
+                 (unmatched send/recv?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Stall(e) => Some(e),
+            SimError::Deadlock { .. } => None,
+        }
+    }
+}
+
+impl From<StallError> for SimError {
+    fn from(e: StallError) -> Self {
+        SimError::Stall(e)
+    }
+}

@@ -16,6 +16,8 @@ use smpi_obs::Rec;
 use smpi_platform::{HostIx, Materialized, RoutedPlatform};
 use surf_sim::{EngineConfig, SimTime, Simulation, TransferModel};
 
+use crate::error::SimError;
+
 /// Opaque completion token handed back by a fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FabricToken(pub u64);
@@ -34,8 +36,10 @@ pub trait Fabric {
     /// Starts a pure delay.
     fn start_sleep(&mut self, seconds: f64) -> FabricToken;
 
-    /// Advances to the next completion; `None` when nothing is in flight.
-    fn advance(&mut self) -> Option<(SimTime, Vec<FabricToken>)>;
+    /// Advances to the next completion; `Ok(None)` when nothing is in
+    /// flight, `Err` when in-flight work can never complete (a kernel
+    /// stall).
+    fn advance(&mut self) -> Result<Option<(SimTime, Vec<FabricToken>)>, SimError>;
 
     /// One-way control-message latency between two hosts (used for the
     /// rendezvous handshake cost on backends that model it).
@@ -89,27 +93,21 @@ impl Fabric for SurfFabric {
         assert_ne!(src, dst, "self-transfers are handled by the runtime");
         let route = self.mat.route(&self.rp, src, dst);
         let action = self.sim.start_transfer(&route, bytes as f64, &self.model);
-        FabricToken(action.index() as u64)
+        FabricToken(action.raw())
     }
 
     fn start_exec(&mut self, host: HostIx, flops: f64) -> FabricToken {
         let h = self.mat.host(host);
-        FabricToken(self.sim.start_exec(h, flops).index() as u64)
+        FabricToken(self.sim.start_exec(h, flops).raw())
     }
 
     fn start_sleep(&mut self, seconds: f64) -> FabricToken {
-        FabricToken(self.sim.start_sleep(seconds).index() as u64)
+        FabricToken(self.sim.start_sleep(seconds).raw())
     }
 
-    fn advance(&mut self) -> Option<(SimTime, Vec<FabricToken>)> {
-        self.sim.advance_to_next().map(|(t, done)| {
-            (
-                t,
-                done.into_iter()
-                    .map(|a| FabricToken(a.index() as u64))
-                    .collect(),
-            )
-        })
+    fn advance(&mut self) -> Result<Option<(SimTime, Vec<FabricToken>)>, SimError> {
+        let next = self.sim.try_advance_to_next().map_err(SimError::Stall)?;
+        Ok(next.map(|(t, done)| (t, done.into_iter().map(|a| FabricToken(a.raw())).collect())))
     }
 
     fn control_latency(&self, src: HostIx, dst: HostIx) -> f64 {
@@ -154,15 +152,15 @@ impl Fabric for PacketFabric {
         FabricToken(token_of_packet(self.net.start_sleep(seconds)))
     }
 
-    fn advance(&mut self) -> Option<(SimTime, Vec<FabricToken>)> {
-        self.net.advance_to_next().map(|(t, done)| {
+    fn advance(&mut self) -> Result<Option<(SimTime, Vec<FabricToken>)>, SimError> {
+        Ok(self.net.advance_to_next().map(|(t, done)| {
             (
                 t,
                 done.into_iter()
                     .map(|a| FabricToken(token_of_packet(a)))
                     .collect(),
             )
-        })
+        }))
     }
 
     fn control_latency(&self, src: HostIx, dst: HostIx) -> f64 {
@@ -186,7 +184,7 @@ impl Fabric for PacketFabric {
 }
 
 fn token_of_packet(id: packetnet::PacketActionId) -> u64 {
-    id.raw() as u64
+    id.raw()
 }
 
 /// MPI implementation personality: the protocol constants layered on top of
@@ -299,7 +297,7 @@ mod tests {
     fn surf_fabric_transfer_completes() {
         let mut f = SurfFabric::new(rp(), TransferModel::ideal(), EngineConfig::default());
         let tok = f.start_transfer(HostIx(0), HostIx(1), 125_000_000);
-        let (t, done) = f.advance().unwrap();
+        let (t, done) = f.advance().unwrap().unwrap();
         assert_eq!(done, vec![tok]);
         assert!((t.as_secs() - (100e-6 + 1.0)).abs() < 1e-9);
     }
@@ -308,7 +306,7 @@ mod tests {
     fn packet_fabric_transfer_completes() {
         let mut f = PacketFabric::new(rp(), PacketConfig::default());
         let tok = f.start_transfer(HostIx(0), HostIx(1), 1448);
-        let (_, done) = f.advance().unwrap();
+        let (_, done) = f.advance().unwrap().unwrap();
         assert_eq!(done, vec![tok]);
     }
 
@@ -316,8 +314,8 @@ mod tests {
     fn fabrics_agree_on_idle_state() {
         let mut s = SurfFabric::new(rp(), TransferModel::ideal(), EngineConfig::default());
         let mut p = PacketFabric::new(rp(), PacketConfig::default());
-        assert!(s.advance().is_none());
-        assert!(p.advance().is_none());
+        assert!(s.advance().unwrap().is_none());
+        assert!(p.advance().unwrap().is_none());
     }
 
     #[test]
@@ -344,9 +342,9 @@ mod tests {
         let mut f = SurfFabric::new(rp(), TransferModel::ideal(), EngineConfig::default());
         let a = f.start_sleep(2.0);
         let b = f.start_sleep(1.0);
-        let (t1, d1) = f.advance().unwrap();
+        let (t1, d1) = f.advance().unwrap().unwrap();
         assert_eq!((t1.as_secs(), d1), (1.0, vec![b]));
-        let (t2, d2) = f.advance().unwrap();
+        let (t2, d2) = f.advance().unwrap().unwrap();
         assert_eq!((t2.as_secs(), d2), (2.0, vec![a]));
     }
 }

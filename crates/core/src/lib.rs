@@ -33,6 +33,7 @@ pub mod coll;
 pub mod comm;
 pub mod ctx;
 pub mod datatype;
+pub mod error;
 pub mod ext;
 pub mod fabric;
 pub mod group;
@@ -51,6 +52,7 @@ pub use coll::tree;
 pub use comm::Comm;
 pub use ctx::{AnyRequest, Ctx, RecvRequest, SendRequest, SizedRecvRequest, Status};
 pub use datatype::Datatype;
+pub use error::SimError;
 pub use ext::UNDEFINED_COLOR;
 pub use fabric::{Fabric, MpiProfile, PacketFabric, SurfFabric};
 pub use group::Group;

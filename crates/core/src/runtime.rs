@@ -25,6 +25,7 @@ use smpi_obs::{Rec, Recorder, SelfProfile};
 use smpi_platform::HostIx;
 
 use crate::capture::{Capture, TiOp, TiTrace};
+use crate::error::SimError;
 use crate::fabric::{Fabric, FabricToken, MpiProfile};
 use crate::trace::{TraceEvent, TraceKind};
 
@@ -375,7 +376,11 @@ impl Runtime {
 
     /// Runs the simulation to completion: alternates between running ready
     /// ranks and advancing the fabric until every rank has finished.
-    pub fn drive(&mut self, sx: &mut Sx) {
+    ///
+    /// Fails with [`SimError::Stall`] when the fabric has in-flight work
+    /// that can never complete, and [`SimError::Deadlock`] when ranks are
+    /// blocked with nothing in flight.
+    pub fn drive(&mut self, sx: &mut Sx) -> Result<(), SimError> {
         let mut alive = sx.num_actors();
         if self.rec.is_enabled() {
             let t = self.now();
@@ -425,7 +430,7 @@ impl Runtime {
             if let Some(t2) = t2 {
                 self.phase_fabric += t2.elapsed().as_secs_f64();
             }
-            match advanced {
+            match advanced? {
                 Some((_, tokens)) => {
                     for tok in tokens {
                         self.on_token(tok);
@@ -433,13 +438,11 @@ impl Runtime {
                     self.resolve_waiters(sx);
                 }
                 None => {
-                    panic!(
-                        "deadlock: {alive} rank(s) blocked with no event in \
-                         flight (unmatched send/recv?)"
-                    );
+                    return Err(SimError::Deadlock { blocked: alive });
                 }
             }
         }
+        Ok(())
     }
 
     fn handle_simcall(&mut self, sx: &mut Sx, actor: ActorId, call: Simcall) {

@@ -16,6 +16,7 @@ use surf_sim::{EngineConfig, TransferModel};
 
 use crate::capture::TiTrace;
 use crate::ctx::Ctx;
+use crate::error::SimError;
 use crate::fabric::{Fabric, MpiProfile, PacketFabric, SurfFabric};
 use crate::runtime::{Runtime, Sx};
 use crate::shared_mem::MemoryReport;
@@ -187,7 +188,21 @@ impl World {
 
     /// Runs `body` on `nranks` MPI ranks (placed round-robin over the
     /// platform's hosts) and returns the run report with each rank's result.
+    ///
+    /// Panics on a kernel stall or an MPI-level deadlock; use
+    /// [`try_run`](Self::try_run) to handle those as typed errors.
     pub fn run<R, F>(&self, nranks: usize, body: F) -> RunReport<R>
+    where
+        R: Send + 'static,
+        F: Fn(&Ctx) -> R + Send + Sync + 'static,
+    {
+        self.try_run(nranks, body).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`run`](Self::run), but surfaces no-progress conditions (kernel
+    /// stalls, unmatched send/recv deadlocks) as a [`SimError`] instead of
+    /// panicking.
+    pub fn try_run<R, F>(&self, nranks: usize, body: F) -> Result<RunReport<R>, SimError>
     where
         R: Send + 'static,
         F: Fn(&Ctx) -> R + Send + Sync + 'static,
@@ -232,7 +247,7 @@ impl World {
             runtime.enable_profiling();
         }
         let start = Instant::now();
-        runtime.drive(&mut sx);
+        runtime.drive(&mut sx)?;
         let wall = start.elapsed();
 
         let results = Arc::try_unwrap(results)
@@ -245,7 +260,7 @@ impl World {
         let mut profile = runtime.self_profile();
         profile.wall_seconds = wall.as_secs_f64();
 
-        RunReport {
+        Ok(RunReport {
             sim_time: runtime.now(),
             wall,
             finish_times: runtime.finish_times().to_vec(),
@@ -255,6 +270,6 @@ impl World {
             profile,
             trace: runtime.take_trace(),
             ti_trace: runtime.take_capture(),
-        }
+        })
     }
 }

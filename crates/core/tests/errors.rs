@@ -1,0 +1,72 @@
+//! No-progress conditions surface as typed [`SimError`]s through
+//! `World::try_run` instead of panics from deep inside the kernel.
+
+use std::sync::Arc;
+
+use smpi::{Backend, SimError, World};
+use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
+use surf_sim::{EngineConfig, TransferModel};
+
+fn platform(n: usize) -> Arc<RoutedPlatform> {
+    Arc::new(RoutedPlatform::new(flat_cluster(
+        "t",
+        n,
+        &ClusterConfig::default(),
+    )))
+}
+
+#[test]
+fn kernel_stall_propagates_as_typed_error() {
+    // A zero TCP window with non-zero route latency bounds every bandwidth
+    // flow at 0 bytes/s: the transfer enters the bandwidth phase and then
+    // can never finish.
+    let world = World::new(
+        platform(2),
+        Backend::Surf {
+            model: TransferModel::ideal(),
+            engine: EngineConfig {
+                contention: true,
+                tcp_window: Some(0.0),
+            },
+        },
+        smpi::MpiProfile::smpi(),
+    );
+    let err = world
+        .try_run(2, |ctx| {
+            let comm = ctx.world();
+            if ctx.rank() == 0 {
+                ctx.send(&[0u8; 4096], 1, 0, &comm);
+            } else {
+                let _ = ctx.recv_vec::<u8>(0, 0, 4096, &comm);
+            }
+        })
+        .expect_err("a rate-0 flow must stall the kernel");
+    match &err {
+        SimError::Stall(stall) => {
+            assert!(!stall.stuck.is_empty());
+            assert_eq!(stall.stuck[0].kind, "transfer");
+            assert_eq!(stall.stuck[0].rate, 0.0);
+        }
+        other => panic!("expected a stall, got: {other}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("stalled"), "unhelpful message: {msg}");
+}
+
+#[test]
+fn unmatched_receive_is_a_deadlock_error() {
+    let world = World::smpi(platform(2), TransferModel::ideal());
+    let err = world
+        .try_run(2, |ctx| {
+            let comm = ctx.world();
+            if ctx.rank() == 1 {
+                // Nobody ever sends: this blocks forever.
+                let _ = ctx.recv_vec::<u8>(0, 0, 16, &comm);
+            }
+        })
+        .expect_err("an unmatched recv must deadlock");
+    match err {
+        SimError::Deadlock { blocked } => assert_eq!(blocked, 1),
+        other => panic!("expected a deadlock, got: {other}"),
+    }
+}

@@ -22,23 +22,27 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use smpi_obs::Rec;
 use smpi_platform::spec::Dir;
 use smpi_platform::{HostIx, RoutedPlatform, SharingPolicy};
-use surf_sim::SimTime;
+use surf_sim::{SimTime, Slab};
 
 use crate::config::PacketConfig;
 
 /// Handle to an ongoing packet-net action (message, exec or sleep).
+///
+/// Action slots are recycled once the action completes (same slab idiom as
+/// the flow-level kernel), so the handle carries the slot's generation: a
+/// stale handle can never alias a newer action.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct PacketActionId(u32);
+pub struct PacketActionId {
+    slot: u32,
+    gen: u32,
+}
 
 impl PacketActionId {
-    fn index(self) -> usize {
-        self.0 as usize
-    }
-
-    /// The raw dense index of this action (stable for the lifetime of the
-    /// simulator; used by callers to key their own tables).
-    pub fn raw(self) -> u32 {
-        self.0
+    /// Packs the handle into a single `u64` (`generation << 32 | slot`),
+    /// unique for the lifetime of the simulator; used by callers to key
+    /// their own tables.
+    pub fn raw(self) -> u64 {
+        (u64::from(self.gen) << 32) | u64::from(self.slot)
     }
 }
 
@@ -56,7 +60,7 @@ struct Channel {
 }
 
 /// A frame in flight or queued.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct Frame {
     /// The transfer this frame belongs to.
     transfer: u32,
@@ -78,13 +82,10 @@ enum Pending {
     Delay,
 }
 
-#[derive(Debug)]
-struct ActionSlot {
-    pending: Pending,
-    done: bool,
-}
-
-#[derive(Debug, Clone, Copy)]
+/// Heap events carry their payload inline (ordered by `(time, seq)` in the
+/// heap entry; the derived `Ord` on the payload is never reached because
+/// `seq` is unique).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
     /// A channel finished serializing a frame and may start the next one.
     ChannelIdle(u32),
@@ -108,9 +109,11 @@ pub struct PacketNet {
     /// `true` when the channel never queues (FatPipe).
     chan_fat: Vec<bool>,
     shared_dirs: Vec<bool>,
-    actions: Vec<ActionSlot>,
-    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
-    events: Vec<Event>,
+    /// Live actions; slots are recycled on completion, so memory stays
+    /// proportional to the number of *concurrent* actions, not the total
+    /// ever started.
+    actions: Slab<Pending>,
+    heap: BinaryHeap<Reverse<(SimTime, u64, Event)>>,
     seq: u64,
     /// Number of host compute speeds, for exec durations.
     host_speeds: Vec<f64>,
@@ -152,9 +155,8 @@ impl PacketNet {
             chan_lat,
             chan_fat,
             shared_dirs,
-            actions: Vec::new(),
+            actions: Slab::new(),
             heap: BinaryHeap::new(),
-            events: Vec::new(),
             seq: 0,
             host_speeds,
             route_cache: HashMap::new(),
@@ -194,9 +196,7 @@ impl PacketNet {
     }
 
     fn schedule(&mut self, at: SimTime, event: Event) {
-        let ix = self.events.len() as u32;
-        self.events.push(event);
-        self.heap.push(Reverse((at, self.seq, ix)));
+        self.heap.push(Reverse((at, self.seq, event)));
         self.seq += 1;
     }
 
@@ -235,14 +235,11 @@ impl PacketNet {
     ) -> PacketActionId {
         let (route_channels, _route_latencies) = self.route_channels(rp, src, dst);
         let nframes = self.config.frame_count(bytes);
-        let id = PacketActionId(self.actions.len() as u32);
-        self.actions.push(ActionSlot {
-            pending: Pending::Transfer {
-                route_channels: route_channels.clone(),
-                frames_remaining: nframes,
-            },
-            done: false,
+        let (slot, gen) = self.actions.insert(Pending::Transfer {
+            route_channels: route_channels.clone(),
+            frames_remaining: nframes,
         });
+        let id = PacketActionId { slot, gen };
 
         self.rec.with(|r| {
             use smpi_obs::Recorder;
@@ -260,7 +257,7 @@ impl PacketNet {
             self.enqueue_frame(
                 first,
                 Frame {
-                    transfer: id.0,
+                    transfer: id.slot,
                     payload,
                     hop: 0,
                     queued_at: SimTime::ZERO,
@@ -280,18 +277,26 @@ impl PacketNet {
     /// Starts a pure delay.
     pub fn start_sleep(&mut self, seconds: f64) -> PacketActionId {
         assert!(seconds >= 0.0 && seconds.is_finite());
-        let id = PacketActionId(self.actions.len() as u32);
-        self.actions.push(ActionSlot {
-            pending: Pending::Delay,
-            done: false,
-        });
+        let (slot, gen) = self.actions.insert(Pending::Delay);
+        let id = PacketActionId { slot, gen };
         self.schedule(self.now + seconds, Event::DelayDone(id));
         id
     }
 
-    /// `true` once the action completed.
+    /// `true` once the action completed (its slot has been recycled or its
+    /// generation superseded).
     pub fn is_done(&self, id: PacketActionId) -> bool {
-        self.actions[id.index()].done
+        !self.actions.contains(id.slot, id.gen)
+    }
+
+    /// Number of actions currently in flight.
+    pub fn running_actions(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// High-water mark of concurrently live actions.
+    pub fn peak_actions(&self) -> usize {
+        self.actions.peak()
     }
 
     fn enqueue_frame(&mut self, chan: u32, mut frame: Frame) {
@@ -356,13 +361,15 @@ impl PacketNet {
     }
 
     fn on_arrive(&mut self, frame: Frame) -> Option<PacketActionId> {
-        let aix = frame.transfer as usize;
         let (next_chan, finished) = {
-            let slot = &mut self.actions[aix];
+            let pending = self
+                .actions
+                .get_mut(frame.transfer)
+                .expect("frame belongs to a live action");
             let Pending::Transfer {
                 route_channels,
                 frames_remaining,
-            } = &mut slot.pending
+            } = pending
             else {
                 unreachable!("frame belongs to a non-transfer action");
             };
@@ -384,8 +391,14 @@ impl PacketNet {
             );
             None
         } else if finished {
-            self.actions[aix].done = true;
-            Some(PacketActionId(frame.transfer))
+            // Every frame has fully arrived, so nothing in the heap can
+            // reference this slot any more: safe to recycle.
+            let gen = self.actions.generation(frame.transfer);
+            self.actions.remove(frame.transfer);
+            Some(PacketActionId {
+                slot: frame.transfer,
+                gen,
+            })
         } else {
             None
         }
@@ -398,12 +411,12 @@ impl PacketNet {
         while let Some(&Reverse((t, _, _))) = self.heap.peek() {
             // Drain every event at instant `t`.
             self.now = t;
-            while let Some(&Reverse((t2, _, eix))) = self.heap.peek() {
+            while let Some(&Reverse((t2, _, ev))) = self.heap.peek() {
                 if t2 != t {
                     break;
                 }
                 self.heap.pop();
-                match self.events[eix as usize] {
+                match ev {
                     Event::ChannelIdle(chan) => {
                         self.channels[chan as usize].busy = false;
                         self.transmit_next(chan);
@@ -422,7 +435,7 @@ impl PacketNet {
                         }
                     }
                     Event::DelayDone(id) => {
-                        self.actions[id.index()].done = true;
+                        self.actions.remove(id.slot);
                         completed.push(id);
                     }
                 }
@@ -596,6 +609,26 @@ mod tests {
         let (t2, d2) = net.advance_to_next().unwrap();
         assert_eq!(d2, vec![e]);
         assert!((t2.as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slots_recycle_and_stale_handles_stay_done() {
+        let rp = cluster(2, 125e6, 0.0);
+        let mut net = PacketNet::new(&rp, PacketConfig::default());
+        let a = net.start_sleep(0.1);
+        assert_eq!(net.running_actions(), 1);
+        net.advance_to_next();
+        assert!(net.is_done(a));
+        assert_eq!(net.running_actions(), 0);
+        // The slot is reused, but the generation bump keeps raw tokens
+        // distinct and the stale handle permanently done.
+        let b = net.start_sleep(0.2);
+        assert_ne!(a.raw(), b.raw());
+        assert!(net.is_done(a));
+        assert!(!net.is_done(b));
+        net.advance_to_next();
+        assert!(net.is_done(b));
+        assert_eq!(net.peak_actions(), 1);
     }
 
     #[test]

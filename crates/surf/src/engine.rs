@@ -15,15 +15,46 @@
 //! Transfers are two-phase, matching the flow model validated in the SimGrid
 //! papers: a pure-latency phase (the flow does not consume bandwidth) then a
 //! transfer phase at rate `min(segment bound, max-min share)`.
+//!
+//! # Per-event cost
+//!
+//! The kernel is engineered so that the cost of one simulated event depends
+//! only on the *currently live* actions (and usually only on the affected
+//! ones), never on the total number of actions ever started:
+//!
+//! * actions live in a generation-tagged [`Slab`] whose
+//!   slots are recycled on completion, so iteration and memory stay
+//!   proportional to the peak concurrency;
+//! * the next completion is found through a lazily-invalidated binary heap
+//!   of predicted completion times instead of a linear scan — a heap entry
+//!   is trusted only if its generation matches the slot and its time matches
+//!   the slot's cached prediction, so rate changes simply publish a new
+//!   entry and orphan the old one;
+//! * the max-min problem is re-solved *incrementally*: each link and host
+//!   keeps a persistent, birth-ordered set of the actions it constrains, a
+//!   change marks its constraints dirty, and only the connected component of
+//!   the constraint↔action graph reachable from dirty constraints is
+//!   re-shared. Remaining work is folded in lazily, at an action's own rate
+//!   changes, rather than on every global step. Topology edits with live
+//!   actions fall back to a full rebuild
+//!   ([`set_full_reshare`](Simulation::set_full_reshare) forces that mode
+//!   permanently, which is what the `repro -- kernel` baseline measures).
 
 use crate::ids::{ActionId, HostId, LinkId};
-use crate::lmm::MaxMinProblem;
+use crate::lmm::{CnstId, MaxMinProblem};
 use crate::model::TransferModel;
+use crate::slab::Slab;
 use crate::time::SimTime;
 use smpi_obs::Rec;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Relative tolerance when deciding that an action's remaining work is done.
 const COMPLETION_EPS: f64 = 1e-9;
+
+/// Birth-ordered key of an action inside constraint user sets: the start
+/// sequence number first, so iteration replays creation order.
+type UserKey = (u64, u32);
 
 /// A network link: one direction of a cable, or a switch backplane.
 #[derive(Debug, Clone)]
@@ -35,18 +66,26 @@ struct Link {
     /// When `false`, flows crossing this link are not subject to its
     /// capacity constraint (the "no contention" scenario of Figs. 7 and 11).
     contended: bool,
+    /// Transfer-phase flows currently constrained by this link, in birth
+    /// order. Only maintained while the link participates in contention.
+    users: BTreeSet<UserKey>,
 }
 
 /// A compute host with a speed in flop/s.
 #[derive(Debug, Clone)]
 struct Host {
     speed: f64,
+    /// Executions currently sharing this host, in birth order.
+    users: BTreeSet<UserKey>,
 }
 
 #[derive(Debug, Clone)]
 enum ActionKind {
     /// Network transfer across `route`.
     Transfer {
+        /// The route with duplicate links removed (first occurrence kept):
+        /// a link crossed twice still constrains — and accounts — the flow
+        /// once, mirroring the solver's own membership deduplication.
         route: Vec<LinkId>,
         /// Remaining seconds of the latency phase.
         latency_left: f64,
@@ -61,18 +100,19 @@ enum ActionKind {
     Sleep { ends_at: SimTime },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ActionState {
-    Running,
-    Done,
-}
-
 #[derive(Debug, Clone)]
 struct Action {
     kind: ActionKind,
-    state: ActionState,
     /// Current allocated rate (bytes/s or flop/s); 0 during latency phase.
     rate: f64,
+    /// Birth sequence number; total order over all actions ever started.
+    seq: u64,
+    /// Cached predicted completion instant; `INFINITY` when the action can
+    /// make no progress (then it has no heap entry).
+    pred: SimTime,
+    /// Instant up to which `*_left` has been charged. Work is folded in
+    /// lazily, when the rate changes, not on every global step.
+    last_update: SimTime,
 }
 
 /// Engine configuration knobs.
@@ -96,15 +136,100 @@ impl Default for EngineConfig {
     }
 }
 
+/// One action that can make no progress, inside a [`StallError`].
+#[derive(Debug, Clone)]
+pub struct StuckAction {
+    /// Handle of the stuck action.
+    pub id: ActionId,
+    /// `"transfer"`, `"exec"` or `"sleep"`.
+    pub kind: &'static str,
+    /// Remaining work: bytes (or latency seconds) for transfers, flops for
+    /// executions.
+    pub remaining: f64,
+    /// The allocated rate when the simulation stalled (typically 0).
+    pub rate: f64,
+    /// The (deduplicated) route for transfers; empty otherwise.
+    pub route: Vec<LinkId>,
+}
+
+/// Running actions exist but none of them can ever complete (for example a
+/// flow whose model bound is 0 bytes/s). Returned by
+/// [`Simulation::try_advance_to_next`] instead of silently spinning.
+#[derive(Debug, Clone)]
+pub struct StallError {
+    /// Simulated time at which the stall was detected.
+    pub at: SimTime,
+    /// Every action that is stuck, in birth order.
+    pub stuck: Vec<StuckAction>,
+}
+
+impl std::fmt::Display for StallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation stalled at {}: {} action(s) cannot progress",
+            self.at,
+            self.stuck.len()
+        )?;
+        for s in self.stuck.iter().take(8) {
+            write!(
+                f,
+                "; {} {} ({} left at rate {}",
+                s.kind, s.id, s.remaining, s.rate
+            )?;
+            if s.route.is_empty() {
+                write!(f, ")")?;
+            } else {
+                write!(f, " via ")?;
+                for (i, l) in s.route.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        if self.stuck.len() > 8 {
+            write!(f, "; … and {} more", self.stuck.len() - 8)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for StallError {}
+
+/// Heap entry: `(predicted completion, birth seq, slot, generation)`. The
+/// entry is trusted only if the generation still matches the slot *and* the
+/// time still matches the slot's cached prediction; anything else is an
+/// orphan from an earlier rate and is dropped when popped.
+type HeapEntry = Reverse<(SimTime, u64, u32, u32)>;
+
+/// What happened to a completion candidate at the event instant.
+enum Verdict {
+    Done,
+    EnterBandwidth,
+    Repush,
+}
+
 /// The sequential simulation kernel.
 #[derive(Debug)]
 pub struct Simulation {
     now: SimTime,
     links: Vec<Link>,
     hosts: Vec<Host>,
-    actions: Vec<Action>,
-    /// Actions whose rates must be recomputed before the next advance.
-    dirty: bool,
+    actions: Slab<Action>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Next birth sequence number.
+    next_seq: u64,
+    /// Links / hosts whose user set changed since the last re-share.
+    dirty_links: BTreeSet<u32>,
+    dirty_hosts: BTreeSet<u32>,
+    /// Topology changed under live actions: the next re-share rebuilds the
+    /// whole problem and every constraint user set.
+    full_dirty: bool,
+    /// Ablation/testing hook: always re-share from scratch.
+    force_full: bool,
     config: EngineConfig,
     /// Observability sink; disabled by default (every emit is one branch).
     rec: Rec,
@@ -131,8 +256,13 @@ impl Simulation {
             now: SimTime::ZERO,
             links: Vec::new(),
             hosts: Vec::new(),
-            actions: Vec::new(),
-            dirty: false,
+            actions: Slab::new(),
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            dirty_links: BTreeSet::new(),
+            dirty_hosts: BTreeSet::new(),
+            full_dirty: false,
+            force_full: false,
             config,
             rec: Rec::disabled(),
             last_util: Vec::new(),
@@ -157,20 +287,37 @@ impl Simulation {
         &self.config
     }
 
+    /// Forces every re-share to rebuild the max-min problem from scratch
+    /// instead of re-solving only the affected component. Semantically
+    /// identical, much slower on large simulations; kept as the reference
+    /// implementation for differential tests and the `repro -- kernel`
+    /// baseline.
+    pub fn set_full_reshare(&mut self, force: bool) {
+        self.force_full = force;
+    }
+
     /// Adds a link with `bandwidth` bytes/s and `latency` seconds.
     pub fn add_link(&mut self, bandwidth: f64, latency: f64) -> LinkId {
         assert!(bandwidth > 0.0 && bandwidth.is_finite());
         assert!(latency >= 0.0 && latency.is_finite());
+        if !self.actions.is_empty() {
+            self.full_dirty = true;
+        }
         self.links.push(Link {
             bandwidth,
             latency,
             contended: true,
+            users: BTreeSet::new(),
         });
         LinkId::from_index(self.links.len() - 1)
     }
 
     /// Marks a link as contention-free (infinite multiplexing capacity).
     pub fn set_link_contended(&mut self, link: LinkId, contended: bool) {
+        if !self.actions.is_empty() {
+            // Live flows may gain or lose this constraint: rebuild.
+            self.full_dirty = true;
+        }
         self.links[link.index()].contended = contended;
     }
 
@@ -187,7 +334,13 @@ impl Simulation {
     /// Adds a host computing at `speed` flop/s.
     pub fn add_host(&mut self, speed: f64) -> HostId {
         assert!(speed > 0.0 && speed.is_finite());
-        self.hosts.push(Host { speed });
+        if !self.actions.is_empty() {
+            self.full_dirty = true;
+        }
+        self.hosts.push(Host {
+            speed,
+            users: BTreeSet::new(),
+        });
         HostId::from_index(self.hosts.len() - 1)
     }
 
@@ -231,8 +384,17 @@ impl Simulation {
                 bound = bound.min(window / (2.0 * latency));
             }
         }
+        // Keep the first occurrence of each link: crossing a link twice does
+        // not double its constraint (the solver deduplicates memberships),
+        // and must not double its utilization/byte accounting either.
+        let mut dedup: Vec<LinkId> = Vec::with_capacity(route.len());
+        for &l in route {
+            if !dedup.contains(&l) {
+                dedup.push(l);
+            }
+        }
         self.push_action(ActionKind::Transfer {
-            route: route.to_vec(),
+            route: dedup,
             latency_left: latency,
             bytes_left: bytes,
             bound,
@@ -258,238 +420,125 @@ impl Simulation {
     }
 
     fn push_action(&mut self, kind: ActionKind) -> ActionId {
-        self.actions.push(Action {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let action = Action {
             kind,
-            state: ActionState::Running,
             rate: 0.0,
-        });
-        self.dirty = true;
-        ActionId::from_index(self.actions.len() - 1)
-    }
-
-    /// `true` once the action has completed.
-    pub fn is_done(&self, action: ActionId) -> bool {
-        self.actions[action.index()].state == ActionState::Done
-    }
-
-    /// Number of actions still running.
-    pub fn running_actions(&self) -> usize {
-        self.actions
-            .iter()
-            .filter(|a| a.state == ActionState::Running)
-            .count()
-    }
-
-    /// Recomputes all action rates with the max-min solver.
-    fn reshare(&mut self) {
-        let mut problem = MaxMinProblem::new();
-        // One constraint per contended link that carries at least one flow in
-        // transfer phase, one per host with at least one exec.
-        let mut link_cnst = vec![None; self.links.len()];
-        let mut host_cnst = vec![None; self.hosts.len()];
-        // Actions that received a variable, in variable insertion order.
-        let mut sharing: Vec<usize> = Vec::new();
-
-        for (ix, action) in self.actions.iter().enumerate() {
-            if action.state != ActionState::Running {
-                continue;
+            seq,
+            pred: SimTime::INFINITY,
+            last_update: self.now,
+        };
+        let (slot, gen) = self.actions.insert(action);
+        let id = ActionId::new(slot, gen);
+        enum Disp {
+            At(SimTime),
+            Bandwidth,
+            ExecOn(usize),
+        }
+        let disp = match &self.actions.get(slot).expect("just inserted").kind {
+            ActionKind::Transfer { latency_left, .. } if *latency_left > 0.0 => {
+                Disp::At(self.now + *latency_left)
             }
-            match &action.kind {
-                ActionKind::Transfer {
-                    route,
-                    latency_left,
-                    bound,
-                    ..
-                } => {
-                    if *latency_left > 0.0 {
-                        continue; // not consuming bandwidth yet
-                    }
-                    let mut cnsts = Vec::with_capacity(route.len());
-                    if self.config.contention {
-                        for l in route {
-                            let li = l.index();
-                            if !self.links[li].contended {
-                                continue;
-                            }
-                            let c = *link_cnst[li].get_or_insert_with(|| {
-                                problem.add_constraint(self.links[li].bandwidth)
-                            });
-                            cnsts.push(c);
-                        }
-                    }
-                    problem.add_variable(*bound, &cnsts);
-                    sharing.push(ix);
-                }
-                ActionKind::Exec { host, .. } => {
-                    let hi = host.index();
-                    let c = *host_cnst[hi]
-                        .get_or_insert_with(|| problem.add_constraint(self.hosts[hi].speed));
-                    problem.add_variable(f64::INFINITY, &[c]);
-                    sharing.push(ix);
-                }
-                ActionKind::Sleep { .. } => {}
+            ActionKind::Transfer { .. } => Disp::Bandwidth,
+            ActionKind::Exec { host, .. } => Disp::ExecOn(host.index()),
+            ActionKind::Sleep { ends_at } => Disp::At(*ends_at),
+        };
+        match disp {
+            Disp::At(pred) => self.set_pred(slot, pred),
+            Disp::Bandwidth => self.enter_bandwidth(slot),
+            Disp::ExecOn(hi) => {
+                self.hosts[hi].users.insert((seq, slot));
+                self.dirty_hosts.insert(hi as u32);
             }
         }
-
-        let rates = problem.solve();
-        for (k, &ix) in sharing.iter().enumerate() {
-            self.actions[ix].rate = rates[k];
-        }
-        self.dirty = false;
-
-        if self.rec.is_enabled() {
-            self.record_reshare(&sharing);
-        }
+        id
     }
 
-    /// Emits the reshare counter and per-link utilization gauges. Called
-    /// only when recording, right after rates were recomputed.
-    fn record_reshare(&mut self, sharing: &[usize]) {
-        if self.last_util.len() < self.links.len() {
-            self.last_util.resize(self.links.len(), 0.0);
-        }
-        let mut used = vec![0.0; self.links.len()];
-        for &ix in sharing {
-            let action = &self.actions[ix];
-            if let ActionKind::Transfer {
-                route,
-                latency_left,
-                ..
-            } = &action.kind
-            {
-                if *latency_left <= 0.0 {
-                    for l in route {
-                        used[l.index()] += action.rate;
-                    }
+    /// A transfer's latency phase ended (or was absent): register it on its
+    /// contended links, or — if no capacity constraint applies — freeze it
+    /// at its model bound directly, exactly as the solver would.
+    fn enter_bandwidth(&mut self, slot: u32) {
+        let (seq, route, bound) = {
+            let a = self.actions.get(slot).expect("live transfer");
+            match &a.kind {
+                ActionKind::Transfer { route, bound, .. } => (a.seq, route.clone(), *bound),
+                _ => unreachable!("enter_bandwidth on a non-transfer"),
+            }
+        };
+        let mut constrained = false;
+        if self.config.contention {
+            for l in &route {
+                let li = l.index();
+                if self.links[li].contended {
+                    self.links[li].users.insert((seq, slot));
+                    self.dirty_links.insert(li as u32);
+                    constrained = true;
                 }
             }
         }
-        let now = self.now.as_secs();
-        let links = &self.links;
-        let last_util = &mut self.last_util;
-        self.rec.with(|r| {
-            use smpi_obs::Recorder;
-            r.counter_add("surf.reshares", 1);
-            for (li, &rate) in used.iter().enumerate() {
-                let util = rate / links[li].bandwidth;
-                if (util - last_util[li]).abs() > 1e-12 {
-                    r.gauge_set(&format!("surf.link.{li}.util"), now, util);
-                    last_util[li] = util;
-                }
-            }
-        });
-    }
-
-    /// The simulated time of the next action completion, or `None` if no
-    /// action is running.
-    pub fn next_event_time(&mut self) -> Option<SimTime> {
-        if self.dirty {
-            self.reshare();
-        }
-        let mut best: Option<SimTime> = None;
-        for action in &self.actions {
-            if action.state != ActionState::Running {
-                continue;
-            }
-            let t = match &action.kind {
-                ActionKind::Transfer {
-                    latency_left,
-                    bytes_left,
-                    ..
-                } => {
-                    if *latency_left > 0.0 {
-                        // After latency the transfer phase begins; if there
-                        // are no bytes the action completes right then.
-                        self.now + *latency_left
-                    } else if action.rate > 0.0 {
-                        self.now + *bytes_left / action.rate
-                    } else if *bytes_left <= 0.0 {
-                        self.now
-                    } else {
-                        SimTime::INFINITY
-                    }
-                }
-                ActionKind::Exec { flops_left, .. } => {
-                    if action.rate > 0.0 {
-                        self.now + *flops_left / action.rate
-                    } else if *flops_left <= 0.0 {
-                        self.now
-                    } else {
-                        SimTime::INFINITY
-                    }
-                }
-                ActionKind::Sleep { ends_at } => *ends_at,
+        if !constrained {
+            let now = self.now;
+            let pred = {
+                let a = self.actions.get_mut(slot).expect("live transfer");
+                a.rate = bound;
+                a.last_update = now;
+                Self::predict(a, now)
             };
-            best = Some(match best {
-                Some(b) => b.min(t),
-                None => t,
-            });
-        }
-        best
-    }
-
-    /// Advances the clock to the next completion instant and returns the
-    /// actions that completed there (possibly several). Returns `None` when
-    /// no action is running (the simulation is quiescent).
-    ///
-    /// Latency-phase expirations are handled internally: if the next event is
-    /// a transfer entering its transfer phase, rates are recomputed and the
-    /// search continues, so callers only ever observe *completions*.
-    pub fn advance_to_next(&mut self) -> Option<(SimTime, Vec<ActionId>)> {
-        loop {
-            let target = self.next_event_time()?;
-            if target.is_infinite() {
-                // Running actions exist but none can finish: deadlock in the
-                // caller's workload (e.g. zero-rate flow). Surface loudly.
-                panic!("simulation stalled: running actions with no progress");
-            }
-            let dt = target.duration_since(self.now);
-            self.advance_work(dt);
-            self.now = target;
-            let completed = self.collect_completions();
-            if !completed.is_empty() {
-                return Some((self.now, completed));
-            }
-            // Otherwise a latency phase ended: loop after resharing.
-            self.dirty = true;
+            self.set_pred(slot, pred);
         }
     }
 
-    /// Applies `dt` seconds of progress to all running actions.
-    fn advance_work(&mut self, dt: f64) {
-        if dt > 0.0 && self.rec.is_enabled() {
-            // Integrate delivered bytes per link before the state mutates:
-            // each transfer-phase flow moves `rate * dt` bytes across every
-            // link of its route during this interval.
-            let actions = &self.actions;
-            self.rec.with(|r| {
-                use smpi_obs::Recorder;
-                for action in actions {
-                    if action.state != ActionState::Running || action.rate <= 0.0 {
-                        continue;
-                    }
-                    if let ActionKind::Transfer {
-                        route,
-                        latency_left,
-                        bytes_left,
-                        ..
-                    } = &action.kind
-                    {
-                        if *latency_left <= 0.0 {
-                            let delta = (action.rate * dt).min(*bytes_left);
-                            for l in route {
-                                r.fcounter_add(&format!("surf.link.{}.bytes", l.index()), delta);
-                            }
-                        }
-                    }
+    /// Publishes a new predicted completion for `slot` (and a heap entry,
+    /// unless the action can make no progress).
+    fn set_pred(&mut self, slot: u32, pred: SimTime) {
+        let gen = self.actions.generation(slot);
+        let a = self.actions.get_mut(slot).expect("live action");
+        a.pred = pred;
+        if !pred.is_infinite() {
+            self.heap.push(Reverse((pred, a.seq, slot, gen)));
+        }
+    }
+
+    /// The completion instant implied by the action's current rate and
+    /// remaining work, measured from `now`. Mirrors the event arithmetic of
+    /// the pre-slab kernel exactly.
+    fn predict(a: &Action, now: SimTime) -> SimTime {
+        match &a.kind {
+            ActionKind::Transfer {
+                latency_left,
+                bytes_left,
+                ..
+            } => {
+                if *latency_left > 0.0 {
+                    now + *latency_left
+                } else if a.rate > 0.0 {
+                    now + *bytes_left / a.rate
+                } else if *bytes_left <= 0.0 {
+                    now
+                } else {
+                    SimTime::INFINITY
                 }
-            });
-        }
-        for action in self.actions.iter_mut() {
-            if action.state != ActionState::Running {
-                continue;
             }
-            match &mut action.kind {
+            ActionKind::Exec { flops_left, .. } => {
+                if a.rate > 0.0 {
+                    now + *flops_left / a.rate
+                } else if *flops_left <= 0.0 {
+                    now
+                } else {
+                    SimTime::INFINITY
+                }
+            }
+            ActionKind::Sleep { ends_at } => *ends_at,
+        }
+    }
+
+    /// Charges the work done at the current rate since `last_update`.
+    fn fold(a: &mut Action, t: SimTime) {
+        let dt = t.duration_since(a.last_update);
+        let rate = a.rate;
+        if dt > 0.0 {
+            match &mut a.kind {
                 ActionKind::Transfer {
                     latency_left,
                     bytes_left,
@@ -501,45 +550,592 @@ impl Simulation {
                             *latency_left = 0.0;
                         }
                     } else {
-                        *bytes_left -= action.rate * dt;
+                        *bytes_left -= rate * dt;
                     }
                 }
                 ActionKind::Exec { flops_left, .. } => {
-                    *flops_left -= action.rate * dt;
+                    *flops_left -= rate * dt;
                 }
                 ActionKind::Sleep { .. } => {}
             }
         }
+        a.last_update = t;
     }
 
-    /// Marks and returns every action that has finished at the current time.
-    fn collect_completions(&mut self) -> Vec<ActionId> {
-        let mut done = Vec::new();
-        for (ix, action) in self.actions.iter_mut().enumerate() {
-            if action.state != ActionState::Running {
-                continue;
+    /// `true` once the action has completed. A recycled slot bumps its
+    /// generation, so handles of completed actions stay "done" forever.
+    pub fn is_done(&self, action: ActionId) -> bool {
+        !self.actions.contains(action.slot, action.gen)
+    }
+
+    /// Number of actions still running.
+    pub fn running_actions(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// High-water mark of concurrently running actions (the slab's peak).
+    pub fn peak_actions(&self) -> usize {
+        self.actions.peak()
+    }
+
+    /// Current allocated rate of a running action (bytes/s or flop/s), or
+    /// `None` once it completed. Rates are up to date only after the next
+    /// event query (they are recomputed lazily).
+    pub fn action_rate(&self, action: ActionId) -> Option<f64> {
+        self.actions
+            .get_tagged(action.slot, action.gen)
+            .map(|a| a.rate)
+    }
+
+    /// Re-solves whatever part of the max-min problem is out of date.
+    fn flush_reshare(&mut self) {
+        if self.full_dirty
+            || (self.force_full && !(self.dirty_links.is_empty() && self.dirty_hosts.is_empty()))
+        {
+            self.reshare_full();
+        } else if !(self.dirty_links.is_empty() && self.dirty_hosts.is_empty()) {
+            self.reshare_incremental();
+        } else {
+            return;
+        }
+        // Lazy-heap hygiene: orphaned entries accumulate with every
+        // re-share; once they dominate, rebuild the heap from the live
+        // predictions so memory stays proportional to the active set.
+        if self.heap.len() > 64 && self.heap.len() > 2 * self.actions.len() {
+            self.rebuild_heap();
+        }
+    }
+
+    fn rebuild_heap(&mut self) {
+        self.heap.clear();
+        for (slot, gen, a) in self.actions.iter() {
+            if !a.pred.is_infinite() {
+                self.heap.push(Reverse((a.pred, a.seq, slot, gen)));
             }
-            // Tolerance: one nanosecond of work at the action's current rate
-            // absorbs the floating-point residue of `left -= rate * dt`.
-            let tol = action.rate * COMPLETION_EPS + 1e-12;
-            let finished = match &action.kind {
-                ActionKind::Transfer {
+        }
+    }
+
+    /// Rebuilds constraint user sets and re-solves the whole problem.
+    /// Reference implementation: the incremental path must match it bitwise
+    /// (see `tests/engine_props.rs`).
+    fn reshare_full(&mut self) {
+        let now = self.now;
+        for l in &mut self.links {
+            l.users.clear();
+        }
+        for h in &mut self.hosts {
+            h.users.clear();
+        }
+        let mut order: Vec<UserKey> = self.actions.iter().map(|(s, _g, a)| (a.seq, s)).collect();
+        order.sort_unstable();
+
+        let mut problem = MaxMinProblem::new();
+        let mut link_cnst: Vec<Option<CnstId>> = vec![None; self.links.len()];
+        let mut host_cnst: Vec<Option<CnstId>> = vec![None; self.hosts.len()];
+        let mut sharing: Vec<u32> = Vec::new();
+        let mut unconstrained: Vec<u32> = Vec::new();
+        {
+            let actions = &mut self.actions;
+            let links = &mut self.links;
+            let hosts = &mut self.hosts;
+            let contention = self.config.contention;
+            for &(seq, slot) in &order {
+                let a = actions.get_mut(slot).expect("live action");
+                Self::fold(a, now);
+                match &a.kind {
+                    ActionKind::Transfer {
+                        route,
+                        latency_left,
+                        bound,
+                        ..
+                    } => {
+                        if *latency_left > 0.0 {
+                            continue; // not consuming bandwidth yet
+                        }
+                        let mut cnsts = Vec::with_capacity(route.len());
+                        if contention {
+                            for l in route {
+                                let li = l.index();
+                                if !links[li].contended {
+                                    continue;
+                                }
+                                links[li].users.insert((seq, slot));
+                                let c = *link_cnst[li].get_or_insert_with(|| {
+                                    problem.add_constraint(links[li].bandwidth)
+                                });
+                                cnsts.push(c);
+                            }
+                        }
+                        if cnsts.is_empty() {
+                            // No capacity constraint: the solver would freeze
+                            // the flow at its own bound; do it directly.
+                            unconstrained.push(slot);
+                        } else {
+                            problem.add_variable(*bound, &cnsts);
+                            sharing.push(slot);
+                        }
+                    }
+                    ActionKind::Exec { host, .. } => {
+                        let hi = host.index();
+                        hosts[hi].users.insert((seq, slot));
+                        let c = *host_cnst[hi]
+                            .get_or_insert_with(|| problem.add_constraint(hosts[hi].speed));
+                        problem.add_variable(f64::INFINITY, &[c]);
+                        sharing.push(slot);
+                    }
+                    ActionKind::Sleep { .. } => {}
+                }
+            }
+        }
+        let rates = problem.solve();
+        for (k, &slot) in sharing.iter().enumerate() {
+            self.apply_rate(slot, rates[k]);
+        }
+        for &slot in &unconstrained {
+            let bound = match &self.actions.get(slot).expect("live").kind {
+                ActionKind::Transfer { bound, .. } => *bound,
+                _ => unreachable!(),
+            };
+            self.apply_rate(slot, bound);
+        }
+        self.dirty_links.clear();
+        self.dirty_hosts.clear();
+        self.full_dirty = false;
+        self.record_reshare(true);
+    }
+
+    /// Re-solves only the connected component of the constraint↔action
+    /// graph reachable from dirty constraints. Variables are added in birth
+    /// order and constraints in first-use order — the same relative order a
+    /// full rebuild would use — so per-component arithmetic is identical.
+    fn reshare_incremental(&mut self) {
+        let now = self.now;
+        let mut stack: Vec<(bool, u32)> = self
+            .dirty_links
+            .iter()
+            .map(|&l| (true, l))
+            .chain(self.dirty_hosts.iter().map(|&h| (false, h)))
+            .collect();
+        let mut seen_links: BTreeSet<u32> = self.dirty_links.clone();
+        let mut seen_hosts: BTreeSet<u32> = self.dirty_hosts.clone();
+        let mut affected: BTreeSet<UserKey> = BTreeSet::new();
+        while let Some((is_link, ix)) = stack.pop() {
+            let users: Vec<UserKey> = if is_link {
+                self.links[ix as usize].users.iter().copied().collect()
+            } else {
+                self.hosts[ix as usize].users.iter().copied().collect()
+            };
+            for key in users {
+                if !affected.insert(key) {
+                    continue;
+                }
+                let (_seq, slot) = key;
+                match &self.actions.get(slot).expect("user of a constraint").kind {
+                    ActionKind::Transfer { route, .. } => {
+                        for l in route {
+                            let li = l.index() as u32;
+                            if self.links[li as usize].contended && seen_links.insert(li) {
+                                stack.push((true, li));
+                            }
+                        }
+                    }
+                    ActionKind::Exec { host, .. } => {
+                        let hi = host.index() as u32;
+                        if seen_hosts.insert(hi) {
+                            stack.push((false, hi));
+                        }
+                    }
+                    ActionKind::Sleep { .. } => unreachable!("sleeps have no constraints"),
+                }
+            }
+        }
+
+        let mut problem = MaxMinProblem::new();
+        let mut link_cnst: Vec<Option<CnstId>> = vec![None; self.links.len()];
+        let mut host_cnst: Vec<Option<CnstId>> = vec![None; self.hosts.len()];
+        let mut sharing: Vec<u32> = Vec::new();
+        for &(_seq, slot) in &affected {
+            match &self.actions.get(slot).expect("live action").kind {
+                ActionKind::Transfer { route, bound, .. } => {
+                    let mut cnsts = Vec::with_capacity(route.len());
+                    for l in route {
+                        let li = l.index();
+                        if !self.links[li].contended {
+                            continue;
+                        }
+                        let c = *link_cnst[li].get_or_insert_with(|| {
+                            problem.add_constraint(self.links[li].bandwidth)
+                        });
+                        cnsts.push(c);
+                    }
+                    problem.add_variable(*bound, &cnsts);
+                    sharing.push(slot);
+                }
+                ActionKind::Exec { host, .. } => {
+                    let hi = host.index();
+                    let c = *host_cnst[hi]
+                        .get_or_insert_with(|| problem.add_constraint(self.hosts[hi].speed));
+                    problem.add_variable(f64::INFINITY, &[c]);
+                    sharing.push(slot);
+                }
+                ActionKind::Sleep { .. } => unreachable!(),
+            }
+        }
+        let rates = problem.solve();
+        for (k, &slot) in sharing.iter().enumerate() {
+            let a = self.actions.get_mut(slot).expect("live action");
+            Self::fold(a, now);
+            self.apply_rate(slot, rates[k]);
+        }
+        self.dirty_links.clear();
+        self.dirty_hosts.clear();
+        self.record_reshare(false);
+    }
+
+    /// Installs a freshly solved rate and publishes the new prediction.
+    /// Expects remaining work to already be folded up to `self.now`.
+    fn apply_rate(&mut self, slot: u32, rate: f64) {
+        let now = self.now;
+        let pred = {
+            let a = self.actions.get_mut(slot).expect("live action");
+            a.rate = rate;
+            Self::predict(a, now)
+        };
+        self.set_pred(slot, pred);
+    }
+
+    /// Emits the reshare counters and per-link utilization gauges. Called
+    /// only when recording, right after rates were recomputed. Utilization
+    /// sums each flow **once per distinct link** of its route (routes are
+    /// stored deduplicated), so a loopback route can never report > 100%.
+    fn record_reshare(&mut self, full: bool) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        if self.last_util.len() < self.links.len() {
+            self.last_util.resize(self.links.len(), 0.0);
+        }
+        let mut used = vec![0.0; self.links.len()];
+        for (_slot, _gen, a) in self.actions.iter() {
+            if let ActionKind::Transfer {
+                route,
+                latency_left,
+                ..
+            } = &a.kind
+            {
+                if *latency_left <= 0.0 {
+                    for l in route {
+                        used[l.index()] += a.rate;
+                    }
+                }
+            }
+        }
+        let now = self.now.as_secs();
+        let links = &self.links;
+        let last_util = &mut self.last_util;
+        self.rec.with(|r| {
+            use smpi_obs::Recorder;
+            r.counter_add("surf.reshares", 1);
+            if full {
+                r.counter_add("surf.reshares.full", 1);
+            }
+            for (li, &rate) in used.iter().enumerate() {
+                let util = rate / links[li].bandwidth;
+                if (util - last_util[li]).abs() > 1e-12 {
+                    r.gauge_set(&format!("surf.link.{li}.util"), now, util);
+                    last_util[li] = util;
+                }
+            }
+        });
+    }
+
+    /// Integrates delivered bytes per link over the step `[now, now + dt]`,
+    /// for the observability byte counters. Each flow is charged once per
+    /// distinct route link.
+    fn integrate_bytes(&mut self, dt: f64) {
+        let now = self.now;
+        let actions = &self.actions;
+        self.rec.with(|r| {
+            use smpi_obs::Recorder;
+            for (_slot, _gen, a) in actions.iter() {
+                if a.rate <= 0.0 {
+                    continue;
+                }
+                if let ActionKind::Transfer {
+                    route,
                     latency_left,
                     bytes_left,
                     ..
-                } => *latency_left <= 0.0 && *bytes_left <= tol,
-                ActionKind::Exec { flops_left, .. } => *flops_left <= tol,
-                ActionKind::Sleep { ends_at } => *ends_at <= self.now,
-            };
-            if finished {
-                action.state = ActionState::Done;
-                done.push(ActionId::from_index(ix));
+                } = &a.kind
+                {
+                    if *latency_left <= 0.0 {
+                        // Remaining bytes as of `now` (work since the last
+                        // fold has not been charged to `bytes_left` yet).
+                        let eff =
+                            (*bytes_left - a.rate * now.duration_since(a.last_update)).max(0.0);
+                        let delta = (a.rate * dt).min(eff);
+                        for l in route {
+                            r.fcounter_add(&format!("surf.link.{}.bytes", l.index()), delta);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// `true` when the heap entry still describes the live action in `slot`.
+    fn entry_valid(&self, t: SimTime, slot: u32, gen: u32) -> bool {
+        self.actions
+            .get_tagged(slot, gen)
+            .is_some_and(|a| a.pred == t)
+    }
+
+    /// Latest prediction that should be examined together with an event at
+    /// `target`: the completion-tolerance rule expressed in time units.
+    fn candidate_horizon(&self, slot: u32, target: SimTime) -> SimTime {
+        let a = self.actions.get(slot).expect("live action");
+        let slack = match &a.kind {
+            ActionKind::Sleep { .. } => 0.0,
+            ActionKind::Transfer { latency_left, .. } if *latency_left > 0.0 => {
+                COMPLETION_EPS * target.as_secs().max(1.0)
+            }
+            _ => {
+                if a.rate > 0.0 {
+                    COMPLETION_EPS + 1e-12 / a.rate
+                } else {
+                    COMPLETION_EPS
+                }
+            }
+        };
+        target + slack
+    }
+
+    /// The simulated time of the next action completion, or `None` if no
+    /// action is running. Returns `SimTime::INFINITY` when actions are
+    /// running but none can progress (the stall condition).
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.flush_reshare();
+        loop {
+            match self.heap.peek() {
+                None => {
+                    return if self.actions.is_empty() {
+                        None
+                    } else {
+                        Some(SimTime::INFINITY)
+                    };
+                }
+                Some(&Reverse((t, _seq, slot, gen))) => {
+                    if self.entry_valid(t, slot, gen) {
+                        return Some(t);
+                    }
+                    self.heap.pop();
+                }
             }
         }
-        if !done.is_empty() {
-            self.dirty = true;
+    }
+
+    /// Removes a completed action from the slab and from every constraint
+    /// user set it occupied, marking those constraints dirty.
+    fn complete(&mut self, slot: u32) {
+        let a = self.actions.remove(slot);
+        let key = (a.seq, slot);
+        match &a.kind {
+            ActionKind::Transfer {
+                route,
+                latency_left,
+                ..
+            } => {
+                if *latency_left <= 0.0 {
+                    for l in route {
+                        let li = l.index();
+                        if self.links[li].users.remove(&key) {
+                            self.dirty_links.insert(li as u32);
+                        }
+                    }
+                }
+            }
+            ActionKind::Exec { host, .. } => {
+                let hi = host.index();
+                if self.hosts[hi].users.remove(&key) {
+                    self.dirty_hosts.insert(hi as u32);
+                }
+            }
+            ActionKind::Sleep { .. } => {}
         }
-        done
+    }
+
+    fn stall_error(&self) -> StallError {
+        let mut stuck: Vec<(u64, StuckAction)> = self
+            .actions
+            .iter()
+            .map(|(slot, gen, a)| {
+                let (kind, remaining, route) = match &a.kind {
+                    ActionKind::Transfer {
+                        route,
+                        latency_left,
+                        bytes_left,
+                        ..
+                    } => {
+                        let rem = if *latency_left > 0.0 {
+                            *latency_left
+                        } else {
+                            *bytes_left
+                        };
+                        ("transfer", rem, route.clone())
+                    }
+                    ActionKind::Exec { flops_left, .. } => ("exec", *flops_left, Vec::new()),
+                    ActionKind::Sleep { .. } => ("sleep", 0.0, Vec::new()),
+                };
+                (
+                    a.seq,
+                    StuckAction {
+                        id: ActionId::new(slot, gen),
+                        kind,
+                        remaining,
+                        rate: a.rate,
+                        route,
+                    },
+                )
+            })
+            .collect();
+        stuck.sort_by_key(|(seq, _)| *seq);
+        StallError {
+            at: self.now,
+            stuck: stuck.into_iter().map(|(_, s)| s).collect(),
+        }
+    }
+
+    /// Advances the clock to the next completion instant and returns the
+    /// actions that completed there (possibly several). Returns `Ok(None)`
+    /// when no action is running (the simulation is quiescent), and
+    /// `Err(StallError)` when actions are running but none of them can ever
+    /// finish (e.g. a zero-rate flow).
+    ///
+    /// Latency-phase expirations are handled internally: if the next event is
+    /// a transfer entering its transfer phase, rates are recomputed and the
+    /// search continues, so callers only ever observe *completions*.
+    pub fn try_advance_to_next(&mut self) -> Result<Option<(SimTime, Vec<ActionId>)>, StallError> {
+        loop {
+            self.flush_reshare();
+            // Next valid event (drop orphaned heap entries on the way).
+            let target = loop {
+                let Some(&Reverse((t, _seq, slot, gen))) = self.heap.peek() else {
+                    if self.actions.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(self.stall_error());
+                };
+                if self.entry_valid(t, slot, gen) {
+                    break t;
+                }
+                self.heap.pop();
+            };
+
+            let dt = target.duration_since(self.now);
+            if dt > 0.0 && self.rec.is_enabled() {
+                self.integrate_bytes(dt);
+            }
+            self.now = target;
+
+            // Drain every event whose prediction falls within the completion
+            // tolerance of `target`, so simultaneous completions are
+            // observed in one batch as the pre-slab kernel did.
+            let mut candidates: Vec<(u64, u32, u32)> = Vec::new();
+            while let Some(&Reverse((t, seq, slot, gen))) = self.heap.peek() {
+                if !self.entry_valid(t, slot, gen) {
+                    self.heap.pop();
+                    continue;
+                }
+                if t > self.candidate_horizon(slot, target) {
+                    break;
+                }
+                self.heap.pop();
+                candidates.push((seq, slot, gen));
+            }
+            candidates.sort_unstable(); // completions in birth order
+            candidates.dedup();
+
+            let mut done: Vec<ActionId> = Vec::new();
+            for &(_seq, slot, gen) in &candidates {
+                // Identical predictions can be published more than once
+                // (e.g. a re-share that did not change the rate); a later
+                // duplicate of an action completed this batch is stale.
+                if !self.actions.contains(slot, gen) {
+                    continue;
+                }
+                let verdict = {
+                    let a = self.actions.get_mut(slot).expect("live candidate");
+                    let was_latency = matches!(
+                        &a.kind,
+                        ActionKind::Transfer { latency_left, .. } if *latency_left > 0.0
+                    );
+                    Self::fold(a, target);
+                    // One nanosecond of work at the current rate absorbs the
+                    // floating-point residue of the lazy folding.
+                    let tol = a.rate * COMPLETION_EPS + 1e-12;
+                    match &a.kind {
+                        ActionKind::Transfer {
+                            latency_left,
+                            bytes_left,
+                            ..
+                        } => {
+                            if *latency_left > 0.0 {
+                                Verdict::Repush
+                            } else if *bytes_left <= tol {
+                                Verdict::Done
+                            } else if was_latency {
+                                Verdict::EnterBandwidth
+                            } else {
+                                Verdict::Repush
+                            }
+                        }
+                        ActionKind::Exec { flops_left, .. } => {
+                            if *flops_left <= tol {
+                                Verdict::Done
+                            } else {
+                                Verdict::Repush
+                            }
+                        }
+                        ActionKind::Sleep { ends_at } => {
+                            if *ends_at <= target {
+                                Verdict::Done
+                            } else {
+                                Verdict::Repush
+                            }
+                        }
+                    }
+                };
+                match verdict {
+                    Verdict::Done => {
+                        self.complete(slot);
+                        done.push(ActionId::new(slot, gen));
+                    }
+                    Verdict::EnterBandwidth => self.enter_bandwidth(slot),
+                    Verdict::Repush => {
+                        let pred = {
+                            let a = self.actions.get(slot).expect("live candidate");
+                            Self::predict(a, target)
+                        };
+                        self.set_pred(slot, pred);
+                    }
+                }
+            }
+            if !done.is_empty() {
+                return Ok(Some((self.now, done)));
+            }
+            // Otherwise only latency phases ended (or predictions were a
+            // hair early): rates are refreshed at the top of the loop.
+        }
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`try_advance_to_next`](Self::try_advance_to_next); most callers
+    /// treat a stall as a fatal modelling error.
+    pub fn advance_to_next(&mut self) -> Option<(SimTime, Vec<ActionId>)> {
+        match self.try_advance_to_next() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -746,5 +1342,128 @@ mod tests {
         assert_eq!(sim.running_actions(), 2);
         sim.advance_to_next().unwrap();
         assert_eq!(sim.running_actions(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled_but_handles_stay_done() {
+        let mut sim = Simulation::new();
+        let h = sim.add_host(100.0);
+        let a = sim.start_exec(h, 100.0);
+        sim.advance_to_next().unwrap();
+        assert!(sim.is_done(a));
+        // The next action reuses the slot with a new generation: the old
+        // handle must stay "done" and never alias the new action.
+        let b = sim.start_exec(h, 100.0);
+        assert_eq!(b.slot(), a.slot(), "slot should be recycled");
+        assert_ne!(b.raw(), a.raw());
+        assert!(sim.is_done(a));
+        assert!(!sim.is_done(b));
+        assert_eq!(sim.peak_actions(), 1, "never more than one live action");
+        sim.advance_to_next().unwrap();
+        assert!(sim.is_done(b));
+    }
+
+    #[test]
+    fn loopback_route_is_not_double_counted() {
+        // A route that traverses the same link twice (loopback / hairpin
+        // routing) must count the flow once per distinct link, both in the
+        // fair-sharing weights and in the observability accounting: the
+        // utilization gauge can never exceed 1 and delivered bytes are
+        // integrated once.
+        let rec = Rec::enabled();
+        let mut sim = Simulation::new();
+        sim.set_recorder(rec.clone());
+        let l = sim.add_link(100.0, 0.0);
+        sim.start_transfer(&[l, l], 1000.0, &TransferModel::ideal());
+        let (t, done) = sim.advance_to_next().unwrap();
+        assert_eq!(done.len(), 1);
+        approx(t.as_secs(), 10.0);
+        let report = rec.snapshot().expect("recorder enabled");
+        let util = report.gauge("surf.link.0.util").expect("util gauge");
+        assert!(
+            util.iter().all(|&(_, u)| u <= 1.0 + 1e-12),
+            "link util exceeded 1: {util:?}"
+        );
+        assert!(
+            util.iter().any(|&(_, u)| (u - 1.0).abs() <= 1e-12),
+            "saturating flow should reach util 1: {util:?}"
+        );
+        approx(report.fcounter("surf.link.0.bytes"), 1000.0);
+    }
+
+    #[test]
+    fn stall_is_reported_as_a_structured_error() {
+        // A zero TCP window caps the flow at 0 bytes/s: it can never
+        // progress once its latency elapsed.
+        let mut sim = Simulation::with_config(EngineConfig {
+            contention: true,
+            tcp_window: Some(0.0),
+        });
+        let l = sim.add_link(100.0, 0.5);
+        let a = sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        let err = sim.try_advance_to_next().unwrap_err();
+        assert_eq!(err.stuck.len(), 1);
+        let s = &err.stuck[0];
+        assert_eq!(s.id, a);
+        assert_eq!(s.kind, "transfer");
+        approx(s.remaining, 1000.0);
+        assert_eq!(s.rate, 0.0);
+        assert_eq!(s.route, vec![l]);
+        let msg = err.to_string();
+        assert!(msg.contains("stalled"), "got: {msg}");
+        assert!(msg.contains("transfer"), "got: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn advance_to_next_panics_on_stall() {
+        let mut sim = Simulation::with_config(EngineConfig {
+            contention: true,
+            tcp_window: Some(0.0),
+        });
+        let l = sim.add_link(100.0, 0.5);
+        sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        let _ = sim.advance_to_next();
+    }
+
+    #[test]
+    fn forced_full_reshare_matches_incremental() {
+        let run = |force: bool| -> Vec<f64> {
+            let mut sim = Simulation::new();
+            sim.set_full_reshare(force);
+            let l1 = sim.add_link(100.0, 0.01);
+            let l2 = sim.add_link(50.0, 0.02);
+            let h = sim.add_host(1000.0);
+            sim.start_transfer(&[l1], 1000.0, &TransferModel::ideal());
+            sim.start_transfer(&[l1, l2], 500.0, &TransferModel::ideal());
+            sim.start_exec(h, 2000.0);
+            sim.start_sleep(0.5);
+            let mut times = Vec::new();
+            while let Some((t, done)) = sim.advance_to_next() {
+                for _ in done {
+                    times.push(t.as_secs());
+                }
+            }
+            times
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn disjoint_components_keep_rates_across_unrelated_events() {
+        let mut sim = Simulation::new();
+        let l1 = sim.add_link(100.0, 0.0);
+        let l2 = sim.add_link(100.0, 0.0);
+        let a = sim.start_transfer(&[l1], 400.0, &TransferModel::ideal());
+        let b = sim.start_transfer(&[l1], 400.0, &TransferModel::ideal());
+        let c = sim.start_transfer(&[l2], 1000.0, &TransferModel::ideal());
+        // a and b share l1 at 50 each; c is alone on l2 at 100.
+        let (t1, d1) = sim.advance_to_next().unwrap();
+        approx(t1.as_secs(), 8.0);
+        assert!(d1.contains(&a) && d1.contains(&b));
+        assert_eq!(sim.action_rate(c), Some(100.0));
+        let (t2, d2) = sim.advance_to_next().unwrap();
+        assert_eq!(d2, vec![c]);
+        approx(t2.as_secs(), 10.0);
     }
 }

@@ -38,10 +38,43 @@ define_id!(
     /// A compute host (cluster node).
     HostId
 );
-define_id!(
-    /// A simulation action: an ongoing network transfer or CPU execution.
-    ActionId
-);
+
+/// A simulation action: an ongoing network transfer or CPU execution.
+///
+/// Unlike resource ids, actions are *transient*: their slab slots are
+/// recycled once they complete. The handle therefore carries both the slot
+/// and the slot's generation at creation time; a recycled slot bumps the
+/// generation, so a stale handle can never alias a newer action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActionId {
+    pub(crate) slot: u32,
+    pub(crate) gen: u32,
+}
+
+impl ActionId {
+    /// Builds a handle from a slab `(slot, generation)` pair.
+    pub(crate) fn new(slot: u32, gen: u32) -> Self {
+        ActionId { slot, gen }
+    }
+
+    /// The slab slot (reused across action lifetimes).
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// Packs the handle into a single `u64` (`generation << 32 | slot`),
+    /// unique over the whole simulation run. Used by transport backends to
+    /// derive completion tokens.
+    pub fn raw(self) -> u64 {
+        (u64::from(self.gen) << 32) | u64::from(self.slot)
+    }
+}
+
+impl std::fmt::Display for ActionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActionId#{}.{}", self.slot, self.gen)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -57,5 +90,14 @@ mod tests {
     #[test]
     fn ids_are_ordered_by_index() {
         assert!(HostId::from_index(1) < HostId::from_index(2));
+    }
+
+    #[test]
+    fn action_raw_packs_slot_and_generation() {
+        let a = ActionId::new(7, 3);
+        assert_eq!(a.slot(), 7);
+        assert_eq!(a.raw(), (3u64 << 32) | 7);
+        assert_eq!(a.to_string(), "ActionId#7.3");
+        assert_ne!(ActionId::new(7, 3).raw(), ActionId::new(7, 4).raw());
     }
 }

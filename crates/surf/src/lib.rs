@@ -26,10 +26,12 @@ pub mod engine;
 pub mod ids;
 pub mod lmm;
 pub mod model;
+pub mod slab;
 pub mod time;
 
-pub use engine::{EngineConfig, Simulation};
+pub use engine::{EngineConfig, Simulation, StallError, StuckAction};
 pub use ids::{ActionId, HostId, LinkId};
 pub use lmm::{CnstId, MaxMinProblem, VarId};
 pub use model::{Segment, TransferModel};
+pub use slab::Slab;
 pub use time::SimTime;

@@ -30,9 +30,11 @@ pub struct VarId(usize);
 ///
 /// Build with [`add_constraint`](Self::add_constraint) /
 /// [`add_variable`](Self::add_variable), then call [`solve`](Self::solve).
-/// The problem is rebuilt from scratch on every network re-share; see the
-/// `ablation_lmm` bench for the cost of this choice versus incremental
-/// updates.
+/// The engine builds one instance per *dirty component* of the
+/// constraint↔action graph on each re-share (falling back to the whole
+/// active set when topology changes); see the `ablation_lmm` bench and
+/// `repro -- kernel` for the cost of full rebuilds versus the incremental
+/// path.
 #[derive(Debug, Default, Clone)]
 pub struct MaxMinProblem {
     capacities: Vec<f64>,
@@ -131,6 +133,13 @@ impl MaxMinProblem {
                 wsum_unfrozen[c] += self.weights[v];
             }
         }
+        // Snapshot of the initial weight sums: `freeze_var` snaps tiny
+        // residual sums (floating-point dust left by repeated subtraction)
+        // to exactly zero, and the cutoff must be *relative* to this scale.
+        // An absolute cutoff would zero out constraints whose legitimate
+        // weights are themselves tiny (e.g. 1e-15), handing the remaining
+        // variables an infinite λ and therefore an unbounded rate.
+        let wsum_init = wsum_unfrozen.clone();
 
         let mut level = 0.0_f64;
         let mut remaining = nv;
@@ -181,6 +190,7 @@ impl MaxMinProblem {
                     &mut frozen,
                     &mut frozen_usage,
                     &mut wsum_unfrozen,
+                    &wsum_init,
                     &mut remaining,
                 );
             } else if let Some(c) = best_cnst {
@@ -200,6 +210,7 @@ impl MaxMinProblem {
                         &mut frozen,
                         &mut frozen_usage,
                         &mut wsum_unfrozen,
+                        &wsum_init,
                         &mut remaining,
                     );
                 }
@@ -217,6 +228,7 @@ impl MaxMinProblem {
         frozen: &mut [bool],
         frozen_usage: &mut [f64],
         wsum_unfrozen: &mut [f64],
+        wsum_init: &[f64],
         remaining: &mut usize,
     ) {
         debug_assert!(!frozen[v]);
@@ -226,7 +238,10 @@ impl MaxMinProblem {
         for &c in &self.memberships[v] {
             frozen_usage[c] += r;
             wsum_unfrozen[c] -= self.weights[v];
-            if wsum_unfrozen[c] < 1e-12 {
+            // Snap accumulated subtraction dust to zero, with a tolerance
+            // relative to the constraint's initial weight sum so that
+            // constraints built from legitimately tiny weights survive.
+            if wsum_unfrozen[c] < wsum_init[c] * 1e-12 {
                 wsum_unfrozen[c] = 0.0;
             }
         }
@@ -332,6 +347,28 @@ mod tests {
         p.add_variable(f64::INFINITY, &[l, l]);
         let rates = p.solve();
         assert!((rates[0] - 100.0).abs() < EPS);
+    }
+
+    #[test]
+    fn tiny_weights_do_not_zero_the_weight_sum() {
+        // Regression: with the old absolute 1e-12 snap-to-zero in
+        // `freeze_var`, freezing the first 1e-15-weight variable wiped the
+        // constraint's remaining weight sum, so the constraint dropped out
+        // of the λ search and the unbounded second variable was frozen at
+        // rate = +∞ by the `best.is_infinite()` guard. With the relative
+        // tolerance it correctly receives the leftover capacity.
+        let mut p = MaxMinProblem::new();
+        let l = p.add_constraint(100.0);
+        p.add_weighted_variable(10.0, 1e-15, &[l]);
+        let free = p.add_weighted_variable(f64::INFINITY, 1e-15, &[l]);
+        let rates = p.solve();
+        assert!((rates[0] - 10.0).abs() < EPS);
+        assert!(
+            rates[free.0].is_finite(),
+            "unbounded var escaped the constraint: rate {}",
+            rates[free.0]
+        );
+        assert!((rates[free.0] - 90.0).abs() < EPS);
     }
 
     #[test]

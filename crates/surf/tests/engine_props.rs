@@ -3,6 +3,10 @@
 use proptest::prelude::*;
 use surf_sim::{Simulation, TransferModel};
 
+/// One observation of the differential churn test: event time, completed
+/// action ids, and the (id, rate) of every still-live action.
+type ChurnEvent = (f64, Vec<u64>, Vec<(u64, f64)>);
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -66,5 +70,83 @@ proptest! {
         }
         let expect = n as f64 * size / bw;
         prop_assert!((end - expect).abs() <= 1e-6 * expect.max(1.0));
+    }
+
+    /// Differential test of the incremental reshare against the full-rebuild
+    /// reference: an arbitrary churn of transfers, execs, sleeps and
+    /// advances must produce the same completion schedule and the same
+    /// intermediate rates in both modes.
+    #[test]
+    fn incremental_reshare_matches_full_rebuild(
+        raw_ops in proptest::collection::vec(
+            (0u8..4, 0usize..8, 1e2f64..1e6), 1..50),
+        bws in proptest::collection::vec(1e5f64..1e9, 1..4),
+        lat in 0.0f64..1e-3,
+    ) {
+        // One run of the scenario; `force` switches the kernel between the
+        // incremental path and the full-rebuild reference.
+        let run = |force: bool| {
+            let mut sim = Simulation::new();
+            sim.set_full_reshare(force);
+            let links: Vec<_> = bws.iter().map(|&bw| sim.add_link(bw, lat)).collect();
+            let h = sim.add_host(1e9);
+            let mut started = Vec::new();
+            // Each trace entry: (time, completed ids, live (id, rate) pairs).
+            let mut trace: Vec<ChurnEvent> = Vec::new();
+            let observe = |sim: &Simulation,
+                               started: &[surf_sim::ActionId],
+                               trace: &mut Vec<ChurnEvent>,
+                               t: f64,
+                               done: Vec<surf_sim::ActionId>| {
+                let mut done: Vec<u64> = done.iter().map(|a| a.raw()).collect();
+                done.sort_unstable();
+                let mut rates: Vec<(u64, f64)> = started
+                    .iter()
+                    .filter(|&&a| !sim.is_done(a))
+                    .map(|&a| (a.raw(), sim.action_rate(a).unwrap()))
+                    .collect();
+                rates.sort_unstable_by_key(|r| r.0);
+                trace.push((t, done, rates));
+            };
+            for &(kind, sel, x) in &raw_ops {
+                match kind {
+                    0 => {
+                        let hops = sel % links.len() + 1;
+                        let route: Vec<_> =
+                            (0..hops).map(|k| links[(sel + k) % links.len()]).collect();
+                        started.push(sim.start_transfer(&route, x, &TransferModel::ideal()));
+                    }
+                    1 => started.push(sim.start_exec(h, x * 1e3)),
+                    2 => started.push(sim.start_sleep(x * 1e-6)),
+                    _ => {
+                        if let Some((t, done)) = sim.advance_to_next() {
+                            observe(&sim, &started, &mut trace, t.as_secs(), done);
+                        }
+                    }
+                }
+            }
+            while let Some((t, done)) = sim.advance_to_next() {
+                observe(&sim, &started, &mut trace, t.as_secs(), done);
+            }
+            trace
+        };
+        let inc = run(false);
+        let full = run(true);
+        prop_assert_eq!(inc.len(), full.len());
+        for ((ti, di, ri), (tf, df, rf)) in inc.iter().zip(full.iter()) {
+            prop_assert!(
+                (ti - tf).abs() <= 1e-9 * tf.abs().max(1e-12),
+                "event time diverged: {} vs {}", ti, tf
+            );
+            prop_assert_eq!(di, df);
+            prop_assert_eq!(ri.len(), rf.len());
+            for ((idi, ratei), (idf, ratef)) in ri.iter().zip(rf.iter()) {
+                prop_assert_eq!(idi, idf);
+                prop_assert!(
+                    (ratei - ratef).abs() <= 1e-9 * ratef.abs().max(1e-12),
+                    "rate diverged for {}: {} vs {}", idi, ratei, ratef
+                );
+            }
+        }
     }
 }
