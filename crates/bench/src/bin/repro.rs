@@ -4,7 +4,7 @@
 
 use smpi_bench::{
     ablations, e2e, fig_alltoall, fig_dt, fig_pingpong, fig_scatter, fig_schemes, fig_speed,
-    kernel_bench, obs_demo, replay_demo,
+    kernel_bench, obs_demo, replay_demo, scale,
 };
 
 fn main() {
@@ -57,6 +57,7 @@ fn main() {
             "dt" => e2e::dt_report(),
             "ep" => e2e::ep_report(),
             "kernel" => kernel_bench::kernel_bench(),
+            "scale" => scale::scale(),
             "ablations" => format!(
                 "{}\n{}\n{}",
                 ablations::segment_sweep(),

@@ -22,3 +22,4 @@ pub mod fig_speed;
 pub mod kernel_bench;
 pub mod obs_demo;
 pub mod replay_demo;
+pub mod scale;

@@ -9,6 +9,16 @@
 //! equivalent of receiving into a caller buffer, without borrowing across
 //! the blocking call). Message *data is real*: this is on-line simulation,
 //! so reductions, scans and application logic all compute true values.
+//!
+//! Calls split into two tiers. **Maestro simcalls** (sends, receives,
+//! waits, compute, sleep) describe simulated work, so they yield the baton
+//! and cost two thread context switches. **Local simcalls** — pure
+//! bookkeeping with no simulated cost — are answered on the actor thread
+//! from [`crate::state::SharedState`] without yielding: `wtime` reads the
+//! published clock, sampling decisions consult the shared sample tables,
+//! `shared_malloc` hits the folded heap, and communicator/rank metadata
+//! (`rank`, `size`, `comm_create`) never leaves the rank. The baton
+//! guarantees exclusivity, so local reads race with nothing.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -175,11 +185,15 @@ impl<'h> Ctx<'h> {
     }
 
     /// Simulated time in seconds (`MPI_Wtime`).
+    ///
+    /// Local simcall tier: answered from the maestro-published
+    /// [`crate::state::SimClock`] without yielding the baton. Simulated
+    /// time only advances while every rank is blocked, so the value is
+    /// identical to what a maestro round-trip ([`Simcall::Now`]) returns —
+    /// minus the two thread context switches.
     pub fn wtime(&self) -> f64 {
-        match self.call(Simcall::Now) {
-            SimResp::Now(t) => t,
-            other => unreachable!("bad response {other:?}"),
-        }
+        self.shared.count_local_call();
+        self.shared.clock.now()
     }
 
     /// Burns `flops` of computation on this rank's host.

@@ -37,6 +37,7 @@ pub mod error;
 pub mod ext;
 pub mod fabric;
 pub mod group;
+pub mod matching;
 pub mod obs_export;
 pub mod op;
 pub mod runtime;

@@ -1,0 +1,231 @@
+//! MPI message matching with per-(source, tag) FIFOs.
+//!
+//! The MPI matching rule (used by [`crate::runtime`]): a receive posted on
+//! `(cid, dst)` matches the **earliest compatible unmatched message** in
+//! send-post order (the non-overtaking guarantee), where the receive's
+//! source/tag may each be a wildcard ([`ANY_SOURCE`]/[`ANY_TAG`]).
+//!
+//! A single queue per `(cid, dst)` makes every match a linear scan — at 10k+
+//! ranks the unexpected-message queue of a busy destination holds thousands
+//! of entries and matching dominates the maestro. This module keys the
+//! queues one level deeper:
+//!
+//! * **pending messages** are bucketed by their *concrete* envelope
+//!   `(src, tag)`. A concrete receive probes exactly one bucket front: O(1).
+//!   A wildcard receive scans only the bucket *fronts* (one per distinct
+//!   live envelope), not every queued message.
+//! * **posted receives** are bucketed by their *specification*
+//!   `(src-or-any, tag-or-any)`. An incoming message probes the at most four
+//!   buckets that could match it — `(src, tag)`, `(ANY, tag)`, `(src, ANY)`,
+//!   `(ANY, ANY)` — again O(1).
+//!
+//! Global post order is preserved by stamping every entry with a sequence
+//! number at insertion; ties across buckets are broken by taking the minimum
+//! sequence among candidate fronts. Each bucket is itself a FIFO, so the
+//! front always carries the bucket's minimum — the scan never looks deeper.
+//!
+//! The structures are generic over the stored id so the differential tests
+//! can drive them directly against a reference implementation.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Wildcard source (`MPI_ANY_SOURCE`); mirrors [`crate::runtime::ANY_SOURCE`].
+pub const ANY_SOURCE: i32 = -1;
+/// Wildcard tag (`MPI_ANY_TAG`); mirrors [`crate::runtime::ANY_TAG`].
+pub const ANY_TAG: i32 = -1;
+
+/// `true` if an envelope `(msg_src, msg_tag)` matches a receive's
+/// specification (wildcards allowed).
+pub fn env_matches(want_src: i32, want_tag: i32, msg_src: u32, msg_tag: i32) -> bool {
+    (want_src == ANY_SOURCE || want_src == msg_src as i32)
+        && (want_tag == ANY_TAG || want_tag == msg_tag)
+}
+
+/// Per-channel buckets: second-level key -> FIFO of (seq, id).
+type Buckets<K, T> = HashMap<K, VecDeque<(u64, T)>>;
+
+/// Unmatched (unexpected) messages awaiting a receive, bucketed by
+/// `(cid, dst)` and then by concrete envelope `(src, tag)`.
+#[derive(Debug)]
+pub struct MsgFifos<T> {
+    queues: HashMap<(u32, u32), Buckets<(u32, i32), T>>,
+}
+
+impl<T> Default for MsgFifos<T> {
+    fn default() -> Self {
+        MsgFifos {
+            queues: HashMap::new(),
+        }
+    }
+}
+
+impl<T: Copy> MsgFifos<T> {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a message with envelope `(src, tag)`. `seq` must be
+    /// strictly increasing across *all* pushes into one `(cid, dst)` bucket
+    /// (post order); the caller's monotonically allocated message id serves.
+    pub fn push(&mut self, cid: u32, dst: u32, src: u32, tag: i32, seq: u64, id: T) {
+        self.queues
+            .entry((cid, dst))
+            .or_default()
+            .entry((src, tag))
+            .or_default()
+            .push_back((seq, id));
+    }
+
+    /// Removes and returns the earliest message (by push order) matching a
+    /// receive specification, or `None`. A concrete spec probes one bucket;
+    /// a wildcard spec scans bucket fronts only.
+    pub fn pop_match(&mut self, cid: u32, dst: u32, want_src: i32, want_tag: i32) -> Option<T> {
+        let envs = self.queues.get_mut(&(cid, dst))?;
+        let key = if want_src != ANY_SOURCE && want_tag != ANY_TAG {
+            // Fully concrete: single bucket.
+            let k = (want_src as u32, want_tag);
+            envs.contains_key(&k).then_some(k)?
+        } else {
+            // Wildcard in at least one position: earliest compatible front.
+            envs.iter()
+                .filter(|((src, tag), _)| env_matches(want_src, want_tag, *src, *tag))
+                .min_by_key(|(_, q)| q.front().expect("empty bucket not removed").0)
+                .map(|(&k, _)| k)?
+        };
+        let q = envs.get_mut(&key).unwrap();
+        let (_, id) = q.pop_front().expect("empty bucket not removed");
+        if q.is_empty() {
+            envs.remove(&key);
+            if envs.is_empty() {
+                self.queues.remove(&(cid, dst));
+            }
+        }
+        Some(id)
+    }
+}
+
+/// Posted receives awaiting a message, bucketed by `(cid, dst)` and then by
+/// specification `(src-or-any, tag-or-any)`.
+#[derive(Debug)]
+pub struct RecvFifos<T> {
+    queues: HashMap<(u32, u32), Buckets<(i32, i32), T>>,
+}
+
+impl<T> Default for RecvFifos<T> {
+    fn default() -> Self {
+        RecvFifos {
+            queues: HashMap::new(),
+        }
+    }
+}
+
+impl<T: Copy> RecvFifos<T> {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a receive with specification `(src, tag)` (either may be a
+    /// wildcard). `seq` must be strictly increasing across all pushes into
+    /// one `(cid, dst)` bucket (post order).
+    pub fn push(&mut self, cid: u32, dst: u32, src: i32, tag: i32, seq: u64, id: T) {
+        self.queues
+            .entry((cid, dst))
+            .or_default()
+            .entry((src, tag))
+            .or_default()
+            .push_back((seq, id));
+    }
+
+    /// Removes and returns the earliest receive (by push order) whose
+    /// specification matches an incoming message's concrete envelope, or
+    /// `None`. At most four buckets are probed.
+    pub fn pop_match(&mut self, cid: u32, dst: u32, msg_src: u32, msg_tag: i32) -> Option<T> {
+        let specs = self.queues.get_mut(&(cid, dst))?;
+        let candidates = [
+            (msg_src as i32, msg_tag),
+            (ANY_SOURCE, msg_tag),
+            (msg_src as i32, ANY_TAG),
+            (ANY_SOURCE, ANY_TAG),
+        ];
+        let key = candidates
+            .into_iter()
+            .filter_map(|k| {
+                specs
+                    .get(&k)
+                    .map(|q| (q.front().expect("empty bucket not removed").0, k))
+            })
+            .min()
+            .map(|(_, k)| k)?;
+        let q = specs.get_mut(&key).unwrap();
+        let (_, id) = q.pop_front().expect("empty bucket not removed");
+        if q.is_empty() {
+            specs.remove(&key);
+            if specs.is_empty() {
+                self.queues.remove(&(cid, dst));
+            }
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_recv_pops_in_send_order() {
+        let mut m = MsgFifos::new();
+        m.push(0, 1, 5, 9, 10, "a");
+        m.push(0, 1, 5, 9, 11, "b");
+        assert_eq!(m.pop_match(0, 1, 5, 9), Some("a"));
+        assert_eq!(m.pop_match(0, 1, 5, 9), Some("b"));
+        assert_eq!(m.pop_match(0, 1, 5, 9), None);
+    }
+
+    #[test]
+    fn wildcard_recv_takes_global_earliest() {
+        let mut m = MsgFifos::new();
+        m.push(0, 1, 7, 0, 3, "late-src7");
+        m.push(0, 1, 2, 0, 1, "early-src2");
+        assert_eq!(m.pop_match(0, 1, ANY_SOURCE, ANY_TAG), Some("early-src2"));
+        assert_eq!(m.pop_match(0, 1, ANY_SOURCE, 0), Some("late-src7"));
+    }
+
+    #[test]
+    fn msg_probes_all_four_recv_specs() {
+        let mut r = RecvFifos::new();
+        r.push(0, 1, ANY_SOURCE, ANY_TAG, 4, "aa");
+        r.push(0, 1, 3, ANY_TAG, 2, "sa");
+        r.push(0, 1, ANY_SOURCE, 8, 3, "at");
+        r.push(0, 1, 3, 8, 1, "st");
+        // Earliest matching spec wins regardless of bucket.
+        assert_eq!(r.pop_match(0, 1, 3, 8), Some("st"));
+        assert_eq!(r.pop_match(0, 1, 3, 8), Some("sa"));
+        assert_eq!(r.pop_match(0, 1, 3, 8), Some("at"));
+        assert_eq!(r.pop_match(0, 1, 3, 8), Some("aa"));
+        assert_eq!(r.pop_match(0, 1, 3, 8), None);
+    }
+
+    #[test]
+    fn incompatible_envelopes_do_not_match() {
+        let mut m = MsgFifos::new();
+        m.push(0, 1, 5, 9, 0, "x");
+        assert_eq!(m.pop_match(0, 1, 6, 9), None);
+        assert_eq!(m.pop_match(0, 1, 5, 8), None);
+        assert_eq!(m.pop_match(0, 2, 5, 9), None);
+        assert_eq!(m.pop_match(1, 1, 5, 9), None);
+        assert_eq!(m.pop_match(0, 1, 5, 9), Some("x"));
+    }
+
+    #[test]
+    fn communicators_are_isolated() {
+        let mut r = RecvFifos::new();
+        r.push(0, 1, ANY_SOURCE, ANY_TAG, 0, "cid0");
+        r.push(1, 1, ANY_SOURCE, ANY_TAG, 1, "cid1");
+        assert_eq!(r.pop_match(1, 1, 0, 0), Some("cid1"));
+        assert_eq!(r.pop_match(1, 1, 0, 0), None);
+        assert_eq!(r.pop_match(0, 1, 0, 0), Some("cid0"));
+    }
+}

@@ -8,6 +8,8 @@
 //! * **matching** — per (context id, destination), receives match the
 //!   earliest compatible unmatched message in send-post order (MPI's
 //!   non-overtaking rule); `ANY_SOURCE`/`ANY_TAG` wildcards supported;
+//!   implemented with the per-(src, tag) FIFOs of [`crate::matching`] so
+//!   the common concrete match costs O(1), not a queue scan;
 //! * **eager** (≤ threshold) — the wire transfer starts at send post; the
 //!   sender's request completes after its injection delay, independent of
 //!   the receiver; an unexpected message waits, arrived, for its receive;
@@ -16,6 +18,12 @@
 //!   it); sender and receiver complete together;
 //! * per-message software overheads and the receive-side copy penalty of the
 //!   active [`MpiProfile`].
+//!
+//! Progress is **O(completions)**: a reverse index from request to waiting
+//! actor means each fabric event re-examines only the waiters whose
+//! requests actually completed, never the whole blocked population. At
+//! 10k+ ranks this is the difference between a linear and a quadratic
+//! drive loop.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -27,12 +35,14 @@ use smpi_platform::HostIx;
 use crate::capture::{Capture, TiOp, TiTrace};
 use crate::error::SimError;
 use crate::fabric::{Fabric, FabricToken, MpiProfile};
+use crate::matching::{MsgFifos, RecvFifos};
+use crate::state::SimClock;
 use crate::trace::{TraceEvent, TraceKind};
 
 /// Wildcard source for receives (`MPI_ANY_SOURCE`).
-pub const ANY_SOURCE: i32 = -1;
+pub const ANY_SOURCE: i32 = crate::matching::ANY_SOURCE;
 /// Wildcard tag for receives (`MPI_ANY_TAG`).
-pub const ANY_TAG: i32 = -1;
+pub const ANY_TAG: i32 = crate::matching::ANY_TAG;
 
 /// Identifier of a pending communication request (`MPI_Request`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -187,12 +197,10 @@ struct Message {
 #[derive(Debug)]
 enum ReqKind {
     Send,
-    Recv {
-        src: i32,
-        tag: i32,
-        max_bytes: u64,
-        msg: Option<MsgId>,
-    },
+    // The receive's (src, tag) specification lives in the matching store
+    // (`RecvFifos`) until matched; the request only keeps what completion
+    // needs.
+    Recv { max_bytes: u64, msg: Option<MsgId> },
 }
 
 /// What a completed request reports back: (source, tag, bytes, payload).
@@ -222,6 +230,11 @@ enum TokenUse {
 struct Waiting {
     reqs: Vec<ReqId>,
     mode: WaitMode,
+    /// Distinct incomplete requests still registered in the reverse index.
+    remaining: usize,
+    /// Already pushed on `ready_waiters` (guards double-queueing when a
+    /// second request of an Any/Some waiter completes in the same pass).
+    queued: bool,
 }
 
 /// The progress engine. Owns the fabric and all protocol state; the
@@ -236,12 +249,21 @@ pub struct Runtime {
     requests: HashMap<ReqId, Request>,
     messages: HashMap<MsgId, Message>,
     tokens: HashMap<FabricToken, TokenUse>,
-    /// Unmatched messages per (cid, dst), in send-post order.
-    pending_msgs: HashMap<(u32, u32), Vec<MsgId>>,
-    /// Unmatched posted receives per (cid, dst), in post order.
-    posted_recvs: HashMap<(u32, u32), Vec<ReqId>>,
+    /// Unmatched messages per (cid, dst), FIFO per concrete (src, tag);
+    /// send-post order carried by the message id.
+    pending_msgs: MsgFifos<MsgId>,
+    /// Unmatched posted receives per (cid, dst), FIFO per (src, tag) spec;
+    /// post order carried by the request id.
+    posted_recvs: RecvFifos<ReqId>,
     /// Ranks blocked in a Wait.
     waiting: HashMap<ActorId, Waiting>,
+    /// Reverse index: incomplete request -> the actor waiting on it. At
+    /// most one waiter per request (requests belong to the actor that
+    /// posted them, and an actor waits on one set at a time).
+    req_waiter: HashMap<ReqId, ActorId>,
+    /// Waiters whose condition now holds, queued by [`Self::notify_completion`];
+    /// drained (in actor-id order) by the next resolution pass.
+    ready_waiters: Vec<ActorId>,
     /// Actors whose Exec/Sleep finished, to be resolved on the next pass.
     delayed_actors: Vec<ActorId>,
     /// Simulated completion time of each rank (actor id = world rank).
@@ -250,6 +272,8 @@ pub struct Runtime {
     trace: Option<Vec<TraceEvent>>,
     /// Time-independent capture, when enabled (see [`crate::capture`]).
     capture: Option<Capture>,
+    /// Published simulated clock, read locally by ranks (`MPI_Wtime`).
+    clock: std::sync::Arc<SimClock>,
     /// Metrics recorder (disabled by default: every emit is one branch).
     rec: Rec,
     /// Whether the drive loop takes wall-clock phase timings.
@@ -279,13 +303,16 @@ impl Runtime {
             requests: HashMap::new(),
             messages: HashMap::new(),
             tokens: HashMap::new(),
-            pending_msgs: HashMap::new(),
-            posted_recvs: HashMap::new(),
+            pending_msgs: MsgFifos::new(),
+            posted_recvs: RecvFifos::new(),
             waiting: HashMap::new(),
+            req_waiter: HashMap::new(),
+            ready_waiters: Vec::new(),
             delayed_actors: Vec::new(),
             finish_times: vec![0.0; n],
             trace: None,
             capture: None,
+            clock: std::sync::Arc::new(SimClock::new()),
             rec: Rec::disabled(),
             profiling: false,
             n_simcalls: 0,
@@ -310,6 +337,14 @@ impl Runtime {
         self.profiling = true;
     }
 
+    /// Installs the clock the maestro publishes simulated time to. Ranks
+    /// holding a clone answer `MPI_Wtime` locally, with no baton pass (the
+    /// local simcall tier; see [`crate::state::SimClock`]).
+    pub fn set_clock(&mut self, clock: std::sync::Arc<SimClock>) {
+        clock.publish(self.now());
+        self.clock = clock;
+    }
+
     /// Snapshots the accumulated metrics, or `None` when no recorder is set.
     pub fn take_metrics(&self) -> Option<smpi_obs::MetricsReport> {
         self.rec.snapshot()
@@ -330,6 +365,7 @@ impl Runtime {
                 Vec::new()
             },
             simcalls: self.n_simcalls,
+            local_simcalls: 0, // filled by the World runner from shared state
             tokens: self.n_tokens,
             trace_events: self.trace.as_ref().map_or(0, |t| t.len() as u64),
             sim_time: self.now(),
@@ -391,14 +427,17 @@ impl Runtime {
                 }
             });
         }
+        // Reused across iterations: run_ready_into clears and refills it,
+        // so the steady-state hot loop allocates nothing.
+        let mut events: Vec<ActorEvent<Simcall>> = Vec::new();
         loop {
             let t0 = self.profiling.then(Instant::now);
-            let events = sx.run_ready();
+            sx.run_ready_into(&mut events);
             if let Some(t0) = t0 {
                 self.phase_actors += t0.elapsed().as_secs_f64();
             }
             let t1 = self.profiling.then(Instant::now);
-            for ev in events {
+            for ev in events.drain(..) {
                 match ev {
                     ActorEvent::Finished(id) => {
                         let now = self.now();
@@ -431,7 +470,8 @@ impl Runtime {
                 self.phase_fabric += t2.elapsed().as_secs_f64();
             }
             match advanced? {
-                Some((_, tokens)) => {
+                Some((t, tokens)) => {
+                    self.clock.publish(t.as_secs());
                     for tok in tokens {
                         self.on_token(tok);
                     }
@@ -534,9 +574,46 @@ impl Runtime {
                     };
                     self.rec.state_push("rank", actor.0, self.now(), state);
                 }
-                self.waiting.insert(actor, Waiting { reqs, mode });
-                // resolve_waiters (called right after the batch) may resolve
-                // immediately — Poll always does.
+                // Register incomplete requests in the reverse index; an
+                // already-satisfied waiter queues for the next resolution
+                // pass (Poll always does).
+                let mut remaining = 0;
+                let mut any_complete = false;
+                // Poll resolves unconditionally on the next pass and must
+                // not register: its entries would outlive the resolution.
+                if mode != WaitMode::Poll {
+                    for &r in &reqs {
+                        if self.requests[&r].complete {
+                            any_complete = true;
+                        } else {
+                            // `entry` dedupes: a request listed twice
+                            // registers (and counts) once.
+                            if let std::collections::hash_map::Entry::Vacant(e) =
+                                self.req_waiter.entry(r)
+                            {
+                                e.insert(actor);
+                                remaining += 1;
+                            }
+                        }
+                    }
+                }
+                let satisfied = match mode {
+                    WaitMode::All => remaining == 0,
+                    WaitMode::Any | WaitMode::Some => any_complete,
+                    WaitMode::Poll => true,
+                };
+                self.waiting.insert(
+                    actor,
+                    Waiting {
+                        reqs,
+                        mode,
+                        remaining,
+                        queued: satisfied,
+                    },
+                );
+                if satisfied {
+                    self.ready_waiters.push(actor);
+                }
             }
             Simcall::Exec { flops } => {
                 if let Some(cap) = &mut self.capture {
@@ -649,11 +726,11 @@ impl Runtime {
             },
         );
 
-        // Try to match an already-posted receive.
-        if let Some(req) = self.find_matching_recv(cid, dst, src, tag) {
+        // Try to match the earliest compatible already-posted receive.
+        if let Some(req) = self.posted_recvs.pop_match(cid, dst, src, tag) {
             self.bind(mid, req);
         } else {
-            self.pending_msgs.entry((cid, dst)).or_default().push(mid);
+            self.pending_msgs.push(cid, dst, src, tag, mid.0, mid);
         }
 
         if eager {
@@ -682,24 +759,12 @@ impl Runtime {
     fn post_recv(&mut self, dst: u32, src: i32, cid: u32, tag: i32, max_bytes: u64) -> ReqId {
         self.record(TraceKind::RecvPosted { dst, src, tag });
         let req = self.alloc_req(ReqKind::Recv {
-            src,
-            tag,
             max_bytes,
             msg: None,
         });
-        // Match the earliest compatible pending message (send-post order).
-        let key = (cid, dst);
-        let matched = self.pending_msgs.get(&key).and_then(|msgs| {
-            msgs.iter()
-                .position(|mid| {
-                    let m = &self.messages[mid];
-                    m.recv_req.is_none() && env_matches(src, tag, m.src, m.tag)
-                })
-                .map(|pos| msgs[pos])
-        });
-        if let Some(mid) = matched {
-            let msgs = self.pending_msgs.get_mut(&key).unwrap();
-            msgs.retain(|&m| m != mid);
+        // Match the earliest compatible pending message (send-post order;
+        // everything in the pending store is unbound by construction).
+        if let Some(mid) = self.pending_msgs.pop_match(cid, dst, src, tag) {
             self.bind(mid, req);
             let m = &self.messages[&mid];
             if m.eager {
@@ -711,27 +776,9 @@ impl Runtime {
                 self.begin_rendezvous(mid);
             }
         } else {
-            self.posted_recvs.entry(key).or_default().push(req);
+            self.posted_recvs.push(cid, dst, src, tag, req.0, req);
         }
         req
-    }
-
-    /// Finds and removes the earliest posted receive matching an incoming
-    /// message envelope.
-    fn find_matching_recv(&mut self, cid: u32, dst: u32, src: u32, tag: i32) -> Option<ReqId> {
-        let key = (cid, dst);
-        // Split-borrow: the queue is mutated while requests are read.
-        let requests = &self.requests;
-        let recvs = self.posted_recvs.get_mut(&key)?;
-        let pos = recvs.iter().position(|rid| match &requests[rid].kind {
-            ReqKind::Recv {
-                src: rsrc,
-                tag: rtag,
-                ..
-            } => env_matches(*rsrc, *rtag, src, tag),
-            ReqKind::Send => unreachable!("send in recv queue"),
-        })?;
-        Some(recvs.remove(pos))
     }
 
     /// Binds a message to a receive request (both directions).
@@ -881,6 +928,27 @@ impl Runtime {
         // receive claims it.
     }
 
+    /// Marks a request complete and, if an actor is blocked on it, updates
+    /// that waiter's count — queueing the actor once its condition holds.
+    /// This is the O(completions) hook: nothing else ever re-examines
+    /// waiters.
+    fn notify_completion(&mut self, req: ReqId) {
+        if let Some(actor) = self.req_waiter.remove(&req) {
+            let w = self.waiting.get_mut(&actor).expect("indexed waiter exists");
+            w.remaining -= 1;
+            let satisfied = match w.mode {
+                WaitMode::All => w.remaining == 0,
+                // Any completion satisfies; Poll never registers.
+                WaitMode::Any | WaitMode::Some => true,
+                WaitMode::Poll => unreachable!("poll waiters queue immediately"),
+            };
+            if satisfied && !w.queued {
+                w.queued = true;
+                self.ready_waiters.push(actor);
+            }
+        }
+    }
+
     fn complete_send(&mut self, mid: MsgId) {
         let m = &self.messages[&mid];
         let req = m.send_req;
@@ -889,6 +957,7 @@ impl Runtime {
         debug_assert!(!r.complete, "send completed twice");
         r.complete = true;
         r.record = Some((src, tag, bytes, None));
+        self.notify_completion(req);
         self.gc_message(mid);
     }
 
@@ -908,6 +977,7 @@ impl Runtime {
         debug_assert!(!r.complete, "recv completed twice");
         r.complete = true;
         r.record = Some((src, tag, bytes, payload));
+        self.notify_completion(req);
         self.gc_message(mid);
     }
 
@@ -945,23 +1015,23 @@ impl Runtime {
             sx.resolve(actor, SimResp::Unit);
             any = true;
         }
-        let actors: Vec<ActorId> = self.waiting.keys().copied().collect();
-        let mut ready = Vec::new();
-        for actor in actors {
-            let w = &self.waiting[&actor];
-            let complete_count = w.reqs.iter().filter(|r| self.requests[r].complete).count();
-            let satisfied = match w.mode {
-                WaitMode::All => complete_count == w.reqs.len(),
-                WaitMode::Any | WaitMode::Some => complete_count > 0,
-                WaitMode::Poll => true,
-            };
-            if satisfied {
-                ready.push(actor);
-            }
-        }
-        ready.sort();
-        for actor in ready {
+        // Only waiters queued by notify_completion (or satisfied at Wait
+        // post) are examined — never the whole blocked population. Sorting
+        // by actor id reproduces the resolution order of a full sweep:
+        // satisfaction is monotone within a pass, so the queued set equals
+        // the satisfied set.
+        let mut ready = std::mem::take(&mut self.ready_waiters);
+        ready.sort_unstable();
+        for actor in ready.drain(..) {
             let w = self.waiting.remove(&actor).unwrap();
+            // An Any/Some waiter satisfied by its first completion still has
+            // reverse-index entries for its other requests; drop them so a
+            // later Wait on the same requests re-registers cleanly.
+            if w.remaining > 0 {
+                for r in &w.reqs {
+                    self.req_waiter.remove(r);
+                }
+            }
             if w.mode != WaitMode::Poll {
                 // Pops the blocked_in_* state pushed at the Wait simcall.
                 self.rec.state_pop("rank", actor.0, self.now());
@@ -970,6 +1040,8 @@ impl Runtime {
             sx.resolve(actor, SimResp::Done(completions));
             any = true;
         }
+        // Hand the (empty) buffer back to keep its capacity.
+        self.ready_waiters = ready;
         if let Some(t0) = t0 {
             self.phase_resolve += t0.elapsed().as_secs_f64();
         }
@@ -1001,15 +1073,10 @@ impl Runtime {
     }
 }
 
-/// `true` if an envelope `(msg_src, msg_tag)` matches a receive's
-/// specification (wildcards allowed).
-fn env_matches(want_src: i32, want_tag: i32, msg_src: u32, msg_tag: i32) -> bool {
-    (want_src == ANY_SOURCE || want_src == msg_src as i32)
-        && (want_tag == ANY_TAG || want_tag == msg_tag)
-}
-
 #[cfg(test)]
 mod tests {
+    use crate::matching::env_matches;
+
     use super::*;
 
     #[test]

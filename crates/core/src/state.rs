@@ -6,9 +6,41 @@
 //! hash-tables behind the `SMPI_*` macros are safe under SimGrid's
 //! sequential scheduler.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::comm::CommRegistry;
 use crate::sampling::SampleStore;
 use crate::shared_mem::{MemoryTracker, SharedHeap};
+
+/// The simulated clock, published by the maestro for rank-side reads.
+///
+/// This is the anchor of the **local simcall tier**: simulated time only
+/// advances inside the maestro's fabric phase, which runs strictly after
+/// every runnable actor has yielded the baton — so an actor holding the
+/// baton can read the clock from shared state with no possibility of a
+/// race, and `MPI_Wtime` costs a load instead of two thread context
+/// switches. The baton's mutex hand-off provides the happens-before edge;
+/// the orderings here are belt and braces.
+#[derive(Debug, Default)]
+pub struct SimClock(AtomicU64);
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    /// Publishes a new simulated time (maestro only).
+    pub fn publish(&self, t: f64) {
+        self.0.store(t.to_bits(), Ordering::Release);
+    }
+}
 
 /// Per-run configuration visible to ranks.
 #[derive(Debug, Clone)]
@@ -39,7 +71,7 @@ impl Default for RunConfig {
 }
 
 /// Everything ranks share: context-id registry, sampling tables, the folded
-/// heap and the memory accountant.
+/// heap, the memory accountant and the published simulated clock.
 #[derive(Debug)]
 pub struct SharedState {
     /// Context-id agreement for communicator creation.
@@ -50,6 +82,12 @@ pub struct SharedState {
     pub heap: SharedHeap,
     /// Logical/actual memory accounting for Fig. 16.
     pub memory: MemoryTracker,
+    /// Simulated clock published by the maestro (local `MPI_Wtime` reads).
+    pub clock: Arc<SimClock>,
+    /// Simcalls answered on the actor thread without a baton pass (wtime
+    /// reads, sampling decisions, shared-malloc lookups). Feeds the run
+    /// report's self-profile.
+    pub local_calls: AtomicU64,
     /// Run configuration.
     pub config: RunConfig,
 }
@@ -62,7 +100,19 @@ impl SharedState {
             sampling: SampleStore::new(),
             heap: SharedHeap::new(),
             memory: MemoryTracker::new(),
+            clock: Arc::new(SimClock::new()),
+            local_calls: AtomicU64::new(0),
             config,
         }
+    }
+
+    /// Counts one local-tier simcall (answered without yielding the baton).
+    pub fn count_local_call(&self) {
+        self.local_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total local-tier simcalls so far.
+    pub fn local_calls(&self) -> u64 {
+        self.local_calls.load(Ordering::Relaxed)
     }
 }

@@ -50,6 +50,7 @@ pub struct World {
     placement: Option<Vec<HostIx>>,
     tracing: bool,
     capture: bool,
+    stack_size: usize,
 }
 
 /// Results of one run.
@@ -90,6 +91,7 @@ impl World {
             placement: None,
             tracing: false,
             capture: false,
+            stack_size: simix::DEFAULT_STACK_SIZE,
         }
     }
 
@@ -126,6 +128,16 @@ impl World {
     /// Enables or disables RAM folding (§3.2). Default: enabled.
     pub fn ram_folding(mut self, enabled: bool) -> Self {
         self.run_config.ram_folding = enabled;
+        self
+    }
+
+    /// Sets the per-rank actor thread stack size in bytes (default
+    /// [`simix::DEFAULT_STACK_SIZE`], 256 KiB). Large-instance runs keep
+    /// the default; raise it for rank bodies with deep recursion or big
+    /// stack buffers.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "stack size must be non-zero");
+        self.stack_size = bytes;
         self
     }
 
@@ -222,7 +234,7 @@ impl World {
         let results: Arc<parking_lot::Mutex<Vec<Option<R>>>> =
             Arc::new(parking_lot::Mutex::new((0..nranks).map(|_| None).collect()));
 
-        let mut sx: Sx = Sx::new();
+        let mut sx: Sx = Sx::with_stack_size(self.stack_size);
         let body = Arc::new(body);
         for rank in 0..nranks {
             let body = Arc::clone(&body);
@@ -236,6 +248,7 @@ impl World {
         }
 
         let mut runtime = Runtime::new(self.build_fabric(), self.profile.clone(), placement);
+        runtime.set_clock(Arc::clone(&shared.clock));
         if self.tracing {
             runtime.enable_tracing();
         }
@@ -259,6 +272,7 @@ impl World {
 
         let mut profile = runtime.self_profile();
         profile.wall_seconds = wall.as_secs_f64();
+        profile.local_simcalls = shared.local_calls();
 
         Ok(RunReport {
             sim_time: runtime.now(),

@@ -1,0 +1,147 @@
+//! Differential regression test for the per-(src, tag) FIFO matching
+//! rewrite (`smpi::matching`).
+//!
+//! The previous engine kept one queue per (cid, dst) and linearly scanned
+//! it for the earliest compatible entry. That scan *is* the MPI matching
+//! rule, so it serves as the oracle here: randomized interleavings of sends
+//! and receives (with wildcard sources/tags) are fed to both the oracle and
+//! the bucketed FIFOs, and every match must agree — same id, same order,
+//! every step.
+
+use smpi::matching::{env_matches, MsgFifos, RecvFifos, ANY_SOURCE, ANY_TAG};
+
+/// The old engine's semantics: flat per-(cid, dst) queues, linear scan for
+/// the earliest compatible entry in post order.
+#[derive(Default)]
+struct Oracle {
+    /// (cid, dst, src, tag, id) in send-post order.
+    msgs: Vec<(u32, u32, u32, i32, u64)>,
+    /// (cid, dst, src-spec, tag-spec, id) in recv-post order.
+    recvs: Vec<(u32, u32, i32, i32, u64)>,
+}
+
+impl Oracle {
+    fn pop_msg(&mut self, cid: u32, dst: u32, want_src: i32, want_tag: i32) -> Option<u64> {
+        let pos = self.msgs.iter().position(|&(c, d, src, tag, _)| {
+            c == cid && d == dst && env_matches(want_src, want_tag, src, tag)
+        })?;
+        Some(self.msgs.remove(pos).4)
+    }
+
+    fn pop_recv(&mut self, cid: u32, dst: u32, msg_src: u32, msg_tag: i32) -> Option<u64> {
+        let pos = self.recvs.iter().position(|&(c, d, src, tag, _)| {
+            c == cid && d == dst && env_matches(src, tag, msg_src, msg_tag)
+        })?;
+        Some(self.recvs.remove(pos).4)
+    }
+}
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants); no external crates.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Runs one randomized interleaving, mirroring the runtime's flow: a send
+/// first tries the posted-receive store, a receive first tries the pending-
+/// message store; the loser of each race is enqueued.
+fn run_interleaving(seed: u64, ops: usize, sources: u64, tags: u64, wildcard_pct: u64) {
+    let mut rng = Lcg(seed);
+    let mut oracle = Oracle::default();
+    let mut msg_fifos: MsgFifos<u64> = MsgFifos::new();
+    let mut recv_fifos: RecvFifos<u64> = RecvFifos::new();
+    for step in 0..ops {
+        let cid = rng.below(2) as u32;
+        let dst = rng.below(3) as u32;
+        // Post order doubles as both the id and the sequence stamp.
+        let id = step as u64;
+        if rng.below(2) == 0 {
+            // Send with a concrete envelope.
+            let src = rng.below(sources) as u32;
+            let tag = rng.below(tags) as i32;
+            let got = recv_fifos.pop_match(cid, dst, src, tag);
+            let want = oracle.pop_recv(cid, dst, src, tag);
+            assert_eq!(
+                got, want,
+                "seed {seed} step {step}: send ({cid},{dst},{src},{tag}) matched differently"
+            );
+            if got.is_none() {
+                msg_fifos.push(cid, dst, src, tag, id, id);
+                oracle.msgs.push((cid, dst, src, tag, id));
+            }
+        } else {
+            // Receive; each of src/tag is independently a wildcard.
+            let src = if rng.below(100) < wildcard_pct {
+                ANY_SOURCE
+            } else {
+                rng.below(sources) as i32
+            };
+            let tag = if rng.below(100) < wildcard_pct {
+                ANY_TAG
+            } else {
+                rng.below(tags) as i32
+            };
+            let got = msg_fifos.pop_match(cid, dst, src, tag);
+            let want = oracle.pop_msg(cid, dst, src, tag);
+            assert_eq!(
+                got, want,
+                "seed {seed} step {step}: recv ({cid},{dst},{src},{tag}) matched differently"
+            );
+            if got.is_none() {
+                recv_fifos.push(cid, dst, src, tag, id, id);
+                oracle.recvs.push((cid, dst, src, tag, id));
+            }
+        }
+    }
+
+    // Drain what's left through wildcard receives / fresh sends so the
+    // stores' orderings are compared to the very end.
+    for step in 0..oracle.msgs.len() * 2 {
+        let cid = (step % 2) as u32;
+        let dst = (step % 3) as u32;
+        let got = msg_fifos.pop_match(cid, dst, ANY_SOURCE, ANY_TAG);
+        let want = oracle.pop_msg(cid, dst, ANY_SOURCE, ANY_TAG);
+        assert_eq!(got, want, "seed {seed} drain {step} diverged");
+    }
+}
+
+#[test]
+fn fifo_matching_agrees_with_linear_scan_oracle() {
+    for seed in 1..=8 {
+        run_interleaving(seed, 4000, 6, 4, 30);
+    }
+}
+
+#[test]
+fn fifo_matching_agrees_under_heavy_wildcards() {
+    for seed in 100..=103 {
+        run_interleaving(seed, 3000, 4, 3, 80);
+    }
+}
+
+#[test]
+fn fifo_matching_agrees_with_no_wildcards() {
+    for seed in 200..=203 {
+        run_interleaving(seed, 3000, 5, 5, 0);
+    }
+}
+
+#[test]
+fn fifo_matching_agrees_on_single_channel_hotspot() {
+    // Everything funnels into one (src, tag) pair on one destination — the
+    // regime where the old scan was worst and bucket order must still hold.
+    for seed in 300..=302 {
+        run_interleaving(seed, 2000, 1, 1, 50);
+    }
+}

@@ -14,6 +14,10 @@ pub struct SelfProfile {
     pub phases: Vec<(&'static str, f64)>,
     /// Simcalls the maestro handled (each is one actor→maestro baton pass).
     pub simcalls: u64,
+    /// Simcalls answered on the actor thread from shared state (the local
+    /// tier: wtime reads, sampling decisions, shared-malloc lookups) — no
+    /// baton pass, no context switch.
+    pub local_simcalls: u64,
     /// Fabric completion tokens dispatched back to blocked requests.
     pub tokens: u64,
     /// Trace events appended (0 when tracing is off).
@@ -66,6 +70,12 @@ impl SelfProfile {
             self.events(),
             self.events_per_sec()
         ));
+        if self.local_simcalls > 0 {
+            out.push_str(&format!(
+                "  local simcalls (no baton pass): {}\n",
+                self.local_simcalls
+            ));
+        }
         if self.trace_events > 0 {
             out.push_str(&format!("  trace events: {}\n", self.trace_events));
         }
@@ -100,6 +110,7 @@ impl SelfProfile {
         j.key("sim_time").num_val(self.sim_time);
         j.key("wall_seconds").num_val(self.wall_seconds);
         j.key("simcalls").uint_val(self.simcalls);
+        j.key("local_simcalls").uint_val(self.local_simcalls);
         j.key("tokens").uint_val(self.tokens);
         j.key("trace_events").uint_val(self.trace_events);
         j.key("events").uint_val(self.events());
@@ -123,6 +134,7 @@ mod tests {
         SelfProfile {
             phases: vec![("actor_handoff", 0.002), ("fabric_advance", 0.001)],
             simcalls: 800,
+            local_simcalls: 25,
             tokens: 200,
             trace_events: 50,
             sim_time: 1.5,

@@ -14,5 +14,5 @@ pub mod ep;
 pub mod kernels;
 
 pub use dt::{build_graph, dt_rank, DtClass, DtGraph, TaskGraph};
-pub use ep::{ep_block, ep_rank, EpConfig, EpResult};
+pub use ep::{ep_block, ep_rank, EpConfig, EpPartial, EpResult};
 pub use kernels::{timed_alltoall, timed_scatter, timed_scatter_folded};
