@@ -3,8 +3,8 @@
 //! Usage: `repro [fig3 fig4 ... | all]`. `REPRO_FAST=1` trims sweeps.
 
 use smpi_bench::{
-    ablations, e2e, fig_alltoall, fig_dt, fig_pingpong, fig_scatter, fig_schemes, fig_speed,
-    kernel_bench, obs_demo, replay_demo, scale,
+    ablations, contention_demo, e2e, fig_alltoall, fig_dt, fig_pingpong, fig_scatter, fig_schemes,
+    fig_speed, kernel_bench, obs_demo, replay_demo, scale,
 };
 
 fn main() {
@@ -28,6 +28,7 @@ fn main() {
             "fig18",
             "ablations",
             "obs",
+            "contention",
             "replay",
         ]
     } else {
@@ -53,6 +54,7 @@ fn main() {
             "fig17" => fig_speed::fig17().render(),
             "fig18" => fig_speed::fig18().render(),
             "obs" => obs_demo::obs(),
+            "contention" => contention_demo::contention(),
             "replay" => replay_demo::replay_demo(),
             "dt" => e2e::dt_report(),
             "ep" => e2e::ep_report(),

@@ -12,6 +12,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod contention_demo;
 pub mod e2e;
 pub mod fig_alltoall;
 pub mod fig_dt;

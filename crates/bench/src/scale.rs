@@ -50,6 +50,10 @@ struct Tier {
     simcalls_per_s: f64,
     peak_actual_bytes: u64,
     peak_logical_bytes: u64,
+    /// Rendered kernel introspection (reshare component sizes, dirty
+    /// cascades, solve wall-clock). Always present: the kernel counts
+    /// these even with metrics off.
+    kernel: String,
 }
 
 fn run_tier(ranks: usize) -> Tier {
@@ -94,6 +98,12 @@ fn run_tier(ranks: usize) -> Tier {
         simcalls_per_s: simcalls as f64 / wall_s,
         peak_actual_bytes: report.memory.peak_bytes,
         peak_logical_bytes: report.memory.logical_peak_bytes,
+        kernel: report
+            .profile
+            .kernel
+            .as_ref()
+            .map(|k| k.render())
+            .unwrap_or_default(),
     }
 }
 
@@ -180,6 +190,14 @@ pub fn scale() -> String {
             "4k-rank improvement vs pre-change baseline ({PRE_CHANGE_BASELINE_4K_SIMCALLS_PER_S:.0} simcalls/s): {:.2}x",
             t.simcalls_per_s / PRE_CHANGE_BASELINE_4K_SIMCALLS_PER_S
         );
+    }
+    if let Some(t) = results.last() {
+        let _ = writeln!(
+            out,
+            "kernel introspection ({} ranks, metrics off):",
+            t.ranks
+        );
+        out.push_str(&t.kernel);
     }
     let _ = writeln!(out, "wrote BENCH_scale.json");
     out

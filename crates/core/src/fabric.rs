@@ -12,7 +12,7 @@
 //! network model, exactly as in the paper.
 
 use packetnet::{PacketConfig, PacketNet};
-use smpi_obs::Rec;
+use smpi_obs::{FlowAttribution, KernelProfile, Rec};
 use smpi_platform::{HostIx, Materialized, RoutedPlatform};
 use surf_sim::{EngineConfig, SimTime, Simulation, TransferModel};
 
@@ -49,6 +49,28 @@ pub trait Fabric {
     /// instrumentation may ignore it.
     fn set_recorder(&mut self, rec: Rec) {
         let _ = rec;
+    }
+
+    /// Takes the contention attribution of a *completed* transfer token:
+    /// per-link bandwidth-share integrals and bottleneck residency. Each
+    /// token yields its attribution at most once. Backends without
+    /// attribution — or with recording disabled — return `None`.
+    fn take_flow_attribution(&mut self, token: FabricToken) -> Option<FlowAttribution> {
+        let _ = token;
+        None
+    }
+
+    /// Human names for the link/channel indices that appear in flow
+    /// attributions, in that backend's own numbering. Empty when the
+    /// backend has no named links.
+    fn link_names(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Snapshot of the backend's always-on solver introspection counters,
+    /// when it has a solver to introspect.
+    fn kernel_profile(&self) -> Option<KernelProfile> {
+        None
     }
 }
 
@@ -117,6 +139,19 @@ impl Fabric for SurfFabric {
     fn set_recorder(&mut self, rec: Rec) {
         self.sim.set_recorder(rec);
     }
+
+    fn take_flow_attribution(&mut self, token: FabricToken) -> Option<FlowAttribution> {
+        self.sim
+            .take_attribution(surf_sim::ActionId::from_raw(token.0))
+    }
+
+    fn link_names(&self) -> Vec<String> {
+        self.mat.kernel_link_names(&self.rp)
+    }
+
+    fn kernel_profile(&self) -> Option<KernelProfile> {
+        Some(self.sim.kernel_profile())
+    }
 }
 
 /// The packet-level backend (ground truth).
@@ -180,6 +215,24 @@ impl Fabric for PacketFabric {
 
     fn set_recorder(&mut self, rec: Rec) {
         self.net.set_recorder(rec);
+    }
+
+    fn take_flow_attribution(&mut self, token: FabricToken) -> Option<FlowAttribution> {
+        self.net
+            .take_attribution(packetnet::PacketActionId::from_raw(token.0))
+    }
+
+    fn link_names(&self) -> Vec<String> {
+        // Channel `c` serves platform link `c / 2`; the odd channel is the
+        // reverse direction (only distinct for split-duplex links, but the
+        // slot always exists — see `PacketNet::new`).
+        let p = self.rp.platform();
+        let mut names = Vec::with_capacity(p.num_links() * 2);
+        for l in p.links() {
+            names.push(l.name.clone());
+            names.push(format!("{}:rev", l.name));
+        }
+        names
     }
 }
 

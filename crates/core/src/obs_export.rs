@@ -7,16 +7,20 @@
 //! * [`RunReport::paje`] — a Paje trace (the format SimGrid's own tracing
 //!   subsystem emits) with one container per rank carrying its state
 //!   timeline, one container per network link carrying its utilization
-//!   variable, and an arrow per wire transfer;
+//!   variable, and an arrow per wire transfer — routed hop by hop through
+//!   the link containers of its route when contention attribution is
+//!   available;
 //! * [`RunReport::to_json`] — a single JSON object with the timings,
-//!   trace statistics, metrics and self-profile;
+//!   trace statistics, metrics, contention attribution and self-profile;
 //! * [`RunReport::critical_path`] — the longest dependency chain through
-//!   the trace, attributing each segment to a rank or to the network.
+//!   the trace, attributing each segment to a rank or — when contention
+//!   attribution names a bottleneck — to a specific network link.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use smpi_obs::json::JsonBuf;
 use smpi_obs::paje::PajeWriter;
+use smpi_obs::FlowRecord;
 
 use crate::trace::{self, TraceKind};
 use crate::world::RunReport;
@@ -41,8 +45,10 @@ enum PajeEvent {
     PushState(u32, &'static str),
     PopState(u32),
     SetVariable(String, f64),
-    StartLink(u32, u64),
-    EndLink(u32, u64),
+    /// Arrow endpoints carry the endpoint container's alias (a rank or a
+    /// link container, once arrows are routed through their links).
+    StartLink(String, u64),
+    EndLink(String, u64),
 }
 
 /// Parses a link index out of a `surf.link.{ix}.util` gauge key.
@@ -51,6 +57,18 @@ fn link_util_index(key: &str) -> Option<usize> {
         .strip_suffix(".util")?
         .parse()
         .ok()
+}
+
+/// FIFO queues of a run's flow records per (src, dst) rank pair. Flow
+/// records are appended in delivery order, so pairing them FIFO against the
+/// trace's `Delivered` events per pair reunites each record with its trace
+/// event (the wire preserves per-pair ordering).
+fn flow_queues(flows: &[FlowRecord]) -> HashMap<(u32, u32), VecDeque<&FlowRecord>> {
+    let mut q: HashMap<(u32, u32), VecDeque<&FlowRecord>> = HashMap::new();
+    for f in flows {
+        q.entry((f.src, f.dst)).or_default().push_back(f);
+    }
+    q
 }
 
 impl<R> RunReport<R> {
@@ -106,16 +124,24 @@ impl<R> RunReport<R> {
             .flat_map(|m| m.gauges.iter())
             .filter_map(|(k, _)| link_util_index(k))
             .collect();
+        // Arrows are routed through every link a flow crossed; each such
+        // link needs a container even without a utilization gauge (e.g. the
+        // packet backend's channels).
+        if let Some(c) = &self.contention {
+            links.extend(
+                c.flows
+                    .iter()
+                    .flat_map(|f| f.attr.route.iter().map(|&l| l as usize)),
+            );
+        }
         links.sort_unstable();
         links.dedup();
         for &l in &links {
-            w.create_container(
-                0.0,
-                &format!("link{l}"),
-                "CT_link",
-                "sim",
-                &format!("link {l}"),
-            );
+            let name = match &self.contention {
+                Some(c) => c.link_name(l as u32),
+                None => format!("link {l}"),
+            };
+            w.create_container(0.0, &format!("link{l}"), "CT_link", "sim", &name);
         }
 
         // Merge every timed event source, then emit in time order. The
@@ -147,26 +173,51 @@ impl<R> RunReport<R> {
             }
         }
 
-        // Message arrows: a wire transfer starts the arrow at the sender
-        // and the delivery ends it at the receiver, paired FIFO per
-        // (src, dst) — the wire preserves per-pair ordering.
-        let mut in_flight: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+        // Message arrows, paired FIFO per (src, dst) — the wire preserves
+        // per-pair ordering. With contention attribution each arrow is
+        // routed hop by hop through its route's link containers (the
+        // transfer window split evenly across the hops); without it, one
+        // rank-to-rank arrow per transfer.
+        let mut flow_q = self
+            .contention
+            .as_ref()
+            .map(|c| flow_queues(&c.flows))
+            .unwrap_or_default();
+        let mut in_flight: HashMap<(u32, u32), VecDeque<f64>> = HashMap::new();
         let mut next_key = 0u64;
         for e in &self.trace {
             match e.kind {
                 TraceKind::TransferStarted { src, dst, .. } => {
-                    let key = next_key;
-                    next_key += 1;
-                    in_flight.entry((src, dst)).or_default().push(key);
-                    push(&mut body, e.time, PajeEvent::StartLink(src, key));
+                    in_flight.entry((src, dst)).or_default().push_back(e.time);
                 }
-                TraceKind::Delivered { src, dst, .. } => {
-                    let q = in_flight.entry((src, dst)).or_default();
-                    if !q.is_empty() {
-                        let key = q.remove(0);
-                        push(&mut body, e.time, PajeEvent::EndLink(dst, key));
+                // Self-messages never hit the wire: no arrow.
+                TraceKind::Delivered { src, dst, .. } if src != dst => {
+                    let Some(start) = in_flight.entry((src, dst)).or_default().pop_front() else {
+                        continue;
+                    };
+                    let route: Vec<u32> = flow_q
+                        .get_mut(&(src, dst))
+                        .and_then(|q| q.pop_front())
+                        .map(|f| f.attr.route.clone())
+                        .unwrap_or_default();
+                    let mut stops = Vec::with_capacity(route.len() + 2);
+                    stops.push(format!("rank{src}"));
+                    stops.extend(route.iter().map(|l| format!("link{l}")));
+                    stops.push(format!("rank{dst}"));
+                    let dt = (e.time - start) / (stops.len() - 1) as f64;
+                    for (hop, pair) in stops.windows(2).enumerate() {
+                        let key = next_key;
+                        next_key += 1;
+                        let t0 = start + dt * hop as f64;
+                        // The last hop lands exactly on the delivery time.
+                        let t1 = if hop + 2 == stops.len() {
+                            e.time
+                        } else {
+                            start + dt * (hop + 1) as f64
+                        };
+                        push(&mut body, t0, PajeEvent::StartLink(pair[0].clone(), key));
+                        push(&mut body, t1, PajeEvent::EndLink(pair[1].clone(), key));
                     }
-                    // Self-messages never hit the wire: no arrow.
                 }
                 _ => {}
             }
@@ -179,12 +230,8 @@ impl<R> RunReport<R> {
                 PajeEvent::PushState(r, s) => w.push_state(t, "ST_rank", &format!("rank{r}"), s),
                 PajeEvent::PopState(r) => w.pop_state(t, "ST_rank", &format!("rank{r}")),
                 PajeEvent::SetVariable(c, v) => w.set_variable(t, "VT_util", &c, v),
-                PajeEvent::StartLink(r, k) => {
-                    w.start_link(t, "LT_msg", "sim", "msg", &format!("rank{r}"), k)
-                }
-                PajeEvent::EndLink(r, k) => {
-                    w.end_link(t, "LT_msg", "sim", "msg", &format!("rank{r}"), k)
-                }
+                PajeEvent::StartLink(c, k) => w.start_link(t, "LT_msg", "sim", "msg", &c, k),
+                PajeEvent::EndLink(c, k) => w.end_link(t, "LT_msg", "sim", "msg", &c, k),
             }
         }
 
@@ -228,6 +275,10 @@ impl<R> RunReport<R> {
             Some(m) => j.key("metrics").raw_val(&m.to_json()),
             None => j.key("metrics").raw_val("null"),
         };
+        match &self.contention {
+            Some(c) => j.key("contention").raw_val(&c.to_json()),
+            None => j.key("contention").raw_val("null"),
+        };
         j.key("profile").raw_val(&self.profile.to_json());
         j.end_obj();
         j.finish()
@@ -237,8 +288,10 @@ impl<R> RunReport<R> {
     /// tracing was off or the trace is empty). Local program order chains
     /// events of the same rank; a delivery additionally depends on its
     /// wire-transfer start on the sender. Each segment of the winning
-    /// chain is attributed to the rank that was waiting through it, or to
-    /// the network for the cross-rank message edges.
+    /// chain is attributed to the rank that was waiting through it; a
+    /// cross-rank message edge goes to `link:<name>` — the dominant
+    /// bottleneck of that flow's contention attribution — when available,
+    /// and to the anonymous `network` bucket otherwise.
     pub fn critical_path(&self) -> Option<CriticalPath> {
         if self.trace.is_empty() {
             return None;
@@ -255,11 +308,19 @@ impl<R> RunReport<R> {
         };
 
         // Predecessors: last event of the same rank, plus (for deliveries)
-        // the matching transfer start, FIFO per (src, dst).
+        // the matching transfer start, FIFO per (src, dst). Deliveries are
+        // also FIFO-paired with the run's flow records so a message edge on
+        // the winning chain can name the link that bottlenecked it.
         let n = self.trace.len();
         let mut pred: Vec<Option<(usize, bool)>> = vec![None; n]; // (index, is_message_edge)
         let mut last_of_rank: HashMap<u32, usize> = HashMap::new();
         let mut transfers: HashMap<(u32, u32), Vec<usize>> = HashMap::new();
+        let mut flow_q = self
+            .contention
+            .as_ref()
+            .map(|c| flow_queues(&c.flows))
+            .unwrap_or_default();
+        let mut deliv_flow: HashMap<usize, &FlowRecord> = HashMap::new();
         for (i, e) in self.trace.iter().enumerate() {
             let r = rank_of(&e.kind);
             let mut best: Option<(usize, bool)> = last_of_rank.get(&r).map(|&p| (p, false));
@@ -268,6 +329,9 @@ impl<R> RunReport<R> {
                     transfers.entry((src, dst)).or_default().push(i);
                 }
                 TraceKind::Delivered { src, dst, .. } if src != dst => {
+                    if let Some(f) = flow_q.get_mut(&(src, dst)).and_then(|q| q.pop_front()) {
+                        deliv_flow.insert(i, f);
+                    }
                     if let Some(q) = transfers.get_mut(&(src, dst)) {
                         if !q.is_empty() {
                             let sender = q.remove(0);
@@ -303,7 +367,15 @@ impl<R> RunReport<R> {
             let dt = self.trace[cur].time - self.trace[p].time;
             let who = if is_msg {
                 message_hops += 1;
-                "network".to_string()
+                match (
+                    &self.contention,
+                    deliv_flow
+                        .get(&cur)
+                        .and_then(|f| f.attr.dominant_bottleneck()),
+                ) {
+                    (Some(c), Some(l)) => format!("link:{}", c.link_name(l)),
+                    _ => "network".to_string(),
+                }
             } else {
                 format!("rank{}", rank_of(&self.trace[cur].kind))
             };
@@ -327,8 +399,9 @@ impl<R> RunReport<R> {
 pub struct CriticalPath {
     /// Simulated time at the chain's last event (= trace makespan).
     pub total: f64,
-    /// Seconds of the chain attributed per participant (`rank{r}` or
-    /// `"network"`), largest first.
+    /// Seconds of the chain attributed per participant (`rank{r}`,
+    /// `link:<name>` for message edges with a known bottleneck, or
+    /// `"network"` for anonymous ones), largest first.
     pub segments: Vec<(String, f64)>,
     /// Number of edges on the chain.
     pub steps: usize,
@@ -411,6 +484,7 @@ mod tests {
             profile: Default::default(),
             trace,
             ti_trace: None,
+            contention: None,
         };
         let cp = report.critical_path().unwrap();
         assert_eq!(cp.total, 5.0);
@@ -439,11 +513,70 @@ mod tests {
             profile: Default::default(),
             trace: vec![],
             ti_trace: None,
+            contention: None,
         };
         assert!(report.critical_path().is_none());
         // The JSON export still works without metrics or trace.
         let json = report.to_json();
         assert!(json.contains("\"metrics\":null"));
+        assert!(json.contains("\"contention\":null"));
         assert!(json.contains("\"trace_stats\":"));
+    }
+
+    #[test]
+    fn critical_path_names_the_bottleneck_link() {
+        use smpi_obs::{ContentionReport, FlowAttribution};
+        let trace = vec![
+            TraceEvent {
+                time: 0.0,
+                kind: TraceKind::TransferStarted {
+                    src: 0,
+                    dst: 1,
+                    bytes: 1000,
+                },
+            },
+            TraceEvent {
+                time: 4.0,
+                kind: TraceKind::Delivered {
+                    src: 0,
+                    dst: 1,
+                    tag: 0,
+                    bytes: 1000,
+                },
+            },
+        ];
+        let mut attr = FlowAttribution::new(vec![0, 1]);
+        attr.share_bytes = 1000.0;
+        attr.add_bottleneck(1, 4.0);
+        let contention = ContentionReport {
+            link_names: vec!["uplink".into(), "spine".into()],
+            flows: vec![smpi_obs::FlowRecord {
+                src: 0,
+                dst: 1,
+                bytes: 1000,
+                attr,
+            }],
+        };
+        let report = RunReport::<()> {
+            sim_time: 4.0,
+            wall: std::time::Duration::from_millis(1),
+            finish_times: vec![0.0, 4.0],
+            results: vec![],
+            memory: Default::default(),
+            metrics: None,
+            profile: Default::default(),
+            trace,
+            ti_trace: None,
+            contention: Some(contention),
+        };
+        let cp = report.critical_path().unwrap();
+        assert_eq!(cp.message_hops, 1);
+        assert_eq!(cp.segments[0], ("link:spine".to_string(), 4.0));
+        // The Paje export routes the arrow through both link containers:
+        // rank0 -> link0 -> link1 -> rank1 is three start/end pairs.
+        let paje = report.paje();
+        assert_eq!(paje.matches("\n11 ").count(), 3, "got:\n{paje}");
+        assert_eq!(paje.matches("\n12 ").count(), 3, "got:\n{paje}");
+        assert!(paje.contains("spine"), "got:\n{paje}");
     }
 }

@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use simix::{ActorEvent, ActorId, Simix};
-use smpi_obs::{Rec, Recorder, SelfProfile};
+use smpi_obs::{ContentionReport, FlowAttribution, FlowRecord, Rec, Recorder, SelfProfile};
 use smpi_platform::HostIx;
 
 use crate::capture::{Capture, TiOp, TiTrace};
@@ -192,6 +192,9 @@ struct Message {
     eager: bool,
     send_req: ReqId,
     recv_req: Option<ReqId>,
+    /// Contention attribution of the wire transfer, fetched from the fabric
+    /// when the wire completes and turned into a [`FlowRecord`] at arrival.
+    attr: Option<FlowAttribution>,
 }
 
 #[derive(Debug)]
@@ -272,6 +275,10 @@ pub struct Runtime {
     trace: Option<Vec<TraceEvent>>,
     /// Time-independent capture, when enabled (see [`crate::capture`]).
     capture: Option<Capture>,
+    /// Per-delivered-message contention attribution, in delivery order
+    /// (only fed while a recorder is enabled — the fabric returns no
+    /// attribution otherwise).
+    flow_records: Vec<FlowRecord>,
     /// Published simulated clock, read locally by ranks (`MPI_Wtime`).
     clock: std::sync::Arc<SimClock>,
     /// Metrics recorder (disabled by default: every emit is one branch).
@@ -312,6 +319,7 @@ impl Runtime {
             finish_times: vec![0.0; n],
             trace: None,
             capture: None,
+            flow_records: Vec::new(),
             clock: std::sync::Arc::new(SimClock::new()),
             rec: Rec::disabled(),
             profiling: false,
@@ -350,6 +358,20 @@ impl Runtime {
         self.rec.snapshot()
     }
 
+    /// Takes the run's contention attribution: every delivered message with
+    /// its per-link share integrals and bottleneck residency, plus the
+    /// fabric's link-name table. `None` unless a recorder was enabled (the
+    /// fabric records no attribution without one).
+    pub fn take_contention(&mut self) -> Option<ContentionReport> {
+        if !self.rec.is_enabled() {
+            return None;
+        }
+        Some(ContentionReport {
+            link_names: self.fabric.link_names(),
+            flows: std::mem::take(&mut self.flow_records),
+        })
+    }
+
     /// The simulator's self-profile (valid after [`drive`](Self::drive)).
     /// `wall_seconds` is left for the caller, which owns the outer clock.
     pub fn self_profile(&self) -> SelfProfile {
@@ -370,6 +392,7 @@ impl Runtime {
             trace_events: self.trace.as_ref().map_or(0, |t| t.len() as u64),
             sim_time: self.now(),
             wall_seconds: 0.0,
+            kernel: self.fabric.kernel_profile(),
         }
     }
 
@@ -723,6 +746,7 @@ impl Runtime {
                 eager,
                 send_req,
                 recv_req: None,
+                attr: None,
             },
         );
 
@@ -875,6 +899,9 @@ impl Runtime {
         match usage {
             TokenUse::MsgPre(mid) => self.start_transfer_now(mid),
             TokenUse::MsgWire(mid) => {
+                if let Some(attr) = self.fabric.take_flow_attribution(tok) {
+                    self.messages.get_mut(&mid).unwrap().attr = Some(attr);
+                }
                 let m = &self.messages[&mid];
                 let mut post = self.profile.recv_overhead;
                 if m.eager {
@@ -906,6 +933,16 @@ impl Runtime {
         let matched = m.recv_req.is_some();
         let eager = m.eager;
         let (src, dst, tag, bytes) = (m.src, m.dst, m.tag, m.bytes);
+        if let Some(attr) = m.attr.take() {
+            // Delivery order: deterministic, and FIFO-pairable with the
+            // trace's Delivered events per (src, dst).
+            self.flow_records.push(FlowRecord {
+                src,
+                dst,
+                bytes,
+                attr,
+            });
+        }
         self.record(TraceKind::Delivered {
             src,
             dst,

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use packetnet::PacketConfig;
-use smpi_obs::{MetricsReport, Rec, SelfProfile};
+use smpi_obs::{ContentionReport, MetricsReport, Rec, SelfProfile};
 use smpi_platform::{HostIx, RoutedPlatform};
 use surf_sim::{EngineConfig, TransferModel};
 
@@ -78,6 +78,10 @@ pub struct RunReport<R> {
     /// Captured time-independent trace (`None` unless [`World::capture`]
     /// was enabled); feed it to `smpi-replay` for off-line re-simulation.
     pub ti_trace: Option<TiTrace>,
+    /// Contention attribution (`None` unless [`World::metrics`] was
+    /// enabled): per delivered message, which links carried it and which
+    /// bottlenecked it, with per-link and per-rank rollups.
+    pub contention: Option<ContentionReport>,
 }
 
 impl World {
@@ -284,6 +288,7 @@ impl World {
             profile,
             trace: runtime.take_trace(),
             ti_trace: runtime.take_capture(),
+            contention: runtime.take_contention(),
         })
     }
 }

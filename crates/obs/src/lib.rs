@@ -12,16 +12,22 @@
 //! * [`paje::PajeWriter`] — a low-level writer for the Paje trace format
 //!   understood by Vite / pj_dump, mirroring SimGrid's tracing output;
 //! * [`SelfProfile`] — simulator self-profiling (wall-clock per phase,
-//!   events processed, events per second);
+//!   events processed, events per second), with an always-on
+//!   [`KernelProfile`] section for the flow kernel's solver machinery;
+//! * [`FlowAttribution`] / [`ContentionReport`] — per-flow contention
+//!   attribution (which link bottlenecked which flow, for how long),
+//!   filled by the network backends and aggregated by the runtime;
 //! * [`json`] — a tiny dependency-free JSON writer used by the exports.
 
+mod attribution;
 mod json_mod;
 mod paje_mod;
 mod profile;
 mod recorder;
 mod report;
 
-pub use profile::SelfProfile;
+pub use attribution::{ContentionReport, FlowAttribution, FlowRecord, LinkRollup};
+pub use profile::{KernelHist, KernelProfile, SelfProfile};
 pub use recorder::{MemoryRecorder, NullRecorder, Rec, Recorder, StateEvent, StateOp};
 pub use report::{HistogramSnapshot, MetricsReport, TimelineSnapshot};
 

@@ -3,6 +3,144 @@
 
 use crate::json_mod::JsonBuf;
 
+/// Always-on log2 histogram accumulator for kernel introspection.
+///
+/// Same bucketing as the recorder's metric histograms — `buckets[i]` counts
+/// values whose magnitude rounds up to `2^(i-1)` units, bucket 0 holds
+/// zero/negative values — but it lives inline in the instrumented struct
+/// (one array increment per observation, no key lookup, no recorder), so
+/// the kernel can afford to fill it even with observability off.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelHist {
+    /// Log2 bucket counts.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl KernelHist {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, value: f64) {
+        let ix = if value <= 0.0 {
+            0
+        } else {
+            64 - (value.ceil() as u64).leading_zeros() as usize
+        };
+        if self.buckets.len() <= ix {
+            self.buckets.resize(ix + 1, 0);
+        }
+        self.buckets[ix] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn to_json(&self, j: &mut JsonBuf) {
+        j.begin_obj();
+        j.key("count").uint_val(self.count);
+        j.key("sum").num_val(self.sum);
+        j.key("min").num_val(self.min);
+        j.key("max").num_val(self.max);
+        j.key("mean").num_val(self.mean());
+        j.key("log2_buckets").begin_arr();
+        for b in &self.buckets {
+            j.uint_val(*b);
+        }
+        j.end_arr();
+        j.end_obj();
+    }
+}
+
+/// Introspection snapshot of the flow kernel's solver machinery.
+///
+/// Collected unconditionally (plain counters and inline histograms): the
+/// scale tiers run without metrics, yet this is exactly where solver
+/// pathologies (one giant coupled component) must show up.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelProfile {
+    /// Max-min reshares performed.
+    pub reshares: u64,
+    /// Reshares that rebuilt the whole problem (topology edits, ablation).
+    pub full_reshares: u64,
+    /// Lazy-heap hygiene rebuilds.
+    pub heap_rebuilds: u64,
+    /// Orphaned heap entries dropped on pop (stale generation or stale
+    /// prediction).
+    pub heap_orphans: u64,
+    /// Variables per max-min solve (the coupled component size).
+    pub component_vars: KernelHist,
+    /// Actions re-rated per incremental reshare (the dirty cascade).
+    pub cascade: KernelHist,
+    /// Wall-clock nanoseconds per max-min solve.
+    pub solve_ns: KernelHist,
+}
+
+impl KernelProfile {
+    /// Human-readable summary lines (indented for the self-profile).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  kernel: {} reshares ({} full), heap {} rebuilds / {} orphans\n",
+            self.reshares, self.full_reshares, self.heap_rebuilds, self.heap_orphans
+        ));
+        for (name, h) in [
+            ("component size (vars/solve)", &self.component_vars),
+            ("dirty cascade (actions)", &self.cascade),
+            ("solve wall-clock (ns)", &self.solve_ns),
+        ] {
+            if h.count > 0 {
+                out.push_str(&format!(
+                    "  kernel {name:<28} mean {:>10.1}  max {:>10.0}  ({} solves)\n",
+                    h.mean(),
+                    h.max,
+                    h.count
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON object for machine consumption.
+    pub fn to_json(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("reshares").uint_val(self.reshares);
+        j.key("full_reshares").uint_val(self.full_reshares);
+        j.key("heap_rebuilds").uint_val(self.heap_rebuilds);
+        j.key("heap_orphans").uint_val(self.heap_orphans);
+        j.key("component_vars");
+        self.component_vars.to_json(&mut j);
+        j.key("cascade");
+        self.cascade.to_json(&mut j);
+        j.key("solve_ns");
+        self.solve_ns.to_json(&mut j);
+        j.end_obj();
+        j.finish()
+    }
+}
+
 /// Wall-clock and throughput profile of one simulation run.
 ///
 /// Counters are always collected (they are plain integer increments);
@@ -26,6 +164,9 @@ pub struct SelfProfile {
     pub sim_time: f64,
     /// Total wall-clock seconds for the run.
     pub wall_seconds: f64,
+    /// Flow-kernel introspection, when the fabric exposes one (always
+    /// collected by the surf backend; `None` for the packet backend).
+    pub kernel: Option<KernelProfile>,
 }
 
 impl SelfProfile {
@@ -100,6 +241,9 @@ impl SelfProfile {
                 100.0 * other / self.wall_seconds
             ));
         }
+        if let Some(k) = &self.kernel {
+            out.push_str(&k.render());
+        }
         out
     }
 
@@ -121,6 +265,9 @@ impl SelfProfile {
             j.key(name).num_val(*secs);
         }
         j.end_obj();
+        if let Some(k) = &self.kernel {
+            j.key("kernel").raw_val(&k.to_json());
+        }
         j.end_obj();
         j.finish()
     }
@@ -139,7 +286,24 @@ mod tests {
             trace_events: 50,
             sim_time: 1.5,
             wall_seconds: 0.004,
+            kernel: None,
         }
+    }
+
+    fn sample_kernel() -> KernelProfile {
+        let mut k = KernelProfile {
+            reshares: 10,
+            full_reshares: 2,
+            heap_rebuilds: 1,
+            heap_orphans: 7,
+            ..KernelProfile::default()
+        };
+        for v in [1.0, 3.0, 8.0] {
+            k.component_vars.observe(v);
+        }
+        k.cascade.observe(4.0);
+        k.solve_ns.observe(1500.0);
+        k
     }
 
     #[test]
@@ -165,6 +329,54 @@ mod tests {
         assert!(text.contains("fabric_advance"));
         assert!(text.contains("(other)"));
         assert!(text.contains("250000 events/s"));
+    }
+
+    #[test]
+    fn kernel_hist_buckets_match_recorder_semantics() {
+        let mut h = KernelHist::default();
+        h.observe(0.0);
+        h.observe(1.0);
+        h.observe(3.0);
+        h.observe(1500.0);
+        // Bucket i counts values whose ceiling has bit-length i (bucket 0
+        // holds ≤0): 1 → bucket 1, 3 → bucket 2, 1500 → bucket 11.
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[11], 1);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 1500.0);
+        assert!((h.mean() - 376.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_profile_renders_and_serializes() {
+        let k = sample_kernel();
+        let text = k.render();
+        assert!(text.contains("10 reshares (2 full)"), "got: {text}");
+        assert!(text.contains("component size"), "got: {text}");
+        assert!(text.contains("solve wall-clock"), "got: {text}");
+        let json = k.to_json();
+        for key in [
+            "reshares",
+            "full_reshares",
+            "heap_rebuilds",
+            "heap_orphans",
+            "component_vars",
+            "cascade",
+            "solve_ns",
+            "log2_buckets",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "{key} missing");
+        }
+        // With a kernel section attached, the self-profile carries it too.
+        let p = SelfProfile {
+            kernel: Some(k),
+            ..sample()
+        };
+        assert!(p.render().contains("kernel:"));
+        assert!(p.to_json().contains("\"kernel\":{"));
     }
 
     #[test]

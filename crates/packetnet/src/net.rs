@@ -19,7 +19,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
-use smpi_obs::Rec;
+use smpi_obs::{FlowAttribution, Rec};
 use smpi_platform::spec::Dir;
 use smpi_platform::{HostIx, RoutedPlatform, SharingPolicy};
 use surf_sim::{SimTime, Slab};
@@ -43,6 +43,14 @@ impl PacketActionId {
     /// their own tables.
     pub fn raw(self) -> u64 {
         (u64::from(self.gen) << 32) | u64::from(self.slot)
+    }
+
+    /// Rebuilds a handle from its [`raw`](Self::raw) packing.
+    pub fn from_raw(raw: u64) -> Self {
+        PacketActionId {
+            slot: raw as u32,
+            gen: (raw >> 32) as u32,
+        }
     }
 }
 
@@ -78,6 +86,9 @@ enum Pending {
     Transfer {
         route_channels: Vec<u32>,
         frames_remaining: u64,
+        /// Contention attribution (per-channel queue waits + the share
+        /// integral); allocated only for messages started while recording.
+        attr: Option<Box<FlowAttribution>>,
     },
     Delay,
 }
@@ -121,6 +132,9 @@ pub struct PacketNet {
     route_cache: HashMap<(HostIx, HostIx), (Vec<u32>, Vec<f64>)>,
     /// Observability sink; disabled by default (every emit is one branch).
     rec: Rec,
+    /// Attribution of completed transfers keyed by `PacketActionId::raw()`,
+    /// awaiting pickup via [`take_attribution`](Self::take_attribution).
+    done_attr: HashMap<u64, FlowAttribution>,
 }
 
 impl PacketNet {
@@ -161,16 +175,29 @@ impl PacketNet {
             host_speeds,
             route_cache: HashMap::new(),
             rec: Rec::disabled(),
+            done_attr: HashMap::new(),
         }
     }
 
     /// Attaches an observability recorder. While enabled, the simulator
     /// emits frame counters (`packetnet.frames.*`), per-channel queue-depth
-    /// high-water marks (`packetnet.chan.<i>.queue_depth`), and a log2
+    /// high-water marks (`packetnet.chan.<i>.queue_depth`), per-channel
+    /// wire-byte integrals (`packetnet.chan.<i>.bytes`), and a log2
     /// histogram of per-hop store-and-forward latencies in nanoseconds
-    /// (`packetnet.hop_latency_ns`).
+    /// (`packetnet.hop_latency_ns`); messages started from now on also
+    /// carry a contention attribution accumulator (see
+    /// [`take_attribution`](Self::take_attribution)).
     pub fn set_recorder(&mut self, rec: Rec) {
         self.rec = rec;
+    }
+
+    /// Takes the contention attribution of a *completed* message: its wire
+    /// byte integral plus per-channel queue waits, with the queue waits
+    /// doubling as the packet backend's bottleneck-residency measure (a
+    /// frame waits exactly when its port is busy with other traffic).
+    /// Returns `None` when the message recorded nothing.
+    pub fn take_attribution(&mut self, id: PacketActionId) -> Option<FlowAttribution> {
+        self.done_attr.remove(&id.raw())
     }
 
     /// Current simulated time.
@@ -235,9 +262,15 @@ impl PacketNet {
     ) -> PacketActionId {
         let (route_channels, _route_latencies) = self.route_channels(rp, src, dst);
         let nframes = self.config.frame_count(bytes);
+        let attr = if self.rec.is_enabled() {
+            Some(Box::new(FlowAttribution::new(route_channels.clone())))
+        } else {
+            None
+        };
         let (slot, gen) = self.actions.insert(Pending::Transfer {
             route_channels: route_channels.clone(),
             frames_remaining: nframes,
+            attr,
         });
         let id = PacketActionId { slot, gen };
 
@@ -361,7 +394,8 @@ impl PacketNet {
     }
 
     fn on_arrive(&mut self, frame: Frame) -> Option<PacketActionId> {
-        let (next_chan, finished) = {
+        let now = self.now;
+        let (chan, next_chan, finished) = {
             let pending = self
                 .actions
                 .get_mut(frame.transfer)
@@ -369,18 +403,49 @@ impl PacketNet {
             let Pending::Transfer {
                 route_channels,
                 frames_remaining,
+                attr,
             } = pending
             else {
                 unreachable!("frame belongs to a non-transfer action");
             };
+            let chan = route_channels[frame.hop as usize];
+            if let Some(a) = attr.as_deref_mut() {
+                let wire = self.config.wire_bytes(frame.payload) as f64;
+                if frame.hop == 0 {
+                    // Each frame crosses every channel of the route, so its
+                    // wire bytes enter the share integral exactly once.
+                    a.share_bytes += wire;
+                }
+                // Store-and-forward hop time minus this frame's own
+                // serialization and propagation: pure queueing behind other
+                // traffic — the port-contention residency of this flow.
+                let ser = wire / self.chan_bw[chan as usize];
+                let wait =
+                    (now.duration_since(frame.queued_at) - ser - self.chan_lat[chan as usize])
+                        .max(0.0);
+                if wait > 0.0 {
+                    a.add_queue(chan, wait);
+                    a.add_bottleneck(chan, wait);
+                }
+            }
             let next_hop = frame.hop as usize + 1;
             if next_hop < route_channels.len() {
-                (Some(route_channels[next_hop]), false)
+                (chan, Some(route_channels[next_hop]), false)
             } else {
                 *frames_remaining -= 1;
-                (None, *frames_remaining == 0)
+                (chan, None, *frames_remaining == 0)
             }
         };
+        if self.rec.is_enabled() {
+            // Per-channel wire-byte integral, the packet analogue of the
+            // flow kernel's `surf.link.<i>.bytes`; per channel, the
+            // per-flow share integrals sum to exactly this counter.
+            let wire = self.config.wire_bytes(frame.payload) as f64;
+            self.rec.with(|r| {
+                use smpi_obs::Recorder;
+                r.fcounter_add(&format!("packetnet.chan.{chan}.bytes"), wire);
+            });
+        }
         if let Some(chan) = next_chan {
             self.enqueue_frame(
                 chan,
@@ -394,11 +459,18 @@ impl PacketNet {
             // Every frame has fully arrived, so nothing in the heap can
             // reference this slot any more: safe to recycle.
             let gen = self.actions.generation(frame.transfer);
-            self.actions.remove(frame.transfer);
-            Some(PacketActionId {
+            let done = self.actions.remove(frame.transfer);
+            let id = PacketActionId {
                 slot: frame.transfer,
                 gen,
-            })
+            };
+            if let Pending::Transfer {
+                attr: Some(attr), ..
+            } = done
+            {
+                self.done_attr.insert(id.raw(), *attr);
+            }
+            Some(id)
         } else {
             None
         }
@@ -549,6 +621,58 @@ mod tests {
             (ratio - 2.0).abs() < 0.1,
             "sharing ratio {ratio}, expected ~2"
         );
+    }
+
+    #[test]
+    fn attribution_conserves_bytes_and_charges_queue_waits() {
+        let rec = Rec::enabled();
+        let rp = cluster(3, 125e6, 10e-6);
+        let cfg = PacketConfig::default();
+        let mut net = PacketNet::new(&rp, cfg);
+        net.set_recorder(rec.clone());
+        let bytes = 50 * 1448;
+        let a = net.start_message(&rp, HostIx(1), HostIx(0), bytes);
+        let b = net.start_message(&rp, HostIx(2), HostIx(0), bytes);
+        net.run_to_completion();
+        let aa = net.take_attribution(a).expect("attribution for a");
+        let ab = net.take_attribution(b).expect("attribution for b");
+        // Conservation: per channel, the per-flow share integrals sum to
+        // the channel's wire-byte counter.
+        let report = rec.snapshot().unwrap();
+        let mut per_chan: HashMap<u32, f64> = HashMap::new();
+        for attr in [&aa, &ab] {
+            assert!(attr.share_bytes >= bytes as f64, "wire bytes ≥ payload");
+            for &c in &attr.route {
+                *per_chan.entry(c).or_insert(0.0) += attr.share_bytes;
+            }
+        }
+        assert!(!per_chan.is_empty());
+        for (c, total) in per_chan {
+            let counter = report.fcounter(&format!("packetnet.chan.{c}.bytes"));
+            assert!(
+                (counter - total).abs() <= 1e-9 * counter.max(1.0),
+                "channel {c}: flows sum to {total}, counter says {counter}"
+            );
+        }
+        // Both flows funnel into host 0's port: each spends time queued
+        // behind the other, and the packet backend reports that queueing
+        // as its bottleneck residency.
+        assert!(aa.bottlenecked_secs() > 0.0, "a never queued: {aa:?}");
+        assert!(ab.bottlenecked_secs() > 0.0, "b never queued: {ab:?}");
+        assert_eq!(aa.queue_secs, aa.bottleneck_secs);
+        assert!(
+            net.take_attribution(a).is_none(),
+            "attribution is taken exactly once"
+        );
+    }
+
+    #[test]
+    fn no_recorder_means_no_attribution() {
+        let rp = cluster(2, 125e6, 0.0);
+        let mut net = PacketNet::new(&rp, PacketConfig::default());
+        let id = net.start_message(&rp, HostIx(0), HostIx(1), 5000);
+        net.run_to_completion();
+        assert!(net.take_attribution(id).is_none());
     }
 
     #[test]

@@ -79,6 +79,32 @@ impl Materialized {
         self.hosts.len()
     }
 
+    /// Human names of the kernel links, indexed by kernel link id (the
+    /// creation order of [`build`](Self::build)). `SplitDuplex` platform
+    /// links materialize as two kernel links, named `<name>:up` and
+    /// `<name>:down`; everything else keeps the platform link's name.
+    /// Used to label contention attribution, which is recorded against
+    /// kernel link indices.
+    pub fn kernel_link_names(&self, rp: &RoutedPlatform) -> Vec<String> {
+        let p = rp.platform();
+        let mut names = Vec::new();
+        for (img, l) in self.links.iter().zip(p.links()) {
+            match img {
+                LinkImage::Single(id) => {
+                    debug_assert_eq!(id.index(), names.len());
+                    names.push(l.name.clone());
+                }
+                LinkImage::Duplex(up, down) => {
+                    debug_assert_eq!(up.index(), names.len());
+                    names.push(format!("{}:up", l.name));
+                    debug_assert_eq!(down.index(), names.len());
+                    names.push(format!("{}:down", l.name));
+                }
+            }
+        }
+        names
+    }
+
     /// Kernel link ids along the route from `src` to `dst` (memoized).
     pub fn route(&self, rp: &RoutedPlatform, src: HostIx, dst: HostIx) -> Vec<LinkId> {
         if let Some(r) = self.route_cache.borrow().get(&(src, dst)) {
@@ -179,6 +205,25 @@ mod tests {
         // Both contend on host 0's incoming channel: 50 B/s each.
         assert!((t.as_secs() - 20.0).abs() < 1e-9);
         assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn kernel_link_names_follow_materialization_order() {
+        let mut p = Platform::new();
+        let h0 = p.add_host("h0", 1e9);
+        let h1 = p.add_host("h1", 1e9);
+        let n0 = p.host_node(h0);
+        let n1 = p.host_node(h1);
+        p.link_between(n0, n1, "shared", 100.0, 0.0, SharingPolicy::Shared);
+        p.link_between(n0, n1, "duplex", 100.0, 0.0, SharingPolicy::SplitDuplex);
+        p.link_between(n0, n1, "fat", 100.0, 0.0, SharingPolicy::FatPipe);
+        let rp = RoutedPlatform::new(p);
+        let mut sim = Simulation::new();
+        let m = Materialized::build(&rp, &mut sim);
+        assert_eq!(
+            m.kernel_link_names(&rp),
+            vec!["shared", "duplex:up", "duplex:down", "fat"]
+        );
     }
 
     #[test]

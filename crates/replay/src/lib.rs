@@ -251,6 +251,22 @@ mod tests {
     }
 
     #[test]
+    fn replay_reproduces_attribution_byte_identically() {
+        // The contention attribution section is a pure function of the
+        // simcall stream and the platform, so replaying a captured trace on
+        // the same world must reproduce it exactly — same flows in the same
+        // order, same share integrals, same bottleneck residencies.
+        let world = small_world().capture(true).metrics(true);
+        let online = world.run(4, app);
+        let trace = online.ti_trace.as_ref().unwrap();
+        let replayed = replay(&world.clone().metrics(true), trace);
+        let c_online = online.contention.as_ref().expect("online attribution");
+        let c_replay = replayed.contention.as_ref().expect("replayed attribution");
+        assert!(!c_online.flows.is_empty(), "the app sends messages");
+        assert_eq!(c_online.to_json(), c_replay.to_json());
+    }
+
+    #[test]
     fn waits_on_consumed_requests_are_skipped() {
         // A hand-written trace whose second wait re-lists an index that the
         // first wait consumed and adds nothing live: replay must skip it

@@ -45,9 +45,10 @@ use crate::lmm::{CnstId, MaxMinProblem};
 use crate::model::TransferModel;
 use crate::slab::Slab;
 use crate::time::SimTime;
-use smpi_obs::Rec;
+use smpi_obs::{FlowAttribution, KernelProfile, Rec};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::time::Instant;
 
 /// Relative tolerance when deciding that an action's remaining work is done.
 const COMPLETION_EPS: f64 = 1e-9;
@@ -100,6 +101,20 @@ enum ActionKind {
     Sleep { ends_at: SimTime },
 }
 
+/// Per-flow contention-attribution accumulator. Exists only while a
+/// recorder is attached (`None` on the disabled path, so the hot loop pays
+/// one pointer check) and only on transfers.
+#[derive(Debug, Clone)]
+struct AttrAcc {
+    /// Kernel link currently bottlenecking this flow — the saturated
+    /// constraint that froze its rate at the latest reshare — or `None`
+    /// when the flow is limited by its own model bound (or crosses no
+    /// contended link).
+    bottleneck: Option<u32>,
+    /// Integrals accumulated so far.
+    acc: FlowAttribution,
+}
+
 #[derive(Debug, Clone)]
 struct Action {
     kind: ActionKind,
@@ -113,6 +128,9 @@ struct Action {
     /// Instant up to which `*_left` has been charged. Work is folded in
     /// lazily, when the rate changes, not on every global step.
     last_update: SimTime,
+    /// Contention attribution; only allocated for transfers started while
+    /// recording.
+    attr: Option<Box<AttrAcc>>,
 }
 
 /// Engine configuration knobs.
@@ -236,6 +254,13 @@ pub struct Simulation {
     /// Last emitted utilization per link, to suppress duplicate gauge
     /// samples across reshares. Only maintained while `rec` is enabled.
     last_util: Vec<f64>,
+    /// Attribution of completed transfers, keyed by `ActionId::raw()`,
+    /// awaiting pickup via [`take_attribution`](Self::take_attribution).
+    /// Only populated for transfers that carried an accumulator.
+    done_attr: HashMap<u64, FlowAttribution>,
+    /// Always-on solver introspection (plain counters + inline histograms;
+    /// see `KernelProfile` for why this is not gated on `rec`).
+    kstats: KernelProfile,
 }
 
 impl Default for Simulation {
@@ -266,15 +291,33 @@ impl Simulation {
             config,
             rec: Rec::disabled(),
             last_util: Vec::new(),
+            done_attr: HashMap::new(),
+            kstats: KernelProfile::default(),
         }
     }
 
     /// Attaches an observability recorder. While enabled, the engine emits
     /// `surf.reshares`, per-link `surf.link.<i>.util` gauge timelines, and
-    /// per-link `surf.link.<i>.bytes` counters integrating delivered work.
+    /// per-link `surf.link.<i>.bytes` counters integrating delivered work,
+    /// and every transfer started from now on carries a contention
+    /// attribution accumulator (see
+    /// [`take_attribution`](Self::take_attribution)).
     pub fn set_recorder(&mut self, rec: Rec) {
         self.rec = rec;
         self.last_util = vec![0.0; self.links.len()];
+    }
+
+    /// Takes the contention attribution of a *completed* transfer: its
+    /// time-integrated bandwidth share and per-link bottleneck residency.
+    /// Returns `None` when the action recorded nothing (recorder disabled
+    /// at start time, non-transfer action, or already taken).
+    pub fn take_attribution(&mut self, action: ActionId) -> Option<FlowAttribution> {
+        self.done_attr.remove(&action.raw())
+    }
+
+    /// Snapshot of the always-on solver introspection counters.
+    pub fn kernel_profile(&self) -> KernelProfile {
+        self.kstats.clone()
     }
 
     /// Current simulated time.
@@ -422,12 +465,22 @@ impl Simulation {
     fn push_action(&mut self, kind: ActionKind) -> ActionId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let attr = match &kind {
+            ActionKind::Transfer { route, .. } if self.rec.is_enabled() => {
+                Some(Box::new(AttrAcc {
+                    bottleneck: None,
+                    acc: FlowAttribution::new(route.iter().map(|l| l.index() as u32).collect()),
+                }))
+            }
+            _ => None,
+        };
         let action = Action {
             kind,
             rate: 0.0,
             seq,
             pred: SimTime::INFINITY,
             last_update: self.now,
+            attr,
         };
         let (slot, gen) = self.actions.insert(action);
         let id = ActionId::new(slot, gen);
@@ -607,6 +660,7 @@ impl Simulation {
     }
 
     fn rebuild_heap(&mut self) {
+        self.kstats.heap_rebuilds += 1;
         self.heap.clear();
         for (slot, gen, a) in self.actions.iter() {
             if !a.pred.is_infinite() {
@@ -619,6 +673,8 @@ impl Simulation {
     /// Reference implementation: the incremental path must match it bitwise
     /// (see `tests/engine_props.rs`).
     fn reshare_full(&mut self) {
+        self.kstats.reshares += 1;
+        self.kstats.full_reshares += 1;
         let now = self.now;
         for l in &mut self.links {
             l.users.clear();
@@ -632,6 +688,9 @@ impl Simulation {
         let mut problem = MaxMinProblem::new();
         let mut link_cnst: Vec<Option<CnstId>> = vec![None; self.links.len()];
         let mut host_cnst: Vec<Option<CnstId>> = vec![None; self.hosts.len()];
+        // Reverse map: constraint insertion index → kernel link (`None`
+        // for host constraints), to translate solver bottlenecks.
+        let mut cnst_link: Vec<Option<u32>> = Vec::new();
         let mut sharing: Vec<u32> = Vec::new();
         let mut unconstrained: Vec<u32> = Vec::new();
         {
@@ -660,9 +719,16 @@ impl Simulation {
                                     continue;
                                 }
                                 links[li].users.insert((seq, slot));
-                                let c = *link_cnst[li].get_or_insert_with(|| {
-                                    problem.add_constraint(links[li].bandwidth)
-                                });
+                                let c = match link_cnst[li] {
+                                    Some(c) => c,
+                                    None => {
+                                        let c = problem.add_constraint(links[li].bandwidth);
+                                        debug_assert_eq!(c.index(), cnst_link.len());
+                                        cnst_link.push(Some(li as u32));
+                                        link_cnst[li] = Some(c);
+                                        c
+                                    }
+                                };
                                 cnsts.push(c);
                             }
                         }
@@ -678,8 +744,16 @@ impl Simulation {
                     ActionKind::Exec { host, .. } => {
                         let hi = host.index();
                         hosts[hi].users.insert((seq, slot));
-                        let c = *host_cnst[hi]
-                            .get_or_insert_with(|| problem.add_constraint(hosts[hi].speed));
+                        let c = match host_cnst[hi] {
+                            Some(c) => c,
+                            None => {
+                                let c = problem.add_constraint(hosts[hi].speed);
+                                debug_assert_eq!(c.index(), cnst_link.len());
+                                cnst_link.push(None);
+                                host_cnst[hi] = Some(c);
+                                c
+                            }
+                        };
                         problem.add_variable(f64::INFINITY, &[c]);
                         sharing.push(slot);
                     }
@@ -687,21 +761,68 @@ impl Simulation {
                 }
             }
         }
-        let rates = problem.solve();
+        let (rates, bottlenecks) = self.solve_timed(&problem, sharing.len());
         for (k, &slot) in sharing.iter().enumerate() {
+            self.set_bottleneck(slot, k, &bottlenecks, &cnst_link);
             self.apply_rate(slot, rates[k]);
         }
         for &slot in &unconstrained {
-            let bound = match &self.actions.get(slot).expect("live").kind {
+            let a = self.actions.get_mut(slot).expect("live");
+            let bound = match &a.kind {
                 ActionKind::Transfer { bound, .. } => *bound,
                 _ => unreachable!(),
             };
+            if let Some(attr) = a.attr.as_deref_mut() {
+                attr.bottleneck = None;
+            }
             self.apply_rate(slot, bound);
         }
         self.dirty_links.clear();
         self.dirty_hosts.clear();
         self.full_dirty = false;
         self.record_reshare(true);
+    }
+
+    /// Solves `problem`, always timing the solve and recording the coupled
+    /// component size (`vars`); per-variable bottlenecks are computed only
+    /// while recording (attribution is meaningless — and not free —
+    /// otherwise).
+    fn solve_timed(
+        &mut self,
+        problem: &MaxMinProblem,
+        vars: usize,
+    ) -> (Vec<f64>, Option<Vec<Option<CnstId>>>) {
+        let t0 = Instant::now();
+        let out = if self.rec.is_enabled() {
+            let (rates, bottlenecks) = problem.solve_with_bottlenecks();
+            (rates, Some(bottlenecks))
+        } else {
+            (problem.solve(), None)
+        };
+        self.kstats.solve_ns.observe(t0.elapsed().as_nanos() as f64);
+        self.kstats.component_vars.observe(vars as f64);
+        out
+    }
+
+    /// Publishes variable `k`'s solved bottleneck into the attribution
+    /// accumulator of the action in `slot`, translated to a kernel link.
+    fn set_bottleneck(
+        &mut self,
+        slot: u32,
+        k: usize,
+        bottlenecks: &Option<Vec<Option<CnstId>>>,
+        cnst_link: &[Option<u32>],
+    ) {
+        let Some(b) = bottlenecks else { return };
+        if let Some(attr) = self
+            .actions
+            .get_mut(slot)
+            .expect("live action")
+            .attr
+            .as_deref_mut()
+        {
+            attr.bottleneck = b[k].and_then(|c| cnst_link[c.index()]);
+        }
     }
 
     /// Re-solves only the connected component of the constraint↔action
@@ -750,9 +871,12 @@ impl Simulation {
             }
         }
 
+        self.kstats.reshares += 1;
+        self.kstats.cascade.observe(affected.len() as f64);
         let mut problem = MaxMinProblem::new();
         let mut link_cnst: Vec<Option<CnstId>> = vec![None; self.links.len()];
         let mut host_cnst: Vec<Option<CnstId>> = vec![None; self.hosts.len()];
+        let mut cnst_link: Vec<Option<u32>> = Vec::new();
         let mut sharing: Vec<u32> = Vec::new();
         for &(_seq, slot) in &affected {
             match &self.actions.get(slot).expect("live action").kind {
@@ -763,9 +887,16 @@ impl Simulation {
                         if !self.links[li].contended {
                             continue;
                         }
-                        let c = *link_cnst[li].get_or_insert_with(|| {
-                            problem.add_constraint(self.links[li].bandwidth)
-                        });
+                        let c = match link_cnst[li] {
+                            Some(c) => c,
+                            None => {
+                                let c = problem.add_constraint(self.links[li].bandwidth);
+                                debug_assert_eq!(c.index(), cnst_link.len());
+                                cnst_link.push(Some(li as u32));
+                                link_cnst[li] = Some(c);
+                                c
+                            }
+                        };
                         cnsts.push(c);
                     }
                     problem.add_variable(*bound, &cnsts);
@@ -773,18 +904,27 @@ impl Simulation {
                 }
                 ActionKind::Exec { host, .. } => {
                     let hi = host.index();
-                    let c = *host_cnst[hi]
-                        .get_or_insert_with(|| problem.add_constraint(self.hosts[hi].speed));
+                    let c = match host_cnst[hi] {
+                        Some(c) => c,
+                        None => {
+                            let c = problem.add_constraint(self.hosts[hi].speed);
+                            debug_assert_eq!(c.index(), cnst_link.len());
+                            cnst_link.push(None);
+                            host_cnst[hi] = Some(c);
+                            c
+                        }
+                    };
                     problem.add_variable(f64::INFINITY, &[c]);
                     sharing.push(slot);
                 }
                 ActionKind::Sleep { .. } => unreachable!(),
             }
         }
-        let rates = problem.solve();
+        let (rates, bottlenecks) = self.solve_timed(&problem, sharing.len());
         for (k, &slot) in sharing.iter().enumerate() {
             let a = self.actions.get_mut(slot).expect("live action");
             Self::fold(a, now);
+            self.set_bottleneck(slot, k, &bottlenecks, &cnst_link);
             self.apply_rate(slot, rates[k]);
         }
         self.dirty_links.clear();
@@ -850,17 +990,20 @@ impl Simulation {
     }
 
     /// Integrates delivered bytes per link over the step `[now, now + dt]`,
-    /// for the observability byte counters. Each flow is charged once per
-    /// distinct route link.
+    /// for the observability byte counters, and accumulates the per-flow
+    /// attribution: the same byte delta into the flow's share integral
+    /// (identical arithmetic, so per-link conservation is exact) and `dt`
+    /// of residency against the flow's current bottleneck link (or the
+    /// unattributed bucket when its own bound is the limit). Each flow is
+    /// charged once per distinct route link.
     fn integrate_bytes(&mut self, dt: f64) {
         let now = self.now;
-        let actions = &self.actions;
+        let actions = &mut self.actions;
         self.rec.with(|r| {
             use smpi_obs::Recorder;
-            for (_slot, _gen, a) in actions.iter() {
-                if a.rate <= 0.0 {
-                    continue;
-                }
+            for (_slot, _gen, a) in actions.iter_mut() {
+                let rate = a.rate;
+                let last_update = a.last_update;
                 if let ActionKind::Transfer {
                     route,
                     latency_left,
@@ -868,14 +1011,26 @@ impl Simulation {
                     ..
                 } = &a.kind
                 {
-                    if *latency_left <= 0.0 {
+                    if *latency_left > 0.0 {
+                        continue; // latency phase: no bandwidth, no residency
+                    }
+                    let delta = if rate > 0.0 {
                         // Remaining bytes as of `now` (work since the last
                         // fold has not been charged to `bytes_left` yet).
-                        let eff =
-                            (*bytes_left - a.rate * now.duration_since(a.last_update)).max(0.0);
-                        let delta = (a.rate * dt).min(eff);
+                        let eff = (*bytes_left - rate * now.duration_since(last_update)).max(0.0);
+                        let delta = (rate * dt).min(eff);
                         for l in route {
                             r.fcounter_add(&format!("surf.link.{}.bytes", l.index()), delta);
+                        }
+                        delta
+                    } else {
+                        0.0
+                    };
+                    if let Some(attr) = a.attr.as_deref_mut() {
+                        attr.acc.share_bytes += delta;
+                        match attr.bottleneck {
+                            Some(li) => attr.acc.add_bottleneck(li, dt),
+                            None => attr.acc.unattributed_secs += dt,
                         }
                     }
                 }
@@ -928,6 +1083,7 @@ impl Simulation {
                     if self.entry_valid(t, slot, gen) {
                         return Some(t);
                     }
+                    self.kstats.heap_orphans += 1;
                     self.heap.pop();
                 }
             }
@@ -937,7 +1093,14 @@ impl Simulation {
     /// Removes a completed action from the slab and from every constraint
     /// user set it occupied, marking those constraints dirty.
     fn complete(&mut self, slot: u32) {
+        // Generation *before* removal: it identifies the handle callers
+        // hold (removal bumps it for the next tenant).
+        let gen = self.actions.generation(slot);
         let a = self.actions.remove(slot);
+        if let Some(attr) = a.attr {
+            self.done_attr
+                .insert(ActionId::new(slot, gen).raw(), attr.acc);
+        }
         let key = (a.seq, slot);
         match &a.kind {
             ActionKind::Transfer {
@@ -1028,6 +1191,7 @@ impl Simulation {
                 if self.entry_valid(t, slot, gen) {
                     break t;
                 }
+                self.kstats.heap_orphans += 1;
                 self.heap.pop();
             };
 
@@ -1043,6 +1207,7 @@ impl Simulation {
             let mut candidates: Vec<(u64, u32, u32)> = Vec::new();
             while let Some(&Reverse((t, seq, slot, gen))) = self.heap.peek() {
                 if !self.entry_valid(t, slot, gen) {
+                    self.kstats.heap_orphans += 1;
                     self.heap.pop();
                     continue;
                 }
@@ -1389,6 +1554,86 @@ mod tests {
             "saturating flow should reach util 1: {util:?}"
         );
         approx(report.fcounter("surf.link.0.bytes"), 1000.0);
+    }
+
+    #[test]
+    fn attribution_tracks_bottleneck_residency_and_share_integrals() {
+        let rec = Rec::enabled();
+        let mut sim = Simulation::new();
+        sim.set_recorder(rec.clone());
+        let wide = sim.add_link(100.0, 0.0);
+        let narrow = sim.add_link(40.0, 0.0);
+        // `long` saturates the narrow link (its bottleneck); `short` then
+        // gets the wide link's residual 60 B/s, bottlenecked by wide.
+        let long = sim.start_transfer(&[wide, narrow], 400.0, &TransferModel::ideal());
+        let short = sim.start_transfer(&[wide], 500.0, &TransferModel::ideal());
+        let (t1, d1) = sim.advance_to_next().unwrap();
+        assert_eq!(d1, vec![short]);
+        approx(t1.as_secs(), 500.0 / 60.0);
+        let a_short = sim.take_attribution(short).expect("short attribution");
+        approx(a_short.share_bytes, 500.0);
+        assert_eq!(a_short.route, vec![wide.index() as u32]);
+        assert_eq!(a_short.dominant_bottleneck(), Some(wide.index() as u32));
+        approx(a_short.bottlenecked_secs(), t1.as_secs());
+        approx(a_short.unattributed_secs, 0.0);
+        let (t2, d2) = sim.advance_to_next().unwrap();
+        assert_eq!(d2, vec![long]);
+        approx(t2.as_secs(), 10.0);
+        let a_long = sim.take_attribution(long).expect("long attribution");
+        approx(a_long.share_bytes, 400.0);
+        assert_eq!(a_long.dominant_bottleneck(), Some(narrow.index() as u32));
+        approx(a_long.bottlenecked_secs(), 10.0);
+        // Conservation: per link, the flow share integrals sum to the
+        // link's own byte integral.
+        let report = rec.snapshot().unwrap();
+        approx(report.fcounter("surf.link.0.bytes"), 900.0);
+        approx(report.fcounter("surf.link.1.bytes"), 400.0);
+        assert!(
+            sim.take_attribution(short).is_none(),
+            "attribution is taken exactly once"
+        );
+    }
+
+    #[test]
+    fn bound_limited_flow_time_is_unattributed() {
+        let rec = Rec::enabled();
+        let mut sim = Simulation::new();
+        sim.set_recorder(rec);
+        let l = sim.add_link(100.0, 0.0);
+        // Model bound 50 B/s < link capacity: no link saturates, the
+        // flow's own bound is the limit.
+        let a = sim.start_transfer(&[l], 100.0, &TransferModel::affine(1.0, 0.5));
+        let (t, _) = sim.advance_to_next().unwrap();
+        approx(t.as_secs(), 2.0);
+        let attr = sim.take_attribution(a).expect("attribution");
+        approx(attr.share_bytes, 100.0);
+        assert_eq!(attr.dominant_bottleneck(), None);
+        approx(attr.unattributed_secs, 2.0);
+        approx(attr.bottlenecked_secs(), 0.0);
+    }
+
+    #[test]
+    fn kernel_profile_is_collected_even_without_a_recorder() {
+        let mut sim = Simulation::new();
+        let l = sim.add_link(100.0, 0.0);
+        let a = sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        sim.start_transfer(&[l], 500.0, &TransferModel::ideal());
+        while sim.advance_to_next().is_some() {}
+        let k = sim.kernel_profile();
+        assert!(k.reshares >= 2, "reshares: {}", k.reshares);
+        assert_eq!(k.solve_ns.count, k.reshares, "one timed solve per reshare");
+        assert_eq!(
+            k.component_vars.count, k.reshares,
+            "one component size per reshare"
+        );
+        assert_eq!(
+            k.component_vars.max, 2.0,
+            "the two flows couple into one component"
+        );
+        assert!(
+            sim.take_attribution(a).is_none(),
+            "no recorder, no attribution"
+        );
     }
 
     #[test]

@@ -68,6 +68,14 @@ impl ActionId {
     pub fn raw(self) -> u64 {
         (u64::from(self.gen) << 32) | u64::from(self.slot)
     }
+
+    /// Rebuilds a handle from its [`raw`](Self::raw) packing.
+    pub fn from_raw(raw: u64) -> Self {
+        ActionId {
+            slot: raw as u32,
+            gen: (raw >> 32) as u32,
+        }
+    }
 }
 
 impl std::fmt::Display for ActionId {

@@ -22,6 +22,15 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CnstId(usize);
 
+impl CnstId {
+    /// The constraint's insertion index within its problem. Lets callers
+    /// that build problems from their own arenas (the engine's per-reshare
+    /// component builds) map a reported bottleneck back to a resource.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Handle to a variable (a flow, or a CPU burst execution).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VarId(usize);
@@ -115,6 +124,24 @@ impl MaxMinProblem {
     /// infinite rate; this is rejected in debug builds because it always
     /// indicates a modelling error upstream.
     pub fn solve(&self) -> Vec<f64> {
+        self.solve_impl(None)
+    }
+
+    /// Solves like [`solve`](Self::solve) and additionally reports, per
+    /// variable, the constraint that *froze* it — its bottleneck at this
+    /// allocation. `None` means the variable froze at its own rate bound
+    /// (or was unconstrained), i.e. no shared resource limited it.
+    ///
+    /// The rate arithmetic is shared with [`solve`](Self::solve), so the
+    /// returned rates are bitwise-identical to a plain solve of the same
+    /// problem; only the extra bookkeeping differs.
+    pub fn solve_with_bottlenecks(&self) -> (Vec<f64>, Vec<Option<CnstId>>) {
+        let mut bottlenecks = vec![None; self.bounds.len()];
+        let rates = self.solve_impl(Some(&mut bottlenecks));
+        (rates, bottlenecks)
+    }
+
+    fn solve_impl(&self, mut bottlenecks: Option<&mut Vec<Option<CnstId>>>) -> Vec<f64> {
         let nv = self.bounds.len();
         let nc = self.capacities.len();
         let mut rate = vec![0.0_f64; nv];
@@ -203,6 +230,16 @@ impl MaxMinProblem {
                     .collect();
                 for v in users {
                     let r = (self.weights[v] * level).min(self.bounds[v]);
+                    if let Some(b) = bottlenecks.as_deref_mut() {
+                        // A tie between the constraint's saturation level and
+                        // the variable's own bound attributes to the bound
+                        // only when the bound is the strictly smaller cap.
+                        b[v] = if self.bounds[v] < self.weights[v] * level {
+                            None
+                        } else {
+                            Some(CnstId(c))
+                        };
+                    }
                     self.freeze_var(
                         v,
                         r,
@@ -377,5 +414,46 @@ mod tests {
         let v = p.add_variable(42.0, &[]);
         let rates = p.solve();
         assert!((rates[v.0] - 42.0).abs() < EPS);
+    }
+
+    #[test]
+    fn bottlenecks_name_the_freezing_constraint() {
+        // Multi-hop: the long flow is bound by the narrow l2, the short
+        // flow then saturates l1; the bounded flow freezes at its own cap.
+        let mut p = MaxMinProblem::new();
+        let l1 = p.add_constraint(100.0);
+        let l2 = p.add_constraint(40.0);
+        let long = p.add_variable(f64::INFINITY, &[l1, l2]);
+        let short = p.add_variable(f64::INFINITY, &[l1]);
+        let capped = p.add_variable(10.0, &[l1]);
+        let (rates, bn) = p.solve_with_bottlenecks();
+        assert_eq!(bn[long.0], Some(l2));
+        assert_eq!(bn[short.0], Some(l1));
+        assert_eq!(bn[capped.0], None);
+        assert_eq!(rates, p.solve(), "tracking must not perturb rates");
+    }
+
+    #[test]
+    fn bound_tie_with_saturation_attributes_to_constraint() {
+        // Both flows hit the constraint's saturation level exactly as one
+        // reaches its bound: the shared resource is reported for the
+        // saturated case, the bound (None) only when strictly smaller.
+        let mut p = MaxMinProblem::new();
+        let l = p.add_constraint(100.0);
+        let a = p.add_variable(50.0, &[l]);
+        let b = p.add_variable(f64::INFINITY, &[l]);
+        let (rates, bn) = p.solve_with_bottlenecks();
+        assert!((rates[a.0] - 50.0).abs() < EPS);
+        assert!((rates[b.0] - 50.0).abs() < EPS);
+        assert_eq!(bn[b.0], Some(l));
+    }
+
+    #[test]
+    fn unconstrained_variable_has_no_bottleneck() {
+        let mut p = MaxMinProblem::new();
+        let v = p.add_variable(42.0, &[]);
+        let (rates, bn) = p.solve_with_bottlenecks();
+        assert!((rates[v.0] - 42.0).abs() < EPS);
+        assert_eq!(bn[v.0], None);
     }
 }

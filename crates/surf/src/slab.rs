@@ -131,6 +131,14 @@ impl<T> Slab<T> {
             .enumerate()
             .filter_map(|(i, e)| e.val.as_ref().map(|v| (i as u32, e.gen, v)))
     }
+
+    /// Iterates over live entries as `(slot, generation, &mut value)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u32, u32, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, e)| e.val.as_mut().map(|v| (i as u32, e.gen, v)))
+    }
 }
 
 #[cfg(test)]
