@@ -60,9 +60,16 @@ pub fn obs() -> String {
     let dir = std::path::Path::new("target/obs");
     std::fs::create_dir_all(dir).expect("create target/obs");
     let paje = report.paje();
-    let json = report.to_json();
     std::fs::write(dir.join("trace.paje"), &paje).expect("write trace.paje");
-    std::fs::write(dir.join("report.json"), &json).expect("write report.json");
+    // Stream the report straight to the file (no full in-memory copy).
+    let mut f = std::io::BufWriter::new(
+        std::fs::File::create(dir.join("report.json")).expect("create report.json"),
+    );
+    report.write_json(&mut f).expect("write report.json");
+    drop(f);
+    let json_len = std::fs::metadata(dir.join("report.json"))
+        .expect("stat report.json")
+        .len();
 
     let m = report.metrics.as_ref().expect("metrics were enabled");
     let end = report.sim_time;
@@ -75,7 +82,7 @@ pub fn obs() -> String {
         out,
         "wrote target/obs/trace.paje ({} bytes) and target/obs/report.json ({} bytes)",
         paje.len(),
-        json.len()
+        json_len
     );
     let _ = writeln!(
         out,

@@ -160,10 +160,17 @@ pub fn replay_demo() -> String {
                 on_gdx.sim_time
             );
 
-            // A replayed run produces the full observability artifact set.
+            // A replayed run produces the full observability artifact set;
+            // the report streams straight to disk.
             let obs_replay = replay::replay(&gdx_world.metrics(true), &cap.trace);
-            std::fs::write(dir.join("replay_report.json"), obs_replay.to_json())
+            let mut f = std::io::BufWriter::new(
+                std::fs::File::create(dir.join("replay_report.json"))
+                    .expect("create replay_report.json"),
+            );
+            obs_replay
+                .write_json(&mut f)
                 .expect("write replay_report.json");
+            drop(f);
             std::fs::write(dir.join("replay_trace.paje"), obs_replay.paje())
                 .expect("write replay_trace.paje");
         }

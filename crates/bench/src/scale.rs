@@ -15,6 +15,12 @@
 //! baseline and the improvement ratio against it. CI gates on
 //! `simcalls_per_s` at the 4k tier staying within a generous factor of the
 //! committed reference (same robustness argument as the kernel-bench gate).
+//!
+//! Every tier runs with the time-series sampler on and live progress lines
+//! on stderr (JSON, every 2 s of wall time; from the second tier onward
+//! the previous tier's simulated makespan seeds the ETA extrapolation).
+//! The last tier's telemetry lands in `target/obs/timeseries.json` and
+//! `target/obs/chrome_trace.json` (load the latter in `chrome://tracing`).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -54,11 +60,20 @@ struct Tier {
     /// cascades, solve wall-clock). Always present: the kernel counts
     /// these even with metrics off.
     kernel: String,
+    /// `"timeseries"` JSON section of the tier's run.
+    timeseries_json: String,
+    /// Chrome Trace Event Format export (counter tracks).
+    chrome_json: String,
 }
 
-fn run_tier(ranks: usize) -> Tier {
+fn run_tier(ranks: usize, sim_time_hint: Option<f64>) -> Tier {
     let rp = Arc::new(RoutedPlatform::new(griffon()));
-    let world = World::smpi(rp, TransferModel::default_affine());
+    let mut world = World::smpi(rp, TransferModel::default_affine())
+        .timeseries(true)
+        .progress_every(2.0);
+    if let Some(hint) = sim_time_hint {
+        world = world.progress_hint(hint);
+    }
     let report = world.run(ranks, move |ctx| {
         // Folded field: every rank "allocates" FIELD_LEN doubles, one copy
         // actually exists (§3.2 technique #1).
@@ -104,6 +119,12 @@ fn run_tier(ranks: usize) -> Tier {
             .as_ref()
             .map(|k| k.render())
             .unwrap_or_default(),
+        timeseries_json: report
+            .timeseries
+            .as_ref()
+            .map(|ts| ts.to_json())
+            .unwrap_or_default(),
+        chrome_json: report.chrome_trace(),
     }
 }
 
@@ -117,7 +138,23 @@ pub fn scale() -> String {
         Err(_) => vec![1024, 4096, 16384],
     };
 
-    let results: Vec<Tier> = tiers.iter().map(|&n| run_tier(n)).collect();
+    // Each tier seeds the next one's progress ETA with its simulated
+    // makespan (the workload's sim_time is nearly rank-independent).
+    let mut results: Vec<Tier> = Vec::with_capacity(tiers.len());
+    for &n in &tiers {
+        let hint = results.last().map(|t: &Tier| t.sim_time);
+        results.push(run_tier(n, hint));
+    }
+
+    // Telemetry artifacts of the largest tier.
+    if let Some(t) = results.last() {
+        let dir = std::path::Path::new("target/obs");
+        std::fs::create_dir_all(dir).expect("create target/obs");
+        std::fs::write(dir.join("timeseries.json"), &t.timeseries_json)
+            .expect("write timeseries.json");
+        std::fs::write(dir.join("chrome_trace.json"), &t.chrome_json)
+            .expect("write chrome_trace.json");
+    }
 
     let mut json = String::from("{\n  \"tiers\": [\n");
     for (i, t) in results.iter().enumerate() {
@@ -199,6 +236,9 @@ pub fn scale() -> String {
         );
         out.push_str(&t.kernel);
     }
-    let _ = writeln!(out, "wrote BENCH_scale.json");
+    let _ = writeln!(
+        out,
+        "wrote BENCH_scale.json, target/obs/timeseries.json, target/obs/chrome_trace.json"
+    );
     out
 }

@@ -82,6 +82,44 @@ pub enum TiOp {
     },
 }
 
+impl TiOp {
+    /// Renders the op as its `TITRACE v1` body line (no trailing newline).
+    /// This is the single source of truth for op syntax: the trace encoder
+    /// and the flight recorder's postmortem rendering both go through it.
+    pub fn line(&self) -> String {
+        match self {
+            TiOp::Compute { flops } => format!("compute {flops}"),
+            TiOp::Sleep { secs } => format!("sleep {secs}"),
+            TiOp::Send {
+                dst,
+                cid,
+                tag,
+                bytes,
+            } => format!("send {dst} {cid} {tag} {bytes}"),
+            TiOp::Recv {
+                src,
+                cid,
+                tag,
+                max_bytes,
+            } => format!("recv {src} {cid} {tag} {max_bytes}"),
+            TiOp::Wait { reqs, mode } => {
+                let mut out = format!("wait {}", mode_name(*mode));
+                for i in reqs {
+                    let _ = write!(out, " {i}");
+                }
+                out
+            }
+            TiOp::Region { name, enter } => {
+                assert!(
+                    !name.is_empty() && !name.contains(char::is_whitespace),
+                    "region names must be non-empty and whitespace-free: {name:?}"
+                );
+                format!("region {} {name}", if *enter { "+" } else { "-" })
+            }
+        }
+    }
+}
+
 /// A captured time-independent trace: one op sequence per world rank.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TiTrace {
@@ -127,7 +165,7 @@ impl std::fmt::Display for TiDecodeError {
 
 impl std::error::Error for TiDecodeError {}
 
-fn mode_name(mode: WaitMode) -> &'static str {
+pub(crate) fn mode_name(mode: WaitMode) -> &'static str {
     match mode {
         WaitMode::All => "all",
         WaitMode::Any => "any",
@@ -185,44 +223,7 @@ impl TiTrace {
         for (r, ops) in self.ranks.iter().enumerate() {
             let _ = writeln!(out, "rank {r} {}", ops.len());
             for op in ops {
-                match op {
-                    TiOp::Compute { flops } => {
-                        let _ = writeln!(out, "compute {flops}");
-                    }
-                    TiOp::Sleep { secs } => {
-                        let _ = writeln!(out, "sleep {secs}");
-                    }
-                    TiOp::Send {
-                        dst,
-                        cid,
-                        tag,
-                        bytes,
-                    } => {
-                        let _ = writeln!(out, "send {dst} {cid} {tag} {bytes}");
-                    }
-                    TiOp::Recv {
-                        src,
-                        cid,
-                        tag,
-                        max_bytes,
-                    } => {
-                        let _ = writeln!(out, "recv {src} {cid} {tag} {max_bytes}");
-                    }
-                    TiOp::Wait { reqs, mode } => {
-                        let _ = write!(out, "wait {}", mode_name(*mode));
-                        for i in reqs {
-                            let _ = write!(out, " {i}");
-                        }
-                        out.push('\n');
-                    }
-                    TiOp::Region { name, enter } => {
-                        assert!(
-                            !name.is_empty() && !name.contains(char::is_whitespace),
-                            "region names must be non-empty and whitespace-free: {name:?}"
-                        );
-                        let _ = writeln!(out, "region {} {name}", if *enter { "+" } else { "-" });
-                    }
-                }
+                let _ = writeln!(out, "{}", op.line());
             }
             let _ = writeln!(out, "end");
         }

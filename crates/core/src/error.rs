@@ -5,8 +5,16 @@
 //! [`SimError`] through [`crate::world::World::try_run`], so harnesses (and
 //! tests) can distinguish a modelling bug from an infrastructure crash and
 //! report *which* actions or ranks are stuck.
+//!
+//! Both variants carry a [`Postmortem`] snapshot from the always-on flight
+//! recorder: each blocked rank's last ops, its pending request specs, and
+//! the nearest matching counterpart — so `Display` prints an actionable
+//! diagnosis ("rank 1 is waiting on tag 9 but rank 0 sent tag 7") instead
+//! of a bare rank count.
 
 use std::fmt;
+
+use crate::flight::Postmortem;
 
 pub use surf_sim::{StallError, StuckAction};
 
@@ -17,25 +25,61 @@ pub enum SimError {
     /// complete (for example a flow whose model bound is 0 bytes/s). The
     /// payload names every stuck action with its remaining work, rate and
     /// route.
-    Stall(StallError),
+    Stall {
+        /// Kernel-level detail: every stuck action with its remaining
+        /// work, rate and route.
+        error: StallError,
+        /// MPI-level context for the stuck work (empty when the stall
+        /// surfaced outside the maestro loop).
+        postmortem: Box<Postmortem>,
+    },
     /// Every remaining rank is blocked on a request while nothing is in
     /// flight on the fabric — the MPI-level analogue of a stall, typically
     /// an unmatched send/recv pair.
     Deadlock {
-        /// Number of ranks still blocked.
-        blocked: usize,
+        /// World ranks still blocked, ascending.
+        blocked: Vec<u32>,
+        /// Flight-recorder snapshot of every blocked rank.
+        postmortem: Box<Postmortem>,
     },
+}
+
+impl SimError {
+    /// The flight-recorder snapshot attached to the failure.
+    pub fn postmortem(&self) -> &Postmortem {
+        match self {
+            SimError::Stall { postmortem, .. } | SimError::Deadlock { postmortem, .. } => {
+                postmortem
+            }
+        }
+    }
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Stall(e) => write!(f, "{e}"),
-            SimError::Deadlock { blocked } => write!(
-                f,
-                "deadlock: {blocked} rank(s) blocked with no event in flight \
-                 (unmatched send/recv?)"
-            ),
+            SimError::Stall { error, postmortem } => {
+                write!(f, "{error}")?;
+                if !postmortem.ranks.is_empty() {
+                    write!(f, "\n{}", postmortem.render())?;
+                }
+                Ok(())
+            }
+            SimError::Deadlock {
+                blocked,
+                postmortem,
+            } => {
+                write!(
+                    f,
+                    "deadlock: {} rank(s) blocked with no event in flight \
+                     (unmatched send/recv?)",
+                    blocked.len()
+                )?;
+                if !postmortem.ranks.is_empty() {
+                    write!(f, "\n{}", postmortem.render())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -43,14 +87,19 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SimError::Stall(e) => Some(e),
+            SimError::Stall { error, .. } => Some(error),
             SimError::Deadlock { .. } => None,
         }
     }
 }
 
 impl From<StallError> for SimError {
-    fn from(e: StallError) -> Self {
-        SimError::Stall(e)
+    fn from(error: StallError) -> Self {
+        // The kernel knows nothing about ranks; the maestro attaches the
+        // real postmortem when the stall crosses the drive loop.
+        SimError::Stall {
+            error,
+            postmortem: Box::default(),
+        }
     }
 }

@@ -1,0 +1,366 @@
+//! Always-on flight recorder and the deadlock/stall postmortem it feeds.
+//!
+//! Every rank keeps a short ring of its most recent simcalls and request
+//! completions, encoded as the same [`TiOp`] lines the capture layer uses
+//! (`TITRACE v1` syntax — one vocabulary for traces and diagnostics). The
+//! ring is always on: its cost is one `VecDeque` push per simcall plus one
+//! bounded map insert per posted request, which is noise next to the two
+//! thread context switches a simcall already costs.
+//!
+//! When the maestro detects that the simulation cannot make progress
+//! ([`crate::error::SimError`]), it snapshots the rings and the matching
+//! stores into a [`Postmortem`]: for every blocked rank, its wait mode, its
+//! last ops, and each pending request's specification — plus the *nearest
+//! matching counterpart* found on the peer (an unmatched send with a
+//! different tag, a posted receive naming a different source, …), which is
+//! usually the bug.
+
+use std::collections::{HashMap, VecDeque};
+
+use smpi_obs::json::JsonBuf;
+
+use crate::capture::{mode_name, TiOp};
+use crate::runtime::{ReqId, WaitMode};
+
+/// Ring depth per rank: the acceptance bar is "last ≥ 8 ops"; 16 leaves
+/// room for the completions interleaved between them.
+pub const FLIGHT_DEPTH: usize = 16;
+
+/// One ring entry: an op the rank issued, or a completion it observed.
+#[derive(Debug, Clone)]
+enum FlightEntry {
+    /// A simcall, in `TITRACE v1` vocabulary.
+    Op(TiOp),
+    /// A request of this rank completed (post index when still known).
+    Done {
+        post: Option<u32>,
+        kind: &'static str,
+        peer: u32,
+        tag: i32,
+        bytes: u64,
+    },
+}
+
+impl FlightEntry {
+    fn line(&self) -> String {
+        match self {
+            FlightEntry::Op(op) => op.line(),
+            FlightEntry::Done {
+                post,
+                kind,
+                peer,
+                tag,
+                bytes,
+            } => {
+                let post = post.map_or_else(|| "?".to_string(), |p| p.to_string());
+                format!("done {kind} [post {post}] peer {peer} tag {tag} {bytes}")
+            }
+        }
+    }
+}
+
+/// Per-rank rings of recent activity (lives in [`crate::runtime::Runtime`]).
+#[derive(Debug)]
+pub(crate) struct FlightRecorder {
+    rings: Vec<VecDeque<FlightEntry>>,
+    /// Next post index per rank (same numbering as the capture layer, so
+    /// postmortem post indices line up with a captured trace).
+    next_post: Vec<u32>,
+    /// Live request -> (rank, post index). Entries are removed when the
+    /// completion is reported, so the map is bounded by in-flight requests
+    /// (unlike the capture layer, which must keep them forever).
+    posts: HashMap<ReqId, (u32, u32)>,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(nranks: usize) -> Self {
+        FlightRecorder {
+            rings: vec![VecDeque::with_capacity(FLIGHT_DEPTH); nranks],
+            next_post: vec![0; nranks],
+            posts: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, rank: u32, entry: FlightEntry) {
+        let ring = &mut self.rings[rank as usize];
+        if ring.len() == FLIGHT_DEPTH {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Records a posted request (send or receive).
+    pub(crate) fn on_post(&mut self, rank: u32, req: ReqId, op: TiOp) {
+        let idx = self.next_post[rank as usize];
+        self.next_post[rank as usize] += 1;
+        self.posts.insert(req, (rank, idx));
+        self.push(rank, FlightEntry::Op(op));
+    }
+
+    /// Records a non-posting op (compute, sleep, region).
+    pub(crate) fn on_op(&mut self, rank: u32, op: TiOp) {
+        self.push(rank, FlightEntry::Op(op));
+    }
+
+    /// Records a wait, translating request ids to post indices (unknown
+    /// ids — never possible today — render as the rank's own history ends).
+    pub(crate) fn on_wait(&mut self, rank: u32, reqs: &[ReqId], mode: WaitMode) {
+        let reqs = reqs
+            .iter()
+            .filter_map(|r| self.posts.get(r).map(|&(_, idx)| idx))
+            .collect();
+        self.push(rank, FlightEntry::Op(TiOp::Wait { reqs, mode }));
+    }
+
+    /// Records a completion observed by `rank` for request `req`.
+    pub(crate) fn on_done(
+        &mut self,
+        rank: u32,
+        req: ReqId,
+        kind: &'static str,
+        peer: u32,
+        tag: i32,
+        bytes: u64,
+    ) {
+        let post = self.posts.get(&req).map(|&(_, idx)| idx);
+        self.push(
+            rank,
+            FlightEntry::Done {
+                post,
+                kind,
+                peer,
+                tag,
+                bytes,
+            },
+        );
+    }
+
+    /// Post index of a live request, if the recorder saw it posted.
+    pub(crate) fn post_of(&self, req: ReqId) -> Option<u32> {
+        self.posts.get(&req).map(|&(_, idx)| idx)
+    }
+
+    /// Forgets a reported request (keeps the `posts` map bounded).
+    pub(crate) fn forget(&mut self, req: ReqId) {
+        self.posts.remove(&req);
+    }
+
+    /// The rank's recent history, oldest first, rendered as text lines.
+    pub(crate) fn last_ops(&self, rank: u32) -> Vec<String> {
+        self.rings[rank as usize]
+            .iter()
+            .map(FlightEntry::line)
+            .collect()
+    }
+}
+
+/// One pending (incomplete) request of a blocked rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PendingReq {
+    /// The request's per-rank post index (aligned with captured traces),
+    /// when known.
+    pub post: Option<u32>,
+    /// Human/machine-readable specification, e.g.
+    /// `send dst 1 cid 0 tag 7 (131072 B, rendezvous, unmatched)`.
+    pub spec: String,
+    /// The nearest matching counterpart on the peer side and why it does
+    /// not match, when one exists.
+    pub counterpart: Option<String>,
+}
+
+/// One blocked rank's snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankPostmortem {
+    /// World rank.
+    pub rank: u32,
+    /// Wait mode the rank is blocked in (`all`, `any`, `some`), when it is
+    /// blocked in a wait at all.
+    pub wait_mode: Option<&'static str>,
+    /// Incomplete requests of the wait set, in post order.
+    pub pending: Vec<PendingReq>,
+    /// The rank's last ops and completions, oldest first, in `TITRACE v1`
+    /// vocabulary (`done …` lines for completions).
+    pub last_ops: Vec<String>,
+}
+
+/// Flight-recorder snapshot attached to a [`crate::error::SimError`]:
+/// everything needed to diagnose why the simulation stopped making
+/// progress, without re-running under a debugger.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Postmortem {
+    /// One entry per blocked rank, ascending by rank.
+    pub ranks: Vec<RankPostmortem>,
+}
+
+impl Postmortem {
+    /// Human-readable multi-line diagnosis (used by `SimError`'s
+    /// `Display`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "postmortem: {} blocked rank(s)\n",
+            self.ranks.len()
+        ));
+        for r in &self.ranks {
+            match r.wait_mode {
+                Some(mode) => out.push_str(&format!(
+                    "  rank {} blocked in wait({mode}) on {} pending request(s):\n",
+                    r.rank,
+                    r.pending.len()
+                )),
+                None => out.push_str(&format!("  rank {} blocked:\n", r.rank)),
+            }
+            for p in &r.pending {
+                let post = p.post.map_or_else(|| "?".to_string(), |ix| ix.to_string());
+                out.push_str(&format!("    [post {post}] {}\n", p.spec));
+                if let Some(c) = &p.counterpart {
+                    out.push_str(&format!("      nearest match: {c}\n"));
+                }
+            }
+            if !r.last_ops.is_empty() {
+                out.push_str("    last ops:\n");
+                for op in &r.last_ops {
+                    out.push_str(&format!("      {op}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object (the postmortem golden format).
+    pub fn to_json(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("blocked").begin_arr();
+        for r in &self.ranks {
+            j.uint_val(r.rank as u64);
+        }
+        j.end_arr();
+        j.key("ranks").begin_arr();
+        for r in &self.ranks {
+            j.begin_obj();
+            j.key("rank").uint_val(r.rank as u64);
+            j.key("wait_mode");
+            match r.wait_mode {
+                Some(m) => j.str_val(m),
+                None => j.raw_val("null"),
+            };
+            j.key("pending").begin_arr();
+            for p in &r.pending {
+                j.begin_obj();
+                j.key("post");
+                match p.post {
+                    Some(ix) => j.uint_val(ix as u64),
+                    None => j.raw_val("null"),
+                };
+                j.key("spec").str_val(&p.spec);
+                j.key("counterpart");
+                match &p.counterpart {
+                    Some(c) => j.str_val(c),
+                    None => j.raw_val("null"),
+                };
+                j.end_obj();
+            }
+            j.end_arr();
+            j.key("last_ops").begin_arr();
+            for op in &r.last_ops {
+                j.str_val(op);
+            }
+            j.end_arr();
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
+    }
+}
+
+/// Formats a wait mode for postmortem text (re-exported vocabulary of the
+/// capture codec).
+pub(crate) fn wait_mode_name(mode: WaitMode) -> &'static str {
+    mode_name(mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_tail() {
+        let mut f = FlightRecorder::new(1);
+        for i in 0..(FLIGHT_DEPTH as u64 + 5) {
+            f.on_op(0, TiOp::Compute { flops: i as f64 });
+        }
+        let ops = f.last_ops(0);
+        assert_eq!(ops.len(), FLIGHT_DEPTH);
+        assert_eq!(
+            ops.last().unwrap(),
+            &format!("compute {}", FLIGHT_DEPTH + 4)
+        );
+        assert_eq!(ops.first().unwrap(), "compute 5");
+    }
+
+    #[test]
+    fn posts_map_is_bounded_by_forget() {
+        let mut f = FlightRecorder::new(1);
+        for i in 0..100u64 {
+            let r = ReqId(i);
+            f.on_post(
+                0,
+                r,
+                TiOp::Send {
+                    dst: 0,
+                    cid: 0,
+                    tag: 0,
+                    bytes: 1,
+                },
+            );
+            f.on_done(0, r, "send", 0, 0, 1);
+            f.forget(r);
+        }
+        assert!(f.posts.is_empty());
+        // Post indices keep counting even though the map drains.
+        assert_eq!(f.next_post[0], 100);
+    }
+
+    #[test]
+    fn wait_entries_use_post_indices() {
+        let mut f = FlightRecorder::new(1);
+        let (a, b) = (ReqId(7), ReqId(8));
+        let op = |dst| TiOp::Send {
+            dst,
+            cid: 0,
+            tag: 0,
+            bytes: 1,
+        };
+        f.on_post(0, a, op(1));
+        f.on_post(0, b, op(2));
+        f.on_wait(0, &[a, b], WaitMode::All);
+        assert_eq!(f.last_ops(0).last().unwrap(), "wait all 0 1");
+        assert_eq!(f.post_of(b), Some(1));
+    }
+
+    #[test]
+    fn postmortem_renders_and_serializes() {
+        let pm = Postmortem {
+            ranks: vec![RankPostmortem {
+                rank: 3,
+                wait_mode: Some("all"),
+                pending: vec![PendingReq {
+                    post: Some(12),
+                    spec: "send dst 1 cid 0 tag 7 (64 B, eager, unmatched)".into(),
+                    counterpart: Some("rank 1 waits on tag 9 — tag mismatch".into()),
+                }],
+                last_ops: vec!["send 1 0 7 64".into(), "wait all 12".into()],
+            }],
+        };
+        let text = pm.render();
+        assert!(text.contains("rank 3 blocked in wait(all)"));
+        assert!(text.contains("[post 12] send dst 1"));
+        assert!(text.contains("nearest match: rank 1 waits on tag 9"));
+        let json = pm.to_json();
+        assert!(json.starts_with("{\"blocked\":[3],"));
+        assert!(json.contains("\"wait_mode\":\"all\""));
+        assert!(json.contains("\"counterpart\":\"rank 1 waits on tag 9"));
+    }
+}

@@ -36,6 +36,7 @@ pub mod datatype;
 pub mod error;
 pub mod ext;
 pub mod fabric;
+pub mod flight;
 pub mod group;
 pub mod matching;
 pub mod obs_export;
@@ -56,6 +57,7 @@ pub use datatype::Datatype;
 pub use error::SimError;
 pub use ext::UNDEFINED_COLOR;
 pub use fabric::{Fabric, MpiProfile, PacketFabric, SurfFabric};
+pub use flight::{PendingReq, Postmortem, RankPostmortem, FLIGHT_DEPTH};
 pub use group::Group;
 pub use obs_export::CriticalPath;
 pub use op::Op;

@@ -103,6 +103,36 @@ impl<T: Copy> MsgFifos<T> {
         }
         Some(id)
     }
+
+    /// Every unmatched message queued for `(cid, dst)` as
+    /// `(src, tag, seq, id)`, in push (send-post) order. Diagnostics only —
+    /// this walks every bucket.
+    pub fn envelopes(&self, cid: u32, dst: u32) -> Vec<(u32, i32, u64, T)> {
+        let mut out = Vec::new();
+        if let Some(envs) = self.queues.get(&(cid, dst)) {
+            for (&(src, tag), q) in envs {
+                out.extend(q.iter().map(|&(seq, id)| (src, tag, seq, id)));
+            }
+        }
+        out.sort_by_key(|&(_, _, seq, _)| seq);
+        out
+    }
+
+    /// Locates a queued message by id, returning its
+    /// `(cid, dst, src, tag)`. Diagnostics only — a full scan.
+    pub fn find(&self, id: T) -> Option<(u32, u32, u32, i32)>
+    where
+        T: PartialEq,
+    {
+        for (&(cid, dst), envs) in &self.queues {
+            for (&(src, tag), q) in envs {
+                if q.iter().any(|&(_, i)| i == id) {
+                    return Some((cid, dst, src, tag));
+                }
+            }
+        }
+        None
+    }
 }
 
 /// Posted receives awaiting a message, bucketed by `(cid, dst)` and then by
@@ -168,6 +198,36 @@ impl<T: Copy> RecvFifos<T> {
         }
         Some(id)
     }
+
+    /// Every unmatched receive posted on `(cid, dst)` as
+    /// `(src, tag, seq, id)` (wildcards included), in push (post) order.
+    /// Diagnostics only — this walks every bucket.
+    pub fn specs(&self, cid: u32, dst: u32) -> Vec<(i32, i32, u64, T)> {
+        let mut out = Vec::new();
+        if let Some(specs) = self.queues.get(&(cid, dst)) {
+            for (&(src, tag), q) in specs {
+                out.extend(q.iter().map(|&(seq, id)| (src, tag, seq, id)));
+            }
+        }
+        out.sort_by_key(|&(_, _, seq, _)| seq);
+        out
+    }
+
+    /// Locates a posted receive by id, returning its
+    /// `(cid, dst, src, tag)` specification. Diagnostics only — a full scan.
+    pub fn find(&self, id: T) -> Option<(u32, u32, i32, i32)>
+    where
+        T: PartialEq,
+    {
+        for (&(cid, dst), specs) in &self.queues {
+            for (&(src, tag), q) in specs {
+                if q.iter().any(|&(_, i)| i == id) {
+                    return Some((cid, dst, src, tag));
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +277,22 @@ mod tests {
         assert_eq!(m.pop_match(0, 2, 5, 9), None);
         assert_eq!(m.pop_match(1, 1, 5, 9), None);
         assert_eq!(m.pop_match(0, 1, 5, 9), Some("x"));
+    }
+
+    #[test]
+    fn inspection_apis_report_queue_contents() {
+        let mut m = MsgFifos::new();
+        m.push(0, 1, 5, 9, 1, "b");
+        m.push(0, 1, 2, 3, 0, "a");
+        assert_eq!(m.envelopes(0, 1), vec![(2, 3, 0, "a"), (5, 9, 1, "b")]);
+        assert_eq!(m.envelopes(0, 9), vec![]);
+        assert_eq!(m.find("b"), Some((0, 1, 5, 9)));
+        assert_eq!(m.find("zz"), None);
+        let mut r = RecvFifos::new();
+        r.push(0, 2, ANY_SOURCE, 7, 4, "x");
+        assert_eq!(r.specs(0, 2), vec![(ANY_SOURCE, 7, 4, "x")]);
+        assert_eq!(r.find("x"), Some((0, 2, ANY_SOURCE, 7)));
+        assert_eq!(r.find("y"), None);
     }
 
     #[test]

@@ -11,14 +11,23 @@
 //!   the link containers of its route when contention attribution is
 //!   available;
 //! * [`RunReport::to_json`] — a single JSON object with the timings,
-//!   trace statistics, metrics, contention attribution and self-profile;
+//!   trace statistics, metrics, contention attribution, self-profile and
+//!   (when enabled) the run's time series; [`RunReport::write_json`] is
+//!   the streaming variant that writes the same bytes section by section
+//!   to any [`std::io::Write`] sink without building the whole report in
+//!   memory first;
+//! * [`RunReport::chrome_trace`] — a Chrome Trace Event Format export
+//!   (load in `chrome://tracing` or Perfetto): one complete ("X") event
+//!   per rank-state interval from the metrics timelines, plus counter
+//!   ("C") tracks sampled from the time series;
 //! * [`RunReport::critical_path`] — the longest dependency chain through
 //!   the trace, attributing each segment to a rank or — when contention
 //!   attribution names a bottleneck — to a specific network link.
 
 use std::collections::{HashMap, VecDeque};
+use std::io;
 
-use smpi_obs::json::JsonBuf;
+use smpi_obs::json::{num, JsonBuf};
 use smpi_obs::paje::PajeWriter;
 use smpi_obs::FlowRecord;
 
@@ -246,40 +255,178 @@ impl<R> RunReport<R> {
     }
 
     /// Serializes the whole report (timings, trace statistics, metrics,
-    /// self-profile) as one JSON object. Rank results are not included —
-    /// they are application data of arbitrary type.
+    /// self-profile, and the time series when enabled) as one JSON object.
+    /// Rank results are not included — they are application data of
+    /// arbitrary type. Delegates to [`write_json`](Self::write_json), so
+    /// the two produce identical bytes by construction.
     pub fn to_json(&self) -> String {
-        let stats = trace::stats(&self.trace);
+        let mut buf = Vec::new();
+        self.write_json(&mut buf)
+            .expect("in-memory JSON write cannot fail");
+        String::from_utf8(buf).expect("JSON output is UTF-8")
+    }
+
+    /// Streams the report JSON to `out` section by section: each top-level
+    /// section (trace stats, metrics, contention, profile, time series) is
+    /// rendered and written independently, so the peak allocation is one
+    /// section rather than the whole report. The bytes are identical to
+    /// [`to_json`](Self::to_json).
+    ///
+    /// The `timeseries` key is present only when the run collected one,
+    /// keeping reports from telemetry-free runs byte-identical to earlier
+    /// versions of this format.
+    pub fn write_json<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
+        write!(out, "{{\"sim_time\":{}", num(self.sim_time))?;
+        write!(out, ",\"wall_seconds\":{}", num(self.wall.as_secs_f64()))?;
+        {
+            let mut j = JsonBuf::new();
+            j.begin_arr();
+            for &t in &self.finish_times {
+                j.num_val(t);
+            }
+            j.end_arr();
+            write!(out, ",\"finish_times\":{}", j.finish())?;
+        }
+        {
+            let stats = trace::stats(&self.trace);
+            let mut j = JsonBuf::new();
+            j.begin_obj();
+            j.key("sends").uint_val(stats.sends as u64);
+            j.key("eager_sends").uint_val(stats.eager_sends as u64);
+            j.key("recvs").uint_val(stats.recvs as u64);
+            j.key("transfers").uint_val(stats.transfers as u64);
+            j.key("wire_bytes").uint_val(stats.wire_bytes);
+            j.key("delivered").uint_val(stats.delivered as u64);
+            j.key("bytes_delivered").uint_val(stats.bytes_delivered);
+            j.key("execs").uint_val(stats.execs as u64);
+            j.key("flops").num_val(stats.flops);
+            j.key("finished").uint_val(stats.finished as u64);
+            j.end_obj();
+            write!(out, ",\"trace_stats\":{}", j.finish())?;
+        }
+        match &self.metrics {
+            Some(m) => write!(out, ",\"metrics\":{}", m.to_json())?,
+            None => out.write_all(b",\"metrics\":null")?,
+        }
+        match &self.contention {
+            Some(c) => write!(out, ",\"contention\":{}", c.to_json())?,
+            None => out.write_all(b",\"contention\":null")?,
+        }
+        write!(out, ",\"profile\":{}", self.profile.to_json())?;
+        if let Some(ts) = &self.timeseries {
+            write!(out, ",\"timeseries\":{}", ts.to_json())?;
+        }
+        out.write_all(b"}")
+    }
+
+    /// Renders the run as a Chrome Trace Event Format JSON object (open in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>). Rank-state
+    /// intervals from the metrics timelines (needs
+    /// [`crate::world::World::metrics`]) become complete (`"X"`) events on
+    /// one thread row per rank; time-series buckets (needs
+    /// [`crate::world::World::timeseries`]) become counter (`"C"`) tracks
+    /// for simcall/woken activity, network utilization and memory
+    /// high-water mark. Timestamps are simulated microseconds. Either half
+    /// may be absent; the metadata header is always emitted.
+    pub fn chrome_trace(&self) -> String {
+        let us = |t: f64| t * 1e6;
         let mut j = JsonBuf::new();
         j.begin_obj();
-        j.key("sim_time").num_val(self.sim_time);
-        j.key("wall_seconds").num_val(self.wall.as_secs_f64());
-        j.key("finish_times").begin_arr();
-        for &t in &self.finish_times {
-            j.num_val(t);
+        j.key("displayTimeUnit").str_val("ms");
+        j.key("traceEvents").begin_arr();
+        // Metadata: name the process and one thread per rank.
+        j.begin_obj();
+        j.key("name").str_val("process_name");
+        j.key("ph").str_val("M");
+        j.key("pid").uint_val(0);
+        j.key("args").begin_obj();
+        j.key("name").str_val("smpi simulation");
+        j.end_obj();
+        j.end_obj();
+        for r in 0..self.finish_times.len() {
+            j.begin_obj();
+            j.key("name").str_val("thread_name");
+            j.key("ph").str_val("M");
+            j.key("pid").uint_val(0);
+            j.key("tid").uint_val(r as u64);
+            j.key("args").begin_obj();
+            j.key("name").str_val(&format!("rank {r}"));
+            j.end_obj();
+            j.end_obj();
+        }
+        // Rank-state intervals: walk each rank's push/pop/set stack; every
+        // closed (or end-of-run truncated) state becomes an "X" event.
+        if let Some(m) = &self.metrics {
+            let mut emit = |rank: u32, state: &str, t0: f64, t1: f64| {
+                j.begin_obj();
+                j.key("name").str_val(state);
+                j.key("cat").str_val("rank");
+                j.key("ph").str_val("X");
+                j.key("ts").num_val(us(t0));
+                j.key("dur").num_val(us(t1 - t0));
+                j.key("pid").uint_val(0);
+                j.key("tid").uint_val(rank as u64);
+                j.end_obj();
+            };
+            for tl in m.timelines_of("rank") {
+                let mut stack: Vec<(&str, f64)> = Vec::new();
+                for ev in &tl.events {
+                    match ev.op {
+                        smpi_obs::StateOp::Push(s) => stack.push((s, ev.time)),
+                        smpi_obs::StateOp::Pop => {
+                            if let Some((s, t0)) = stack.pop() {
+                                emit(tl.id, s, t0, ev.time);
+                            }
+                        }
+                        smpi_obs::StateOp::Set(s) => {
+                            if let Some((prev, t0)) = stack.pop() {
+                                emit(tl.id, prev, t0, ev.time);
+                            }
+                            stack.push((s, ev.time));
+                        }
+                    }
+                }
+                // States still open at the end of the run.
+                while let Some((s, t0)) = stack.pop() {
+                    emit(tl.id, s, t0, self.sim_time);
+                }
+            }
+        }
+        // Counter tracks from the time-series buckets.
+        if let Some(ts) = &self.timeseries {
+            let mut t = 0.0;
+            for s in &ts.samples {
+                let counter = |j: &mut JsonBuf, name: &str, args: &[(&str, f64)]| {
+                    j.begin_obj();
+                    j.key("name").str_val(name);
+                    j.key("ph").str_val("C");
+                    j.key("ts").num_val(us(t));
+                    j.key("pid").uint_val(0);
+                    j.key("args").begin_obj();
+                    for &(k, v) in args {
+                        j.key(k).num_val(v);
+                    }
+                    j.end_obj();
+                    j.end_obj();
+                };
+                counter(
+                    &mut j,
+                    "activity",
+                    &[("simcalls", s.simcalls as f64), ("woken", s.woken as f64)],
+                );
+                counter(
+                    &mut j,
+                    "network",
+                    &[
+                        ("active_max", s.active_max as f64),
+                        ("util_max", s.util_max),
+                    ],
+                );
+                counter(&mut j, "memory", &[("mem_hwm", s.mem_hwm as f64)]);
+                t += ts.interval;
+            }
         }
         j.end_arr();
-        j.key("trace_stats").begin_obj();
-        j.key("sends").uint_val(stats.sends as u64);
-        j.key("eager_sends").uint_val(stats.eager_sends as u64);
-        j.key("recvs").uint_val(stats.recvs as u64);
-        j.key("transfers").uint_val(stats.transfers as u64);
-        j.key("wire_bytes").uint_val(stats.wire_bytes);
-        j.key("delivered").uint_val(stats.delivered as u64);
-        j.key("bytes_delivered").uint_val(stats.bytes_delivered);
-        j.key("execs").uint_val(stats.execs as u64);
-        j.key("flops").num_val(stats.flops);
-        j.key("finished").uint_val(stats.finished as u64);
-        j.end_obj();
-        match &self.metrics {
-            Some(m) => j.key("metrics").raw_val(&m.to_json()),
-            None => j.key("metrics").raw_val("null"),
-        };
-        match &self.contention {
-            Some(c) => j.key("contention").raw_val(&c.to_json()),
-            None => j.key("contention").raw_val("null"),
-        };
-        j.key("profile").raw_val(&self.profile.to_json());
         j.end_obj();
         j.finish()
     }
@@ -485,6 +632,7 @@ mod tests {
             trace,
             ti_trace: None,
             contention: None,
+            timeseries: None,
         };
         let cp = report.critical_path().unwrap();
         assert_eq!(cp.total, 5.0);
@@ -514,6 +662,7 @@ mod tests {
             trace: vec![],
             ti_trace: None,
             contention: None,
+            timeseries: None,
         };
         assert!(report.critical_path().is_none());
         // The JSON export still works without metrics or trace.
@@ -521,6 +670,82 @@ mod tests {
         assert!(json.contains("\"metrics\":null"));
         assert!(json.contains("\"contention\":null"));
         assert!(json.contains("\"trace_stats\":"));
+    }
+
+    #[test]
+    fn write_json_streams_the_same_bytes_and_splices_timeseries() {
+        use smpi_obs::{TimeSeries, TsInstant};
+        let mut ts = TimeSeries::new(4);
+        ts.record(
+            TsInstant {
+                t: 1e-6,
+                active: 1,
+                woken: 1,
+                simcalls: 3,
+                tokens: 3,
+                solver_ns: 0.0,
+                mem_hwm: 0,
+            },
+            &[0.5],
+        );
+        let mut report = RunReport::<()> {
+            sim_time: 1e-6,
+            wall: std::time::Duration::from_millis(1),
+            finish_times: vec![1e-6],
+            results: vec![],
+            memory: Default::default(),
+            metrics: None,
+            profile: Default::default(),
+            trace: vec![],
+            ti_trace: None,
+            contention: None,
+            timeseries: Some(ts),
+        };
+        let mut buf = Vec::new();
+        report.write_json(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), report.to_json());
+        assert!(report.to_json().contains("\"timeseries\":{\"budget\":4,"));
+        // Telemetry-free reports keep the pre-timeseries byte format.
+        report.timeseries = None;
+        assert!(!report.to_json().contains("timeseries"));
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_counter_tracks() {
+        use smpi_obs::{TimeSeries, TsInstant};
+        let mut ts = TimeSeries::new(4);
+        ts.record(
+            TsInstant {
+                t: 1e-6,
+                active: 2,
+                woken: 1,
+                simcalls: 5,
+                tokens: 5,
+                solver_ns: 0.0,
+                mem_hwm: 128,
+            },
+            &[0.75],
+        );
+        let report = RunReport::<()> {
+            sim_time: 1e-6,
+            wall: std::time::Duration::from_millis(1),
+            finish_times: vec![1e-6, 1e-6],
+            results: vec![],
+            memory: Default::default(),
+            metrics: None,
+            profile: Default::default(),
+            trace: vec![],
+            ti_trace: None,
+            contention: None,
+            timeseries: Some(ts),
+        };
+        let ct = report.chrome_trace();
+        assert!(ct.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(ct.contains("\"name\":\"rank 0\""));
+        assert!(ct.contains("\"name\":\"rank 1\""));
+        assert!(ct.contains("\"ph\":\"C\""));
+        assert!(ct.contains("\"name\":\"activity\""));
+        assert!(ct.contains("\"mem_hwm\":128"));
     }
 
     #[test]
@@ -568,6 +793,7 @@ mod tests {
             trace,
             ti_trace: None,
             contention: Some(contention),
+            timeseries: None,
         };
         let cp = report.critical_path().unwrap();
         assert_eq!(cp.message_hops, 1);

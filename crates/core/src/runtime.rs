@@ -29,12 +29,16 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use simix::{ActorEvent, ActorId, Simix};
-use smpi_obs::{ContentionReport, FlowAttribution, FlowRecord, Rec, Recorder, SelfProfile};
+use smpi_obs::{
+    ContentionReport, FlowAttribution, FlowRecord, Rec, Recorder, SelfProfile, TimeSeries,
+    TsInstant,
+};
 use smpi_platform::HostIx;
 
 use crate::capture::{Capture, TiOp, TiTrace};
 use crate::error::SimError;
 use crate::fabric::{Fabric, FabricToken, MpiProfile};
+use crate::flight::{wait_mode_name, FlightRecorder, PendingReq, Postmortem, RankPostmortem};
 use crate::matching::{MsgFifos, RecvFifos};
 use crate::state::SimClock;
 use crate::trace::{TraceEvent, TraceKind};
@@ -294,6 +298,31 @@ pub struct Runtime {
     phase_maestro: f64,
     phase_fabric: f64,
     phase_resolve: f64,
+    /// Always-on per-rank ring of recent ops (see [`crate::flight`]); the
+    /// source of the [`Postmortem`] attached to progress failures.
+    flight: FlightRecorder,
+    /// Time-resolved telemetry, when enabled (see [`smpi_obs::TimeSeries`]).
+    timeseries: Option<TimeSeries>,
+    /// Reused per-link utilization buffer for the telemetry tick.
+    ts_util_buf: Vec<f64>,
+    /// Memory high-water-mark probe for the telemetry tick (the World
+    /// runner points it at the shared memory tracker).
+    mem_probe: Option<Box<dyn Fn() -> u64 + Send>>,
+    /// Live progress emitter, when enabled.
+    progress: Option<Progress>,
+}
+
+/// Wall-clock-periodic progress emitter state.
+struct Progress {
+    /// Minimum wall-clock seconds between emitted lines.
+    period: f64,
+    /// Expected total simulated seconds (for the ETA extrapolation),
+    /// typically a previously recorded makespan of the same workload.
+    total_hint: Option<f64>,
+    started: Instant,
+    last: Instant,
+    last_sim: f64,
+    last_simcalls: u64,
 }
 
 impl Runtime {
@@ -329,7 +358,45 @@ impl Runtime {
             phase_maestro: 0.0,
             phase_fabric: 0.0,
             phase_resolve: 0.0,
+            flight: FlightRecorder::new(n),
+            timeseries: None,
+            ts_util_buf: Vec::new(),
+            mem_probe: None,
+            progress: None,
         }
+    }
+
+    /// Enables the bounded-memory time-series sampler with the given bucket
+    /// budget (see [`smpi_obs::TimeSeries`]).
+    pub fn enable_timeseries(&mut self, budget: usize) {
+        self.timeseries = Some(TimeSeries::new(budget));
+    }
+
+    /// Takes the recorded time series, if the sampler was enabled.
+    pub fn take_timeseries(&mut self) -> Option<TimeSeries> {
+        self.timeseries.take()
+    }
+
+    /// Installs the memory high-water-mark probe sampled by the telemetry
+    /// tick (typically the shared memory tracker's peak).
+    pub fn set_memory_probe(&mut self, probe: Box<dyn Fn() -> u64 + Send>) {
+        self.mem_probe = Some(probe);
+    }
+
+    /// Enables wall-clock-periodic progress lines on stderr: one JSON
+    /// object per line with simulated time, simcall throughput, the
+    /// sim-time advance rate, and — when `total_hint` carries the
+    /// workload's expected makespan — an ETA.
+    pub fn enable_progress(&mut self, period_secs: f64, total_hint: Option<f64>) {
+        let now = Instant::now();
+        self.progress = Some(Progress {
+            period: period_secs.max(0.01),
+            total_hint,
+            started: now,
+            last: now,
+            last_sim: self.now(),
+            last_simcalls: self.n_simcalls,
+        });
     }
 
     /// Installs a metrics recorder on the maestro and (a clone of it) on the
@@ -454,6 +521,9 @@ impl Runtime {
         // so the steady-state hot loop allocates nothing.
         let mut events: Vec<ActorEvent<Simcall>> = Vec::new();
         loop {
+            if self.progress.is_some() {
+                self.progress_tick();
+            }
             let t0 = self.profiling.then(Instant::now);
             sx.run_ready_into(&mut events);
             if let Some(t0) = t0 {
@@ -492,20 +562,273 @@ impl Runtime {
             if let Some(t2) = t2 {
                 self.phase_fabric += t2.elapsed().as_secs_f64();
             }
-            match advanced? {
-                Some((t, tokens)) => {
+            match advanced {
+                Ok(Some((t, tokens))) => {
                     self.clock.publish(t.as_secs());
                     for tok in tokens {
                         self.on_token(tok);
                     }
-                    self.resolve_waiters(sx);
+                    let woken = self.resolve_waiters(sx);
+                    if self.timeseries.is_some() {
+                        self.timeseries_tick(woken);
+                    }
                 }
-                None => {
-                    return Err(SimError::Deadlock { blocked: alive });
+                Ok(None) => {
+                    let postmortem = Box::new(self.build_postmortem());
+                    let mut blocked: Vec<u32> = self.waiting.keys().map(|a| a.0).collect();
+                    blocked.sort_unstable();
+                    return Err(SimError::Deadlock {
+                        blocked,
+                        postmortem,
+                    });
                 }
+                Err(SimError::Stall { error, .. }) => {
+                    // The kernel attached an empty postmortem (it knows
+                    // nothing about ranks); swap in the real one.
+                    return Err(SimError::Stall {
+                        error,
+                        postmortem: Box::new(self.build_postmortem()),
+                    });
+                }
+                Err(e) => return Err(e),
             }
         }
+        if self.timeseries.is_some() {
+            // Close the step integration at the final simulated time.
+            self.timeseries_tick(0);
+        }
         Ok(())
+    }
+
+    /// One telemetry reading, folded into the time series (called after
+    /// every fabric event while the sampler is enabled, and once at the end
+    /// of the run).
+    fn timeseries_tick(&mut self, woken: usize) {
+        let mut buf = std::mem::take(&mut self.ts_util_buf);
+        self.fabric.link_utilizations(&mut buf);
+        let inst = TsInstant {
+            t: self.now(),
+            active: self.fabric.active_actions() as u64,
+            woken: woken as u64,
+            simcalls: self.n_simcalls,
+            tokens: self.n_tokens,
+            solver_ns: self.fabric.solver_wall_ns(),
+            mem_hwm: self.mem_probe.as_ref().map_or(0, |probe| probe()),
+        };
+        if let Some(ts) = &mut self.timeseries {
+            ts.record(inst, &buf);
+        }
+        self.ts_util_buf = buf;
+    }
+
+    /// Emits a progress line when the period elapsed (called once per
+    /// drive-loop iteration while enabled; one `Instant::now` otherwise
+    /// nothing).
+    fn progress_tick(&mut self) {
+        let sim = self.fabric.now().as_secs();
+        let n_simcalls = self.n_simcalls;
+        let Some(p) = &mut self.progress else { return };
+        let now = Instant::now();
+        let since = now.duration_since(p.last).as_secs_f64();
+        if since < p.period {
+            return;
+        }
+        let sim_rate = (sim - p.last_sim) / since;
+        let simcall_rate = (n_simcalls - p.last_simcalls) as f64 / since;
+        let eta = p
+            .total_hint
+            .filter(|_| sim_rate > 0.0)
+            .map(|total| (total - sim).max(0.0) / sim_rate);
+        let wall = now.duration_since(p.started).as_secs_f64();
+        p.last = now;
+        p.last_sim = sim;
+        p.last_simcalls = n_simcalls;
+        let mut j = smpi_obs::json::JsonBuf::new();
+        j.begin_obj();
+        j.key("type").str_val("smpi-progress");
+        j.key("wall_s").num_val(wall);
+        j.key("sim_time").num_val(sim);
+        j.key("simcalls").uint_val(n_simcalls);
+        j.key("simcalls_per_s").num_val(simcall_rate);
+        j.key("sim_per_wall").num_val(sim_rate);
+        j.key("eta_s");
+        match eta {
+            Some(e) => j.num_val(e),
+            None => j.raw_val("null"),
+        };
+        j.end_obj();
+        eprintln!("{}", j.finish());
+    }
+
+    /// Snapshots the flight recorder and the matching stores for every
+    /// blocked rank (see [`crate::flight`]).
+    pub(crate) fn build_postmortem(&self) -> Postmortem {
+        let mut blocked: Vec<ActorId> = self.waiting.keys().copied().collect();
+        blocked.sort_unstable();
+        let ranks = blocked
+            .iter()
+            .map(|&actor| {
+                let w = &self.waiting[&actor];
+                let pending = w
+                    .reqs
+                    .iter()
+                    .filter(|r| self.requests.get(r).is_some_and(|q| !q.complete))
+                    .map(|&r| self.describe_pending(r))
+                    .collect();
+                RankPostmortem {
+                    rank: actor.0,
+                    wait_mode: Some(wait_mode_name(w.mode)),
+                    pending,
+                    last_ops: self.flight.last_ops(actor.0),
+                }
+            })
+            .collect();
+        Postmortem { ranks }
+    }
+
+    /// Describes one incomplete request: its spec, and — for unmatched
+    /// sends/receives — the nearest matching counterpart on the peer side.
+    fn describe_pending(&self, r: ReqId) -> PendingReq {
+        let post = self.flight.post_of(r);
+        let req = &self.requests[&r];
+        match &req.kind {
+            ReqKind::Send => {
+                let Some((mid, m)) = self.messages.iter().find(|(_, m)| m.send_req == r) else {
+                    return PendingReq {
+                        post,
+                        spec: "send (message already collected)".into(),
+                        counterpart: None,
+                    };
+                };
+                let proto = if m.eager { "eager" } else { "rendezvous" };
+                if let Some((cid, dst, src, tag)) = self.pending_msgs.find(*mid) {
+                    PendingReq {
+                        post,
+                        spec: format!(
+                            "send dst {dst} cid {cid} tag {tag} ({} B, {proto}, unmatched)",
+                            m.bytes
+                        ),
+                        counterpart: self.nearest_recv(cid, dst, src, tag),
+                    }
+                } else {
+                    let state = match m.state {
+                        MsgState::Posted => "matched, not started",
+                        MsgState::PreDelay => "in pre-transfer delay",
+                        MsgState::InFlight => "on the wire",
+                        MsgState::PostDelay => "in post-transfer delay",
+                        MsgState::Arrived => "arrived",
+                    };
+                    PendingReq {
+                        post,
+                        spec: format!(
+                            "send dst {} tag {} ({} B, {proto}, {state})",
+                            m.dst, m.tag, m.bytes
+                        ),
+                        counterpart: None,
+                    }
+                }
+            }
+            ReqKind::Recv { max_bytes, msg } => match msg {
+                Some(mid) => {
+                    let m = &self.messages[mid];
+                    let state = match m.state {
+                        MsgState::Posted => "matched, not started",
+                        MsgState::PreDelay => "in pre-transfer delay",
+                        MsgState::InFlight => "on the wire",
+                        MsgState::PostDelay => "in post-transfer delay",
+                        MsgState::Arrived => "arrived",
+                    };
+                    PendingReq {
+                        post,
+                        spec: format!("recv src {} tag {} ({} B, {state})", m.src, m.tag, m.bytes),
+                        counterpart: None,
+                    }
+                }
+                None => {
+                    let Some((cid, dst, src, tag)) = self.posted_recvs.find(r) else {
+                        return PendingReq {
+                            post,
+                            spec: format!("recv (max {max_bytes} B, spec already consumed)"),
+                            counterpart: None,
+                        };
+                    };
+                    PendingReq {
+                        post,
+                        spec: format!(
+                            "recv src {src} cid {cid} tag {tag} (max {max_bytes} B, unmatched)"
+                        ),
+                        counterpart: self.nearest_send(cid, dst, src, tag),
+                    }
+                }
+            },
+        }
+    }
+
+    /// Why rank `dst` is not receiving an unmatched send from `src` with
+    /// `tag`: the closest posted receive and which field mismatches
+    /// (`None` when the peer has nothing posted at all).
+    fn nearest_recv(&self, cid: u32, dst: u32, src: u32, tag: i32) -> Option<String> {
+        let specs = self.posted_recvs.specs(cid, dst);
+        if specs.is_empty() {
+            return None;
+        }
+        // Every posted spec mismatches (it would have matched otherwise):
+        // prefer the same-source one (a tag bug), then the same-tag one (a
+        // source bug), then the earliest posted.
+        if let Some((_, rtag, _, _)) = specs
+            .iter()
+            .find(|&&(rsrc, _, _, _)| rsrc == ANY_SOURCE || rsrc == src as i32)
+        {
+            return Some(format!(
+                "rank {dst} is waiting on a receive with tag {rtag} \
+                 (the send carries tag {tag}) — tag mismatch"
+            ));
+        }
+        if let Some((rsrc, _, _, _)) = specs
+            .iter()
+            .find(|&&(_, rtag, _, _)| rtag == ANY_TAG || rtag == tag)
+        {
+            return Some(format!(
+                "rank {dst} is waiting on a receive from source {rsrc} \
+                 (the send comes from rank {src}) — source mismatch"
+            ));
+        }
+        let (rsrc, rtag, _, _) = specs[0];
+        Some(format!(
+            "rank {dst}'s earliest posted receive wants src {rsrc} tag {rtag}"
+        ))
+    }
+
+    /// Why a receive posted on rank `dst` with spec `(src, tag)` is
+    /// starving: the closest unmatched send and which field mismatches
+    /// (`None` when no unmatched send targets the rank at all).
+    fn nearest_send(&self, cid: u32, dst: u32, src: i32, tag: i32) -> Option<String> {
+        let envs = self.pending_msgs.envelopes(cid, dst);
+        if envs.is_empty() {
+            return None;
+        }
+        if let Some((esrc, etag, _, _)) = envs
+            .iter()
+            .find(|&&(esrc, _, _, _)| src == ANY_SOURCE || src == esrc as i32)
+        {
+            return Some(format!(
+                "rank {esrc} has an unmatched send with tag {etag} \
+                 (the receive wants tag {tag}) — tag mismatch"
+            ));
+        }
+        if let Some((esrc, etag, _, _)) = envs
+            .iter()
+            .find(|&&(_, etag, _, _)| tag == ANY_TAG || tag == etag)
+        {
+            return Some(format!(
+                "rank {esrc} has an unmatched send with tag {etag} \
+                 (the receive wants source {src}) — source mismatch"
+            ));
+        }
+        let (esrc, etag, _, _) = envs[0];
+        Some(format!(
+            "earliest unmatched send is from rank {esrc} with tag {etag}"
+        ))
     }
 
     fn handle_simcall(&mut self, sx: &mut Sx, actor: ActorId, call: Simcall) {
@@ -519,18 +842,19 @@ impl Runtime {
             } => {
                 assert!(tag >= 0, "send tags must be non-negative");
                 let bytes = payload.len() as u64;
+                let op = TiOp::Send {
+                    dst,
+                    cid,
+                    tag,
+                    bytes,
+                };
+                // The flight entry must precede the post: an eager send can
+                // complete (and log its `done` line) inside `post_send`.
+                self.flight
+                    .on_post(actor.0, ReqId(self.next_req), op.clone());
                 let req = self.post_send(actor.0, dst, cid, tag, Some(payload), bytes);
                 if let Some(cap) = &mut self.capture {
-                    cap.on_post(
-                        actor.0,
-                        req,
-                        TiOp::Send {
-                            dst,
-                            cid,
-                            tag,
-                            bytes,
-                        },
-                    );
+                    cap.on_post(actor.0, req, op);
                 }
                 sx.resolve(actor, SimResp::Req(req));
             }
@@ -541,18 +865,17 @@ impl Runtime {
                 bytes,
             } => {
                 assert!(tag >= 0, "send tags must be non-negative");
+                let op = TiOp::Send {
+                    dst,
+                    cid,
+                    tag,
+                    bytes,
+                };
+                self.flight
+                    .on_post(actor.0, ReqId(self.next_req), op.clone());
                 let req = self.post_send(actor.0, dst, cid, tag, None, bytes);
                 if let Some(cap) = &mut self.capture {
-                    cap.on_post(
-                        actor.0,
-                        req,
-                        TiOp::Send {
-                            dst,
-                            cid,
-                            tag,
-                            bytes,
-                        },
-                    );
+                    cap.on_post(actor.0, req, op);
                 }
                 sx.resolve(actor, SimResp::Req(req));
             }
@@ -562,18 +885,17 @@ impl Runtime {
                 tag,
                 max_bytes,
             } => {
+                let op = TiOp::Recv {
+                    src,
+                    cid,
+                    tag,
+                    max_bytes,
+                };
+                self.flight
+                    .on_post(actor.0, ReqId(self.next_req), op.clone());
                 let req = self.post_recv(actor.0, src, cid, tag, max_bytes);
                 if let Some(cap) = &mut self.capture {
-                    cap.on_post(
-                        actor.0,
-                        req,
-                        TiOp::Recv {
-                            src,
-                            cid,
-                            tag,
-                            max_bytes,
-                        },
-                    );
+                    cap.on_post(actor.0, req, op);
                 }
                 sx.resolve(actor, SimResp::Req(req));
             }
@@ -581,6 +903,7 @@ impl Runtime {
                 if let Some(cap) = &mut self.capture {
                     cap.on_wait(actor.0, &reqs, mode);
                 }
+                self.flight.on_wait(actor.0, &reqs, mode);
                 if mode != WaitMode::Poll && self.rec.is_enabled() {
                     // Blocked state: receives dominate the wait semantics,
                     // so any incomplete receive in the set labels it.
@@ -642,6 +965,7 @@ impl Runtime {
                 if let Some(cap) = &mut self.capture {
                     cap.on_op(actor.0, TiOp::Compute { flops });
                 }
+                self.flight.on_op(actor.0, TiOp::Compute { flops });
                 self.record(TraceKind::ExecStarted {
                     rank: actor.0,
                     flops,
@@ -656,6 +980,7 @@ impl Runtime {
                 if let Some(cap) = &mut self.capture {
                     cap.on_op(actor.0, TiOp::Sleep { secs });
                 }
+                self.flight.on_op(actor.0, TiOp::Sleep { secs });
                 self.rec.state_push("rank", actor.0, self.now(), "sleeping");
                 let tok = self.fabric.start_sleep(secs);
                 self.tokens.insert(tok, TokenUse::ActorDelay(actor));
@@ -664,15 +989,14 @@ impl Runtime {
                 sx.resolve(actor, SimResp::Now(self.now()));
             }
             Simcall::Region { name, enter } => {
+                let op = TiOp::Region {
+                    name: name.to_string(),
+                    enter,
+                };
                 if let Some(cap) = &mut self.capture {
-                    cap.on_op(
-                        actor.0,
-                        TiOp::Region {
-                            name: name.to_string(),
-                            enter,
-                        },
-                    );
+                    cap.on_op(actor.0, op.clone());
                 }
+                self.flight.on_op(actor.0, op);
                 if self.rec.is_enabled() {
                     let t = self.now();
                     self.rec.with(|r| {
@@ -989,23 +1313,25 @@ impl Runtime {
     fn complete_send(&mut self, mid: MsgId) {
         let m = &self.messages[&mid];
         let req = m.send_req;
-        let (src, tag, bytes) = (m.src, m.tag, m.bytes);
+        let (src, dst, tag, bytes) = (m.src, m.dst, m.tag, m.bytes);
         let r = self.requests.get_mut(&req).unwrap();
         debug_assert!(!r.complete, "send completed twice");
         r.complete = true;
         r.record = Some((src, tag, bytes, None));
+        self.flight.on_done(src, req, "send", dst, tag, bytes);
         self.notify_completion(req);
         self.gc_message(mid);
     }
 
     fn complete_recv(&mut self, mid: MsgId) {
-        let (req, payload, src, tag, bytes) = {
+        let (req, payload, src, dst, tag, bytes) = {
             let m = self.messages.get_mut(&mid).unwrap();
             debug_assert_eq!(m.state, MsgState::Arrived);
             (
                 m.recv_req.expect("recv bound"),
                 m.payload.take(),
                 m.src,
+                m.dst,
                 m.tag,
                 m.bytes,
             )
@@ -1014,6 +1340,7 @@ impl Runtime {
         debug_assert!(!r.complete, "recv completed twice");
         r.complete = true;
         r.record = Some((src, tag, bytes, payload));
+        self.flight.on_done(dst, req, "recv", src, tag, bytes);
         self.notify_completion(req);
         self.gc_message(mid);
     }
@@ -1032,12 +1359,12 @@ impl Runtime {
         }
     }
 
-    /// Resolves every waiting actor whose condition now holds; returns
-    /// whether any was resolved.
-    fn resolve_waiters(&mut self, sx: &mut Sx) -> bool {
+    /// Resolves every waiting actor whose condition now holds; returns how
+    /// many actors were made runnable (the telemetry tick's "woken" count).
+    fn resolve_waiters(&mut self, sx: &mut Sx) -> usize {
         let t0 = self.profiling.then(Instant::now);
         // Exec/Sleep completions first.
-        let mut any = false;
+        let mut woken = 0;
         let delayed = std::mem::take(&mut self.delayed_actors);
         if !delayed.is_empty() && self.rec.is_enabled() {
             // Pops the "computing"/"sleeping" state pushed at the simcall.
@@ -1050,7 +1377,7 @@ impl Runtime {
         }
         for actor in delayed {
             sx.resolve(actor, SimResp::Unit);
-            any = true;
+            woken += 1;
         }
         // Only waiters queued by notify_completion (or satisfied at Wait
         // post) are examined — never the whole blocked population. Sorting
@@ -1075,14 +1402,14 @@ impl Runtime {
             }
             let completions = self.collect_completions(&w);
             sx.resolve(actor, SimResp::Done(completions));
-            any = true;
+            woken += 1;
         }
         // Hand the (empty) buffer back to keep its capacity.
         self.ready_waiters = ready;
         if let Some(t0) = t0 {
             self.phase_resolve += t0.elapsed().as_secs_f64();
         }
-        any
+        woken
     }
 
     fn collect_completions(&mut self, w: &Waiting) -> Vec<Completion> {
@@ -1102,6 +1429,7 @@ impl Runtime {
                 data,
             });
             self.requests.remove(&rid);
+            self.flight.forget(rid);
             if w.mode == WaitMode::Any {
                 break; // exactly one for Waitany
             }

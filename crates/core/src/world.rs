@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use packetnet::PacketConfig;
-use smpi_obs::{ContentionReport, MetricsReport, Rec, SelfProfile};
+use smpi_obs::{ContentionReport, MetricsReport, Rec, SelfProfile, TimeSeries, DEFAULT_TS_BUDGET};
 use smpi_platform::{HostIx, RoutedPlatform};
 use surf_sim::{EngineConfig, TransferModel};
 
@@ -51,6 +51,10 @@ pub struct World {
     tracing: bool,
     capture: bool,
     stack_size: usize,
+    timeseries: bool,
+    ts_budget: usize,
+    progress_every: Option<f64>,
+    progress_hint: Option<f64>,
 }
 
 /// Results of one run.
@@ -82,6 +86,13 @@ pub struct RunReport<R> {
     /// enabled): per delivered message, which links carried it and which
     /// bottlenecked it, with per-link and per-rank rollups.
     pub contention: Option<ContentionReport>,
+    /// Bounded-memory time series of the run (`None` unless
+    /// [`World::timeseries`] was enabled): per-interval simcall/token
+    /// counts, active flows, woken actors, link utilization, solver
+    /// wall-clock and memory high-water mark. The sampler halves its
+    /// resolution whenever the buffer fills, so memory stays fixed no
+    /// matter how long the run simulates.
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl World {
@@ -96,6 +107,10 @@ impl World {
             tracing: false,
             capture: false,
             stack_size: simix::DEFAULT_STACK_SIZE,
+            timeseries: false,
+            ts_budget: DEFAULT_TS_BUDGET,
+            progress_every: None,
+            progress_hint: None,
         }
     }
 
@@ -176,6 +191,47 @@ impl World {
     /// Off by default — the disabled path is a single branch per emit site.
     pub fn metrics(mut self, enabled: bool) -> Self {
         self.run_config.obs = enabled;
+        self
+    }
+
+    /// Enables the time-series sampler: the run report's `timeseries`
+    /// carries fixed-budget ring buffers of per-interval activity (simcall
+    /// rate, active flows, link utilization, …). Deterministic: two
+    /// identical runs produce byte-identical series once
+    /// [`TimeSeries::strip_wallclock`] removes the host-dependent solver
+    /// timings.
+    pub fn timeseries(mut self, enabled: bool) -> Self {
+        self.timeseries = enabled;
+        self
+    }
+
+    /// Overrides the time-series sample budget (default
+    /// [`DEFAULT_TS_BUDGET`]). Memory is `O(budget × links)` regardless of
+    /// run length. Implies nothing about `timeseries` itself — enable that
+    /// separately.
+    pub fn timeseries_budget(mut self, budget: usize) -> Self {
+        assert!(budget >= 2, "time-series budget must be at least 2");
+        self.ts_budget = budget;
+        self
+    }
+
+    /// Emits a live JSON progress line to stderr every `period_secs` of
+    /// wall-clock time while the maestro drives: simulated time, simcall
+    /// rate, sim-time advance rate, and — when
+    /// [`progress_hint`](Self::progress_hint) supplied the workload's
+    /// expected total simulated time — an ETA.
+    pub fn progress_every(mut self, period_secs: f64) -> Self {
+        assert!(period_secs > 0.0 && period_secs.is_finite());
+        self.progress_every = Some(period_secs);
+        self
+    }
+
+    /// Supplies the workload's expected total simulated time (e.g. from a
+    /// previous run of the same configuration) so progress lines can
+    /// extrapolate an ETA.
+    pub fn progress_hint(mut self, total_sim_time: f64) -> Self {
+        assert!(total_sim_time > 0.0 && total_sim_time.is_finite());
+        self.progress_hint = Some(total_sim_time);
         self
     }
 
@@ -263,6 +319,14 @@ impl World {
             runtime.set_recorder(Rec::enabled());
             runtime.enable_profiling();
         }
+        if self.timeseries {
+            runtime.enable_timeseries(self.ts_budget);
+            let mem = Arc::clone(&shared);
+            runtime.set_memory_probe(Box::new(move || mem.memory.report().peak_bytes));
+        }
+        if let Some(period) = self.progress_every {
+            runtime.enable_progress(period, self.progress_hint);
+        }
         let start = Instant::now();
         runtime.drive(&mut sx)?;
         let wall = start.elapsed();
@@ -289,6 +353,7 @@ impl World {
             trace: runtime.take_trace(),
             ti_trace: runtime.take_capture(),
             contention: runtime.take_contention(),
+            timeseries: runtime.take_timeseries(),
         })
     }
 }

@@ -1,9 +1,11 @@
 //! No-progress conditions surface as typed [`SimError`]s through
-//! `World::try_run` instead of panics from deep inside the kernel.
+//! `World::try_run` instead of panics from deep inside the kernel, and
+//! carry a flight-recorder [`smpi::Postmortem`] naming each blocked rank's
+//! pending requests and recent ops.
 
 use std::sync::Arc;
 
-use smpi::{Backend, SimError, World};
+use smpi::{Backend, SimError, World, FLIGHT_DEPTH};
 use smpi_platform::{flat_cluster, ClusterConfig, RoutedPlatform};
 use surf_sim::{EngineConfig, TransferModel};
 
@@ -42,10 +44,17 @@ fn kernel_stall_propagates_as_typed_error() {
         })
         .expect_err("a rate-0 flow must stall the kernel");
     match &err {
-        SimError::Stall(stall) => {
-            assert!(!stall.stuck.is_empty());
-            assert_eq!(stall.stuck[0].kind, "transfer");
-            assert_eq!(stall.stuck[0].rate, 0.0);
+        SimError::Stall { error, postmortem } => {
+            assert!(!error.stuck.is_empty());
+            assert_eq!(error.stuck[0].kind, "transfer");
+            assert_eq!(error.stuck[0].rate, 0.0);
+            // The maestro attaches MPI-level context: the eager send
+            // detached at injection, so rank 1 alone is blocked, on a
+            // matched receive whose message is stuck on the wire.
+            assert_eq!(postmortem.ranks.len(), 1, "got:\n{}", postmortem.render());
+            assert_eq!(postmortem.ranks[0].rank, 1);
+            let spec = &postmortem.ranks[0].pending[0].spec;
+            assert!(spec.contains("on the wire"), "spec: {spec}");
         }
         other => panic!("expected a stall, got: {other}"),
     }
@@ -65,8 +74,122 @@ fn unmatched_receive_is_a_deadlock_error() {
             }
         })
         .expect_err("an unmatched recv must deadlock");
-    match err {
-        SimError::Deadlock { blocked } => assert_eq!(blocked, 1),
+    match &err {
+        SimError::Deadlock {
+            blocked,
+            postmortem,
+        } => {
+            assert_eq!(blocked, &[1]);
+            assert_eq!(postmortem.ranks.len(), 1);
+            assert_eq!(postmortem.ranks[0].rank, 1);
+            let spec = &postmortem.ranks[0].pending[0].spec;
+            assert!(spec.contains("recv src 0"), "spec: {spec}");
+            assert!(spec.contains("unmatched"), "spec: {spec}");
+            // Rank 0 never sent anything, so there is no counterpart.
+            assert!(postmortem.ranks[0].pending[0].counterpart.is_none());
+        }
         other => panic!("expected a deadlock, got: {other}"),
     }
+}
+
+/// The crafted tag-mismatch scenario: after four warm-up exchange rounds
+/// (so both flight rings hold at least [`FLIGHT_DEPTH`]/2 real entries),
+/// rank 0 sends 128 KiB with tag 7 while rank 1 receives tag 9. The send
+/// is rendezvous so both sides block, and the postmortem must name both
+/// pending specs, point each at its nearest counterpart, and replay each
+/// rank's recent ops.
+fn tag_mismatch_error() -> SimError {
+    let world = World::smpi(platform(2), TransferModel::ideal());
+    world
+        .try_run(2, |ctx| {
+            let comm = ctx.world();
+            let peer = 1 - ctx.rank();
+            // Warm-up: four eager ping-pong rounds in each direction.
+            for round in 0..4 {
+                let payload = [round as u8; 64];
+                if ctx.rank() == 0 {
+                    ctx.send(&payload, peer, 1, &comm);
+                    let _ = ctx.recv_vec::<u8>(peer as i32, 2, 64, &comm);
+                } else {
+                    let _ = ctx.recv_vec::<u8>(peer as i32, 1, 64, &comm);
+                    ctx.send(&payload, peer, 2, &comm);
+                }
+            }
+            // The bug under test: tags disagree, both ranks block forever.
+            if ctx.rank() == 0 {
+                ctx.send(&vec![0u8; 128 * 1024], 1, 7, &comm);
+            } else {
+                let _ = ctx.recv_vec::<u8>(0, 9, 128 * 1024, &comm);
+            }
+        })
+        .expect_err("mismatched tags must deadlock")
+}
+
+#[test]
+fn tag_mismatch_postmortem_names_both_sides() {
+    let err = tag_mismatch_error();
+    let SimError::Deadlock {
+        blocked,
+        postmortem,
+    } = &err
+    else {
+        panic!("expected a deadlock, got: {err}");
+    };
+    assert_eq!(blocked, &[0, 1]);
+    assert_eq!(postmortem.ranks.len(), 2);
+
+    let r0 = &postmortem.ranks[0];
+    assert_eq!(r0.rank, 0);
+    assert_eq!(r0.wait_mode, Some("all"));
+    assert_eq!(r0.pending.len(), 1);
+    let spec = &r0.pending[0].spec;
+    assert!(spec.contains("send dst 1"), "spec: {spec}");
+    assert!(spec.contains("tag 7"), "spec: {spec}");
+    assert!(spec.contains("131072 B"), "spec: {spec}");
+    assert!(spec.contains("unmatched"), "spec: {spec}");
+    let cp = r0.pending[0].counterpart.as_deref().unwrap();
+    assert!(cp.contains("tag mismatch"), "counterpart: {cp}");
+    assert!(cp.contains("tag 9"), "counterpart: {cp}");
+
+    let r1 = &postmortem.ranks[1];
+    assert_eq!(r1.rank, 1);
+    let spec = &r1.pending[0].spec;
+    assert!(spec.contains("recv src 0"), "spec: {spec}");
+    assert!(spec.contains("tag 9"), "spec: {spec}");
+    let cp = r1.pending[0].counterpart.as_deref().unwrap();
+    assert!(cp.contains("tag mismatch"), "counterpart: {cp}");
+    assert!(cp.contains("tag 7"), "counterpart: {cp}");
+
+    // The flight recorder kept a meaningful history for every blocked
+    // rank: at least 8 recent ops, ending in the fatal post + wait.
+    for r in &postmortem.ranks {
+        assert!(
+            r.last_ops.len() >= 8,
+            "rank {} history too short: {:?}",
+            r.rank,
+            r.last_ops
+        );
+        assert!(r.last_ops.len() <= FLIGHT_DEPTH);
+        let tail = r.last_ops.last().unwrap();
+        assert!(tail.starts_with("wait "), "tail: {tail}");
+    }
+
+    // The rendered error is self-diagnosing.
+    let msg = err.to_string();
+    assert!(msg.contains("postmortem: 2 blocked rank(s)"), "{msg}");
+    assert!(msg.contains("nearest match:"), "{msg}");
+}
+
+/// The postmortem JSON is deterministic; gate it against a committed
+/// golden. Regenerate with `BLESS=1 cargo test -p smpi --test errors`.
+#[test]
+fn tag_mismatch_postmortem_matches_golden_json() {
+    let err = tag_mismatch_error();
+    let json = err.postmortem().to_json();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/postmortem.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(golden_path, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path).expect("golden file (run with BLESS=1)");
+    assert_eq!(json, golden, "postmortem JSON drifted from the golden file");
 }

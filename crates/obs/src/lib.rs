@@ -17,6 +17,9 @@
 //! * [`FlowAttribution`] / [`ContentionReport`] — per-flow contention
 //!   attribution (which link bottlenecked which flow, for how long),
 //!   filled by the network backends and aggregated by the runtime;
+//! * [`TimeSeries`] — bounded-memory time-resolved telemetry (per-link
+//!   utilization, active actions, simcall rate, …) sampled by the maestro,
+//!   with resolution halving so any run length fits a fixed budget;
 //! * [`json`] — a tiny dependency-free JSON writer used by the exports.
 
 mod attribution;
@@ -25,11 +28,13 @@ mod paje_mod;
 mod profile;
 mod recorder;
 mod report;
+mod timeseries;
 
 pub use attribution::{ContentionReport, FlowAttribution, FlowRecord, LinkRollup};
 pub use profile::{KernelHist, KernelProfile, SelfProfile};
 pub use recorder::{MemoryRecorder, NullRecorder, Rec, Recorder, StateEvent, StateOp};
 pub use report::{HistogramSnapshot, MetricsReport, TimelineSnapshot};
+pub use timeseries::{TimeSeries, TsInstant, TsSample, DEFAULT_TS_BUDGET};
 
 pub mod json {
     //! Minimal JSON construction helpers (no external deps).

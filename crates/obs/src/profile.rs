@@ -194,6 +194,21 @@ impl SelfProfile {
         }
     }
 
+    /// Zeroes every field that measures the *host* machine rather than the
+    /// simulation: total wall-clock, the per-phase wall-clock breakdown,
+    /// and the kernel's solve-time histogram. After stripping, two
+    /// identical runs serialize byte-identically; everything left is a
+    /// pure function of the simcall stream and the platform.
+    pub fn strip_wallclock(&mut self) {
+        self.wall_seconds = 0.0;
+        for (_, secs) in &mut self.phases {
+            *secs = 0.0;
+        }
+        if let Some(k) = &mut self.kernel {
+            k.solve_ns = KernelHist::default();
+        }
+    }
+
     /// Human-readable multi-line summary.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -377,6 +392,22 @@ mod tests {
         };
         assert!(p.render().contains("kernel:"));
         assert!(p.to_json().contains("\"kernel\":{"));
+    }
+
+    #[test]
+    fn strip_wallclock_zeroes_host_fields_only() {
+        let mut p = SelfProfile {
+            kernel: Some(sample_kernel()),
+            ..sample()
+        };
+        p.strip_wallclock();
+        assert_eq!(p.wall_seconds, 0.0);
+        assert!(p.phases.iter().all(|(_, s)| *s == 0.0));
+        assert_eq!(p.kernel.as_ref().unwrap().solve_ns, KernelHist::default());
+        // Simulation-derived fields survive.
+        assert_eq!(p.simcalls, 800);
+        assert_eq!(p.sim_time, 1.5);
+        assert_eq!(p.kernel.as_ref().unwrap().reshares, 10);
     }
 
     #[test]

@@ -332,6 +332,14 @@ impl PacketNet {
         self.actions.peak()
     }
 
+    /// Fills `out[i]` with channel `i`'s instantaneous utilization: a
+    /// store-and-forward port is either serializing a frame (1.0) or idle
+    /// (0.0) — there is no fractional sharing at packet level.
+    pub fn channel_utilizations(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.channels.iter().map(|c| if c.busy { 1.0 } else { 0.0 }));
+    }
+
     fn enqueue_frame(&mut self, chan: u32, mut frame: Frame) {
         frame.queued_at = self.now;
         if self.chan_fat[chan as usize] {

@@ -81,21 +81,23 @@ fn griffon_trace_replays_against_gdx() {
 }
 
 /// Determinism: two identical online runs produce byte-identical captured
-/// traces and byte-identical `to_json()` reports (after zeroing the
-/// wall-clock fields, which measure the host machine, not the simulation).
+/// traces and byte-identical `to_json()` reports. The only
+/// host-dependent report fields — `wall`, and the wall-clock half of the
+/// self-profile (`wall_seconds`, per-phase timings, kernel solve
+/// histogram) — are removed by `SelfProfile::strip_wallclock` before
+/// comparing; the time series is also stripped of its solver timings.
 #[test]
 fn identical_runs_are_byte_identical() {
     let run = || {
-        let world = griffon_world().capture(true).metrics(true).tracing(true);
+        let world = griffon_world()
+            .capture(true)
+            .metrics(true)
+            .tracing(true)
+            .timeseries(true);
         let mut report = dt_online(&world, DtClass::S, DtGraph::Bh);
         report.wall = std::time::Duration::ZERO;
-        report.profile.wall_seconds = 0.0;
-        for (_, secs) in &mut report.profile.phases {
-            *secs = 0.0;
-        }
-        if let Some(k) = &mut report.profile.kernel {
-            k.solve_ns = Default::default();
-        }
+        report.profile.strip_wallclock();
+        report.timeseries.as_mut().unwrap().strip_wallclock();
         (
             report.ti_trace.as_ref().unwrap().encode(),
             report.to_json(),
@@ -107,6 +109,47 @@ fn identical_runs_are_byte_identical() {
     assert_eq!(trace_a, trace_b, "captured traces differ between runs");
     assert_eq!(json_a, json_b, "to_json() differs between runs");
     assert_eq!(paje_a, paje_b, "paje() differs between runs");
+}
+
+/// Replay reproduces the on-line run's telemetry byte-identically: the
+/// replayed simcall stream equals the captured one on the same
+/// platform/model, so every time-series bucket must agree once the
+/// host-dependent solver timings are stripped. Uses a memory-free
+/// workload (sendrecv + allreduce + compute) because replay does not
+/// re-execute `shared_malloc`, so `mem_hwm` would legitimately differ
+/// for workloads that allocate.
+#[test]
+fn replay_reproduces_the_timeseries_byte_identically() {
+    let app = |ctx: &smpi_suite::smpi::Ctx| {
+        let comm = ctx.world();
+        let n = ctx.size();
+        ctx.compute(5e6 * (1.0 + ctx.rank() as f64 / n as f64));
+        let to = (ctx.rank() + 1) % n;
+        let from = ((ctx.rank() + n) - 1) % n;
+        let buf = vec![ctx.rank() as f64; 16 * 1024];
+        let mut got = vec![0.0f64; buf.len()];
+        ctx.sendrecv(&buf, to, 7, &mut got, from as i32, 7, &comm);
+        assert_eq!(got[0], from as f64);
+        let mine = [ctx.rank() as f64];
+        let _ = ctx.allreduce(&mine, &smpi_suite::smpi::op::sum::<f64>(), &comm);
+    };
+    let world = griffon_world().capture(true).timeseries(true);
+    let mut online = world.run(4, app);
+    let trace = online.ti_trace.take().unwrap();
+
+    let replay_world = griffon_world().timeseries(true);
+    let mut replayed = replay::replay(&replay_world, &trace);
+    assert_eq!(replayed.sim_time, online.sim_time);
+
+    let mut ts_online = online.timeseries.take().unwrap();
+    let mut ts_replay = replayed.timeseries.take().unwrap();
+    ts_online.strip_wallclock();
+    ts_replay.strip_wallclock();
+    assert_eq!(
+        ts_online.to_json(),
+        ts_replay.to_json(),
+        "replayed time series diverged from the on-line one"
+    );
 }
 
 /// The checked-in golden trace: DT class S (BH graph, 5 ranks) captured
