@@ -24,3 +24,4 @@ pub mod kernel_bench;
 pub mod obs_demo;
 pub mod replay_demo;
 pub mod scale;
+pub mod sweep_bench;

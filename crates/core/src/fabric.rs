@@ -13,7 +13,7 @@
 
 use packetnet::{PacketConfig, PacketNet};
 use smpi_obs::{FlowAttribution, KernelProfile, Rec};
-use smpi_platform::{HostIx, Materialized, RoutedPlatform};
+use smpi_platform::{HostIx, Materialized, PlatformPerturbation, RoutedPlatform};
 use surf_sim::{EngineConfig, SimTime, Simulation, TransferModel};
 
 use crate::error::SimError;
@@ -109,8 +109,21 @@ impl SurfFabric {
         model: TransferModel,
         engine: EngineConfig,
     ) -> Self {
+        SurfFabric::with_perturbation(rp, model, engine, None)
+    }
+
+    /// Like [`new`](Self::new), but instantiates the platform's shared
+    /// kernel image with a [`PlatformPerturbation`] overlay (per-link
+    /// bandwidth/latency and per-host speed factors). `None` — or the
+    /// identity overlay — is bit-exact with the unperturbed constructor.
+    pub fn with_perturbation(
+        rp: std::sync::Arc<RoutedPlatform>,
+        model: TransferModel,
+        engine: EngineConfig,
+        perturb: Option<&PlatformPerturbation>,
+    ) -> Self {
         let mut sim = Simulation::with_config(engine);
-        let mat = Materialized::build(&rp, &mut sim);
+        let mat = Materialized::instantiate(std::sync::Arc::clone(rp.image()), &mut sim, perturb);
         SurfFabric {
             rp,
             sim,
@@ -194,7 +207,17 @@ pub struct PacketFabric {
 impl PacketFabric {
     /// Builds the backend over a routed platform.
     pub fn new(rp: std::sync::Arc<RoutedPlatform>, config: PacketConfig) -> Self {
-        let net = PacketNet::new(&rp, config);
+        PacketFabric::with_perturbation(rp, config, None)
+    }
+
+    /// Like [`new`](Self::new), but with a [`PlatformPerturbation`] overlay
+    /// scaling channel bandwidth/latency and host speeds.
+    pub fn with_perturbation(
+        rp: std::sync::Arc<RoutedPlatform>,
+        config: PacketConfig,
+        perturb: Option<&PlatformPerturbation>,
+    ) -> Self {
+        let net = PacketNet::new_perturbed(&rp, config, perturb);
         PacketFabric { rp, net }
     }
 }

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use packetnet::PacketConfig;
 use smpi_obs::{ContentionReport, MetricsReport, Rec, SelfProfile, TimeSeries, DEFAULT_TS_BUDGET};
-use smpi_platform::{HostIx, RoutedPlatform};
+use smpi_platform::{HostIx, PlatformPerturbation, RoutedPlatform};
 use surf_sim::{EngineConfig, TransferModel};
 
 use crate::capture::TiTrace;
@@ -55,6 +55,7 @@ pub struct World {
     ts_budget: usize,
     progress_every: Option<f64>,
     progress_hint: Option<f64>,
+    perturbation: Option<Arc<PlatformPerturbation>>,
 }
 
 /// Results of one run.
@@ -111,6 +112,7 @@ impl World {
             ts_budget: DEFAULT_TS_BUDGET,
             progress_every: None,
             progress_hint: None,
+            perturbation: None,
         }
     }
 
@@ -235,6 +237,22 @@ impl World {
         self
     }
 
+    /// Applies a stochastic perturbation overlay to the platform for every
+    /// run of this world: multiplicative per-link bandwidth/latency and
+    /// per-host speed factors, applied when the backend materializes the
+    /// (otherwise shared, immutable) platform. The identity overlay is
+    /// bit-exact with no overlay. Panics if the overlay does not validate
+    /// against the platform.
+    ///
+    /// Control-message latency (the rendezvous handshake cost on backends
+    /// that model it) stays nominal: jitter models data-plane variability.
+    pub fn perturbation(mut self, p: Arc<PlatformPerturbation>) -> Self {
+        p.validate(self.rp.platform())
+            .unwrap_or_else(|e| panic!("invalid perturbation: {e}"));
+        self.perturbation = Some(p);
+        self
+    }
+
     /// Pins rank `r` to host `hosts[r]` instead of the default round-robin
     /// placement (used e.g. to calibrate between two specific nodes of a
     /// hierarchical cluster).
@@ -246,15 +264,19 @@ impl World {
     }
 
     fn build_fabric(&self) -> Box<dyn Fabric> {
+        let perturb = self.perturbation.as_deref();
         match &self.backend {
-            Backend::Surf { model, engine } => Box::new(SurfFabric::new(
+            Backend::Surf { model, engine } => Box::new(SurfFabric::with_perturbation(
                 Arc::clone(&self.rp),
                 model.clone(),
                 engine.clone(),
+                perturb,
             )),
-            Backend::Packet { config } => {
-                Box::new(PacketFabric::new(Arc::clone(&self.rp), *config))
-            }
+            Backend::Packet { config } => Box::new(PacketFabric::with_perturbation(
+                Arc::clone(&self.rp),
+                *config,
+                perturb,
+            )),
         }
     }
 

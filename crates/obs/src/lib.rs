@@ -28,12 +28,14 @@ mod paje_mod;
 mod profile;
 mod recorder;
 mod report;
+mod sweep_stats;
 mod timeseries;
 
 pub use attribution::{ContentionReport, FlowAttribution, FlowRecord, LinkRollup};
 pub use profile::{KernelHist, KernelProfile, SelfProfile};
 pub use recorder::{MemoryRecorder, NullRecorder, Rec, Recorder, StateEvent, StateOp};
 pub use report::{HistogramSnapshot, MetricsReport, TimelineSnapshot};
+pub use sweep_stats::{SweepStats, WorkerStats};
 pub use timeseries::{TimeSeries, TsInstant, TsSample, DEFAULT_TS_BUDGET};
 
 pub mod json {

@@ -140,6 +140,21 @@ pub struct PacketNet {
 impl PacketNet {
     /// Builds the packet simulator for a platform.
     pub fn new(rp: &RoutedPlatform, config: PacketConfig) -> Self {
+        PacketNet::new_perturbed(rp, config, None)
+    }
+
+    /// Like [`new`](Self::new), but scales the platform's nominal
+    /// parameters by a [`PlatformPerturbation`](smpi_platform::PlatformPerturbation)
+    /// overlay: both direction
+    /// channels of a platform link share its bandwidth/latency factors
+    /// (jitter models the physical link, not a direction), and host speeds
+    /// scale per host. `None` — or the identity overlay — is bit-exact
+    /// with the unperturbed constructor.
+    pub fn new_perturbed(
+        rp: &RoutedPlatform,
+        config: PacketConfig,
+        perturb: Option<&smpi_platform::PlatformPerturbation>,
+    ) -> Self {
         let p = rp.platform();
         let nlinks = p.num_links();
         let mut channels = Vec::with_capacity(nlinks * 2);
@@ -147,12 +162,15 @@ impl PacketNet {
         let mut chan_lat = Vec::with_capacity(nlinks * 2);
         let mut chan_fat = Vec::with_capacity(nlinks * 2);
         let mut shared_dirs = Vec::with_capacity(nlinks);
-        for link in p.links() {
+        for (ix, link) in p.links().iter().enumerate() {
+            let (fb, fl) = perturb.map_or((1.0, 1.0), |o| {
+                (o.bandwidth_factor(ix), o.latency_factor(ix))
+            });
             // Two slots per link; Shared aliases both directions to slot 0.
             for _ in 0..2 {
                 channels.push(Channel::default());
-                chan_bw.push(link.bandwidth);
-                chan_lat.push(link.latency);
+                chan_bw.push(link.bandwidth * fb);
+                chan_lat.push(link.latency * fl);
                 chan_fat.push(link.policy == SharingPolicy::FatPipe);
             }
             shared_dirs.push(matches!(
@@ -160,7 +178,11 @@ impl PacketNet {
                 SharingPolicy::Shared | SharingPolicy::FatPipe
             ));
         }
-        let host_speeds = p.host_indices().map(|h| p.host_speed(h)).collect();
+        let host_speeds = p
+            .host_indices()
+            .enumerate()
+            .map(|(i, h)| p.host_speed(h) * perturb.map_or(1.0, |o| o.host_factor(i)))
+            .collect();
         PacketNet {
             config,
             now: SimTime::ZERO,

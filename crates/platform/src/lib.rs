@@ -7,6 +7,7 @@
 //! so accuracy comparisons always run on identical hardware models.
 
 pub mod cluster;
+pub mod perturb;
 pub mod routing;
 pub mod spec;
 pub mod surf_bridge;
@@ -14,7 +15,8 @@ pub mod units;
 pub mod xml;
 
 pub use cluster::{flat_cluster, gdx, griffon, hierarchical_cluster, ClusterConfig};
+pub use perturb::PlatformPerturbation;
 pub use routing::{RoutedPlatform, Routes};
 pub use spec::{Edge, HostIx, Link, LinkIx, Node, NodeIx, NodeKind, Platform, SharingPolicy};
-pub use surf_bridge::Materialized;
+pub use surf_bridge::{Materialized, PlatformImage};
 pub use xml::{from_xml, to_xml, XmlError};

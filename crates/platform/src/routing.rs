@@ -8,7 +8,10 @@
 //! Explicit routes declared on the [`Platform`] (e.g. parsed from an XML
 //! file) take precedence.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::spec::{Dir, Hop, HostIx, LinkIx, NodeIx, Platform};
+use crate::surf_bridge::PlatformImage;
 
 /// Precomputed routing tables for a platform.
 #[derive(Debug, Clone)]
@@ -119,13 +122,31 @@ impl Routes {
 pub struct RoutedPlatform {
     platform: Platform,
     routes: Routes,
+    /// Lazily built shared kernel image (see [`PlatformImage`]): one plan
+    /// and one route-translation cache for every run over this platform.
+    /// Cloning the `RoutedPlatform` shares the already-built image.
+    image: OnceLock<Arc<PlatformImage>>,
 }
 
 impl RoutedPlatform {
     /// Computes routing for a platform.
     pub fn new(platform: Platform) -> Self {
         let routes = Routes::build(&platform);
-        RoutedPlatform { platform, routes }
+        RoutedPlatform {
+            platform,
+            routes,
+            image: OnceLock::new(),
+        }
+    }
+
+    /// The shared, immutable kernel-side image of this platform, built on
+    /// first use. Every simulation run instantiates its private kernel
+    /// state *from* this image and resolves routes *through* its shared
+    /// memoization cache, so concurrent runs (sweep workers, service
+    /// requests) pay the translation cost once per platform, not per run.
+    pub fn image(&self) -> &Arc<PlatformImage> {
+        self.image
+            .get_or_init(|| Arc::new(PlatformImage::build(self)))
     }
 
     /// The underlying platform description.

@@ -61,9 +61,19 @@ use smpi::{Ctx, ReqId, RunReport, TiOp, TiTrace, World};
 /// No application code executes: each rank is a trace cursor issuing the
 /// captured simcalls with data-less messages.
 pub fn replay(world: &World, trace: &TiTrace) -> RunReport<()> {
+    replay_shared(world, Arc::new(trace.clone()))
+}
+
+/// Like [`replay`], but over a shared `Arc`'d trace: no per-call deep copy
+/// of the op streams. This is the entry point for replication sweeps, where
+/// many worker threads replay the *same* captured trace concurrently
+/// against different platforms/models/perturbations — each call builds its
+/// own private runtime and fabric, so replay sessions are independent and
+/// `Send` while the trace and the parsed platform stay shared and
+/// immutable.
+pub fn replay_shared(world: &World, trace: Arc<TiTrace>) -> RunReport<()> {
     let nranks = trace.num_ranks();
     assert!(nranks > 0, "cannot replay an empty trace");
-    let trace = Arc::new(trace.clone());
     world.run(nranks, move |ctx| {
         replay_rank(ctx, &trace.ranks[ctx.rank()])
     })

@@ -1,0 +1,779 @@
+//! # smpi-sweep — parallel replication sweeps with stochastic variability
+//!
+//! The paper's capture-once/replay-many workflow made single re-simulations
+//! cheap; this crate makes *populations* of them cheap. A [`SweepConfig`]
+//! crosses a scenario matrix — programs (captured time-independent traces
+//! or capture-on-the-fly rank bodies, e.g. for collective-variant studies)
+//! × platforms × network backends (the surf flow kernel or the packet-level
+//! substrate) × calibrated transfer models × injected noise — and
+//! [`run_sweep`] executes every cell's replications across a pool of worker
+//! threads with work-stealing deques ([`pool`]).
+//!
+//! Three properties are load-bearing:
+//!
+//! * **Shared-immutable platforms.** Workers share `Arc<RoutedPlatform>`s
+//!   (and through them the memoized [`smpi_platform::PlatformImage`]); each
+//!   scenario materializes its own per-run simulation state, so scenarios
+//!   are independent and embarrassingly parallel.
+//! * **Scheduling-independent determinism.** Stochastic perturbations are
+//!   drawn from a counter-based generator ([`rng::CbRng`]) keyed by
+//!   `(sweep seed, platform, noise axis, replication)` — *never* by worker
+//!   id or completion order — and results stream through a reorder buffer
+//!   ([`table::OrderedEmitter`]) keyed by stable scenario id. The results
+//!   table is byte-identical for 1 worker or 16.
+//! * **Bounded memory.** One JSON line per finished scenario is emitted as
+//!   soon as its id is next in sequence; only completion skew is buffered.
+//!   Per-cell makespan distributions are folded at the end from the
+//!   scalar outcomes, not from retained reports.
+//!
+//! Replications within a cell differ only by their perturbation draw; the
+//! draw is shared across backends and calibrations of the same
+//! `(platform, noise, replication)` — common random numbers, so paired
+//! cell comparisons see the same "weather".
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use smpi::{Backend, Ctx, MpiProfile, RunReport, TiTrace, World};
+use smpi_obs::json::JsonBuf;
+use smpi_obs::{SweepStats, WorkerStats};
+use smpi_platform::RoutedPlatform;
+use surf_sim::{EngineConfig, TransferModel};
+
+pub mod noise;
+pub mod pool;
+pub mod rng;
+pub mod table;
+
+pub use noise::NoiseModel;
+pub use rng::CbRng;
+pub use table::{Distribution, OrderedEmitter};
+
+use pool::StealPool;
+
+/// What a scenario executes.
+#[derive(Clone)]
+pub enum Workload {
+    /// Replay of a captured time-independent trace (no application code,
+    /// no payload memory — the sweep fast path).
+    Trace(Arc<TiTrace>),
+    /// Capture-on-the-fly: run a rank body on-line. Needed when the swept
+    /// axis changes the simcall stream itself (e.g. collective algorithm
+    /// variants), which a fixed trace cannot express.
+    Online {
+        /// MPI ranks to spawn.
+        ranks: usize,
+        /// The rank body (shared across workers).
+        body: Arc<dyn Fn(&Ctx) + Send + Sync>,
+    },
+}
+
+/// A named program axis entry.
+#[derive(Clone)]
+pub struct Program {
+    /// Label used in results tables.
+    pub name: String,
+    /// What to execute.
+    pub workload: Workload,
+}
+
+impl Program {
+    /// A trace-replay program.
+    pub fn trace(name: impl Into<String>, trace: Arc<TiTrace>) -> Self {
+        Program {
+            name: name.into(),
+            workload: Workload::Trace(trace),
+        }
+    }
+
+    /// An on-line (capture-on-the-fly) program.
+    pub fn online(
+        name: impl Into<String>,
+        ranks: usize,
+        body: impl Fn(&Ctx) + Send + Sync + 'static,
+    ) -> Self {
+        Program {
+            name: name.into(),
+            workload: Workload::Online {
+                ranks,
+                body: Arc::new(body),
+            },
+        }
+    }
+}
+
+/// A network-backend axis entry (carries its MPI personality).
+#[derive(Clone)]
+pub enum FabricKind {
+    /// The surf flow kernel; crossed with the calibration axis.
+    Surf {
+        /// Kernel configuration (contention, TCP window).
+        engine: EngineConfig,
+        /// MPI profile (eager/rendezvous thresholds etc.).
+        profile: MpiProfile,
+    },
+    /// The packet-level substrate; ignores the calibration axis (its
+    /// timing comes from framing, not a fitted transfer model).
+    Packet {
+        /// Framing parameters.
+        config: packetnet::PacketConfig,
+        /// MPI profile.
+        profile: MpiProfile,
+    },
+}
+
+impl FabricKind {
+    /// Default surf kernel with the SMPI profile.
+    pub fn surf() -> Self {
+        FabricKind::Surf {
+            engine: EngineConfig::default(),
+            profile: MpiProfile::smpi(),
+        }
+    }
+
+    /// Default packet substrate with the OpenMPI-like profile.
+    pub fn packet() -> Self {
+        FabricKind::Packet {
+            config: packetnet::PacketConfig::default(),
+            profile: MpiProfile::openmpi_like(),
+        }
+    }
+}
+
+/// A noise axis entry: a variability model plus how many replications to
+/// draw from it.
+#[derive(Clone)]
+pub struct NoiseAxis {
+    /// Label used in results tables.
+    pub name: String,
+    /// The jitter model.
+    pub model: NoiseModel,
+    /// Replications per cell (zero-noise axes typically use 1 — every
+    /// replication would be identical).
+    pub replications: u32,
+}
+
+impl NoiseAxis {
+    /// The deterministic axis: no jitter, one replication.
+    pub fn none() -> Self {
+        NoiseAxis {
+            name: "none".into(),
+            model: NoiseModel::none(),
+            replications: 1,
+        }
+    }
+
+    /// A uniform-jitter axis.
+    pub fn jitter(name: impl Into<String>, amplitude: f64, replications: u32) -> Self {
+        NoiseAxis {
+            name: name.into(),
+            model: NoiseModel::uniform_jitter(amplitude),
+            replications,
+        }
+    }
+}
+
+/// The scenario matrix plus execution parameters.
+#[derive(Clone)]
+pub struct SweepConfig {
+    /// Program axis.
+    pub programs: Vec<Program>,
+    /// Platform axis (label, parsed-and-routed platform).
+    pub platforms: Vec<(String, Arc<RoutedPlatform>)>,
+    /// Backend axis.
+    pub fabrics: Vec<(String, FabricKind)>,
+    /// Calibration axis (crossed with surf fabrics only).
+    pub calibrations: Vec<(String, TransferModel)>,
+    /// Noise axis.
+    pub noises: Vec<NoiseAxis>,
+    /// Worker threads.
+    pub workers: usize,
+    /// Master seed: scenario `(cell, replication)` outcomes are a pure
+    /// function of this (plus the matrix), independent of `workers`.
+    pub seed: u64,
+    /// Zero host-dependent fields (wall-clock, memory probe) in the
+    /// streamed lines, making the table byte-stable across machines.
+    pub strip_hostdep: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            programs: Vec::new(),
+            platforms: Vec::new(),
+            fabrics: Vec::new(),
+            calibrations: Vec::new(),
+            noises: Vec::new(),
+            workers: 1,
+            seed: 0,
+            strip_hostdep: true,
+        }
+    }
+}
+
+/// One enumerated scenario: indices into the config's axes.
+#[derive(Debug, Clone, Copy)]
+struct ScenarioSpec {
+    cell: usize,
+    program: usize,
+    platform: usize,
+    fabric: usize,
+    /// `None` for backends that ignore the calibration axis.
+    cal: Option<usize>,
+    noise: usize,
+    rep: u32,
+}
+
+/// Labels identifying one matrix cell in reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellKey {
+    /// Program label.
+    pub program: String,
+    /// Platform label.
+    pub platform: String,
+    /// Backend label.
+    pub fabric: String,
+    /// Calibration label (`"-"` for backends without one).
+    pub calibration: String,
+    /// Noise-axis label.
+    pub noise: String,
+}
+
+/// Aggregated makespan statistics of one cell.
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// Which cell.
+    pub key: CellKey,
+    /// Makespan order statistics over the cell's replications.
+    pub makespan: Distribution,
+}
+
+/// Scalar outcome of one scenario (everything the table line and the
+/// aggregation need; full run reports are dropped immediately).
+#[derive(Debug, Clone, Copy)]
+struct Outcome {
+    cell: usize,
+    makespan: f64,
+    simcalls: u64,
+    wall_s: f64,
+    peak_bytes: u64,
+}
+
+/// End-of-sweep report: throughput, per-worker stats, per-cell summaries.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Total scenarios executed.
+    pub scenarios: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Master seed the sweep ran under.
+    pub seed: u64,
+    /// Wall-clock seconds for the whole sweep (host-dependent).
+    pub wall_s: f64,
+    /// Scenario throughput (host-dependent).
+    pub scenarios_per_s: f64,
+    /// Largest reorder-buffer occupancy the emitter ever saw (a direct
+    /// measure of the bounded streaming memory).
+    pub reorder_high_water: usize,
+    /// Per-worker execution counters.
+    pub stats: SweepStats,
+    /// Per-cell makespan distributions, in stable cell order.
+    pub cells: Vec<CellSummary>,
+}
+
+impl SweepReport {
+    /// Zeroes every host-dependent field (sweep wall-clock, throughput,
+    /// per-worker busy time) so reports from different machines — or
+    /// different worker counts on one machine — serialize identically
+    /// apart from `workers` and the per-worker scenario split.
+    pub fn strip_wallclock(&mut self) {
+        self.wall_s = 0.0;
+        self.scenarios_per_s = 0.0;
+        self.stats.strip_wallclock();
+    }
+
+    /// Serializes the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("scenarios").uint_val(self.scenarios as u64);
+        j.key("workers").uint_val(self.workers as u64);
+        j.key("seed").uint_val(self.seed);
+        j.key("wall_s").num_val(self.wall_s);
+        j.key("scenarios_per_s").num_val(self.scenarios_per_s);
+        j.key("reorder_high_water")
+            .uint_val(self.reorder_high_water as u64);
+        j.key("worker_stats");
+        self.stats.append_json(&mut j);
+        j.key("cells").begin_arr();
+        for c in &self.cells {
+            j.begin_obj();
+            j.key("program").str_val(&c.key.program);
+            j.key("platform").str_val(&c.key.platform);
+            j.key("fabric").str_val(&c.key.fabric);
+            j.key("calibration").str_val(&c.key.calibration);
+            j.key("noise").str_val(&c.key.noise);
+            j.key("makespan");
+            c.makespan.append_json(&mut j);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
+    }
+
+    /// Renders the per-cell distribution table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:<10} {:<8} {:<16} {:<10} {:>4} {:>12} {:>12} {:>12} {:>12}\n",
+            "program",
+            "platform",
+            "fabric",
+            "calibration",
+            "noise",
+            "n",
+            "min",
+            "median",
+            "p95",
+            "max"
+        ));
+        for c in &self.cells {
+            let d = &c.makespan;
+            out.push_str(&format!(
+                "{:<10} {:<10} {:<8} {:<16} {:<10} {:>4} {:>12.6} {:>12.6} {:>12.6} {:>12.6}\n",
+                c.key.program,
+                c.key.platform,
+                c.key.fabric,
+                c.key.calibration,
+                c.key.noise,
+                d.n,
+                d.min,
+                d.median,
+                d.p95,
+                d.max
+            ));
+        }
+        out
+    }
+}
+
+impl SweepConfig {
+    fn validate(&self) -> Result<(), String> {
+        if self.programs.is_empty() {
+            return Err("sweep needs at least one program".into());
+        }
+        if self.platforms.is_empty() {
+            return Err("sweep needs at least one platform".into());
+        }
+        if self.fabrics.is_empty() {
+            return Err("sweep needs at least one fabric".into());
+        }
+        if self.noises.is_empty() {
+            return Err("sweep needs at least one noise axis".into());
+        }
+        if self.workers == 0 {
+            return Err("sweep needs at least one worker".into());
+        }
+        let has_surf = self
+            .fabrics
+            .iter()
+            .any(|(_, f)| matches!(f, FabricKind::Surf { .. }));
+        if has_surf && self.calibrations.is_empty() {
+            return Err("a surf fabric needs at least one calibration".into());
+        }
+        for axis in &self.noises {
+            axis.model
+                .validate()
+                .map_err(|e| format!("noise axis '{}': {e}", axis.name))?;
+            if axis.replications == 0 {
+                return Err(format!("noise axis '{}' has zero replications", axis.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerates the matrix in stable lexicographic order: program →
+    /// platform → fabric → calibration → noise → replication. Scenario ids
+    /// are the positions in this order, independent of workers/seed — the
+    /// streamed table is sorted by them.
+    fn enumerate(&self) -> (Vec<ScenarioSpec>, Vec<CellKey>) {
+        let mut scenarios = Vec::new();
+        let mut cells = Vec::new();
+        for (pi, prog) in self.programs.iter().enumerate() {
+            for (li, (plat_name, _)) in self.platforms.iter().enumerate() {
+                for (fi, (fab_name, fabric)) in self.fabrics.iter().enumerate() {
+                    // The packet substrate has no calibration axis: one
+                    // pseudo-entry labeled "-" instead of |calibrations|
+                    // duplicate cells.
+                    let cals: Vec<(Option<usize>, &str)> = match fabric {
+                        FabricKind::Surf { .. } => self
+                            .calibrations
+                            .iter()
+                            .enumerate()
+                            .map(|(ci, (name, _))| (Some(ci), name.as_str()))
+                            .collect(),
+                        FabricKind::Packet { .. } => vec![(None, "-")],
+                    };
+                    for (cal, cal_name) in cals {
+                        for (ni, axis) in self.noises.iter().enumerate() {
+                            let cell = cells.len();
+                            cells.push(CellKey {
+                                program: prog.name.clone(),
+                                platform: plat_name.clone(),
+                                fabric: fab_name.clone(),
+                                calibration: cal_name.to_string(),
+                                noise: axis.name.clone(),
+                            });
+                            for rep in 0..axis.replications {
+                                scenarios.push(ScenarioSpec {
+                                    cell,
+                                    program: pi,
+                                    platform: li,
+                                    fabric: fi,
+                                    cal,
+                                    noise: ni,
+                                    rep,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (scenarios, cells)
+    }
+
+    /// Number of scenarios the matrix expands to.
+    pub fn scenario_count(&self) -> usize {
+        self.enumerate().0.len()
+    }
+}
+
+/// The perturbation stream of `(seed, platform, noise axis, replication)`.
+///
+/// Deliberately *not* keyed by program, fabric or calibration: cells that
+/// differ only in those axes draw identical perturbations (common random
+/// numbers), so their per-replication comparison is paired.
+fn scenario_rng(seed: u64, platform: usize, noise: usize, rep: u32) -> CbRng {
+    CbRng::new(seed)
+        .stream(platform as u64)
+        .stream(noise as u64)
+        .stream(rep as u64)
+}
+
+fn run_scenario(cfg: &SweepConfig, sc: &ScenarioSpec) -> Outcome {
+    let (_, rp) = &cfg.platforms[sc.platform];
+    let (backend, profile) = match &cfg.fabrics[sc.fabric].1 {
+        FabricKind::Surf { engine, profile } => {
+            let model = cfg.calibrations[sc.cal.expect("surf scenario has a calibration")]
+                .1
+                .clone();
+            (
+                Backend::Surf {
+                    model,
+                    engine: engine.clone(),
+                },
+                profile.clone(),
+            )
+        }
+        FabricKind::Packet { config, profile } => {
+            (Backend::Packet { config: *config }, profile.clone())
+        }
+    };
+    let mut world = World::new(Arc::clone(rp), backend, profile);
+    let axis = &cfg.noises[sc.noise];
+    if !axis.model.is_zero() {
+        let rng = scenario_rng(cfg.seed, sc.platform, sc.noise, sc.rep);
+        world = world.perturbation(Arc::new(axis.model.sample(rp.platform(), &rng)));
+    }
+    let report: RunReport<()> = match &cfg.programs[sc.program].workload {
+        Workload::Trace(trace) => smpi_replay::replay_shared(&world, Arc::clone(trace)),
+        Workload::Online { ranks, body } => {
+            let body = Arc::clone(body);
+            world.run(*ranks, move |ctx| body(ctx))
+        }
+    };
+    Outcome {
+        cell: sc.cell,
+        makespan: report.sim_time,
+        simcalls: report.profile.simcalls,
+        wall_s: report.wall.as_secs_f64(),
+        peak_bytes: report.memory.peak_bytes,
+    }
+}
+
+fn render_line(
+    cfg: &SweepConfig,
+    cells: &[CellKey],
+    id: usize,
+    sc: &ScenarioSpec,
+    out: &Outcome,
+) -> String {
+    let key = &cells[sc.cell];
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("scenario").uint_val(id as u64);
+    j.key("cell").uint_val(sc.cell as u64);
+    j.key("program").str_val(&key.program);
+    j.key("platform").str_val(&key.platform);
+    j.key("fabric").str_val(&key.fabric);
+    j.key("calibration").str_val(&key.calibration);
+    j.key("noise").str_val(&key.noise);
+    j.key("rep").uint_val(sc.rep as u64);
+    j.key("makespan").num_val(out.makespan);
+    j.key("simcalls").uint_val(out.simcalls);
+    // Host-dependent fields follow the strip_wallclock discipline: zeroed
+    // under strip_hostdep so the streamed table is machine-portable.
+    let (wall_s, peak) = if cfg.strip_hostdep {
+        (0.0, 0)
+    } else {
+        (out.wall_s, out.peak_bytes)
+    };
+    j.key("wall_s").num_val(wall_s);
+    j.key("peak_bytes").uint_val(peak);
+    j.end_obj();
+    j.finish()
+}
+
+/// State shared between workers: the reorder-buffered sink plus the
+/// outcome store the aggregation pass reads.
+struct SharedEmit<W: Write> {
+    emitter: OrderedEmitter<W>,
+    outcomes: Vec<Option<Outcome>>,
+    io_err: Option<io::Error>,
+}
+
+/// Runs the whole matrix, streaming one JSON line per finished scenario to
+/// `sink` (in stable scenario-id order regardless of completion order) and
+/// returning the aggregated report.
+///
+/// Determinism contract: for a fixed config (matrix + seed), the bytes
+/// written to `sink` and every `cells` distribution are identical for any
+/// `workers` value. Host-dependent fields (`wall_s`, `scenarios_per_s`,
+/// per-worker `busy_s`, and the per-line wall/memory fields unless
+/// `strip_hostdep` is off) are the only exceptions, and
+/// [`SweepReport::strip_wallclock`] zeroes the report-level ones.
+pub fn run_sweep<W: Write + Send>(cfg: &SweepConfig, sink: W) -> io::Result<(SweepReport, W)> {
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid sweep config: {e}"));
+    let (scenarios, cells) = cfg.enumerate();
+    let n = scenarios.len();
+    let pool = StealPool::new(cfg.workers, n);
+    let shared = Mutex::new(SharedEmit {
+        emitter: OrderedEmitter::new(sink),
+        outcomes: vec![None; n],
+        io_err: None,
+    });
+
+    let start = Instant::now();
+    let worker_stats: Vec<WorkerStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|w| {
+                let pool = &pool;
+                let shared = &shared;
+                let scenarios = &scenarios;
+                let cells = &cells;
+                s.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    while let Some(job) = pool.pop(w) {
+                        let sc = &scenarios[job.id];
+                        let t0 = Instant::now();
+                        let out = run_scenario(cfg, sc);
+                        stats.busy_s += t0.elapsed().as_secs_f64();
+                        stats.scenarios += 1;
+                        if job.stolen {
+                            stats.stolen += 1;
+                        }
+                        let line = render_line(cfg, cells, job.id, sc, &out);
+                        let mut sh = shared.lock().unwrap();
+                        sh.outcomes[job.id] = Some(out);
+                        if sh.io_err.is_none() {
+                            if let Err(e) = sh.emitter.push(job.id, line) {
+                                sh.io_err = Some(e);
+                            }
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let sh = shared.into_inner().unwrap();
+    if let Some(e) = sh.io_err {
+        return Err(e);
+    }
+    let reorder_high_water = sh.emitter.high_water();
+    let sink = sh.emitter.finish()?;
+
+    // Aggregation: outcomes are stored by scenario id, and a cell's
+    // scenarios are contiguous in id order — fold them per cell.
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); cells.len()];
+    for out in sh.outcomes.iter() {
+        let out = out.expect("every scenario ran");
+        samples[out.cell].push(out.makespan);
+    }
+    let summaries = cells
+        .into_iter()
+        .zip(samples)
+        .map(|(key, s)| CellSummary {
+            key,
+            makespan: Distribution::from_samples(&s),
+        })
+        .collect();
+
+    Ok((
+        SweepReport {
+            scenarios: n,
+            workers: cfg.workers,
+            seed: cfg.seed,
+            wall_s,
+            scenarios_per_s: if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 },
+            reorder_high_water,
+            stats: SweepStats {
+                workers: worker_stats,
+            },
+            cells: summaries,
+        },
+        sink,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smpi_platform::{flat_cluster, ClusterConfig};
+
+    fn tiny_platform(name: &str, hosts: usize) -> (String, Arc<RoutedPlatform>) {
+        (
+            name.to_string(),
+            Arc::new(RoutedPlatform::new(flat_cluster(
+                name,
+                hosts,
+                &ClusterConfig::default(),
+            ))),
+        )
+    }
+
+    fn capture_ring(rp: &Arc<RoutedPlatform>) -> Arc<TiTrace> {
+        let world = World::smpi(Arc::clone(rp), TransferModel::default_affine()).capture(true);
+        let report = world.run(4, |ctx| {
+            ctx.compute(1e5 * (ctx.rank() + 1) as f64);
+            let right = (ctx.rank() + 1) % ctx.size();
+            let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            let mut buf = vec![0.0f64; 1024];
+            let data = vec![ctx.rank() as f64; 1024];
+            ctx.sendrecv(&data, right, 3, &mut buf, left as i32, 3, &ctx.world());
+        });
+        Arc::new(report.ti_trace.unwrap())
+    }
+
+    fn small_config() -> SweepConfig {
+        let plat = tiny_platform("p0", 4);
+        let trace = capture_ring(&plat.1);
+        SweepConfig {
+            programs: vec![Program::trace("ring", trace)],
+            platforms: vec![plat, tiny_platform("p1", 8)],
+            fabrics: vec![
+                ("surf".into(), FabricKind::surf()),
+                ("packet".into(), FabricKind::packet()),
+            ],
+            calibrations: vec![
+                ("affine".into(), TransferModel::default_affine()),
+                ("affine-2".into(), TransferModel::affine(1.5, 0.8)),
+            ],
+            noises: vec![NoiseAxis::none(), NoiseAxis::jitter("j10", 0.1, 3)],
+            workers: 2,
+            seed: 7,
+            strip_hostdep: true,
+        }
+    }
+
+    #[test]
+    fn matrix_enumeration_dedups_packet_calibrations() {
+        let cfg = small_config();
+        // 1 program × 2 platforms × (surf × 2 cals + packet × 1) × 2 noise
+        // axes = 12 cells; scenarios = cells × (1 + 3) / 2 noise split.
+        let (scenarios, cells) = cfg.enumerate();
+        assert_eq!(cells.len(), 12);
+        // Per (platform, fabric-cal) group: none → 1, j10 → 3.
+        assert_eq!(scenarios.len(), 2 * 3 * (1 + 3));
+        // Ids are strictly increasing cell-contiguous.
+        for w in scenarios.windows(2) {
+            assert!(w[1].cell >= w[0].cell);
+        }
+        assert_eq!(cfg.scenario_count(), scenarios.len());
+    }
+
+    #[test]
+    fn sweep_runs_and_aggregates() {
+        let cfg = small_config();
+        let (report, lines) = run_sweep(&cfg, Vec::new()).unwrap();
+        assert_eq!(report.scenarios, 24);
+        assert_eq!(report.stats.total_scenarios(), 24);
+        assert_eq!(report.cells.len(), 12);
+        let text = String::from_utf8(lines).unwrap();
+        assert_eq!(text.lines().count(), 24);
+        // Lines are in scenario-id order.
+        for (i, line) in text.lines().enumerate() {
+            assert!(line.starts_with(&format!("{{\"scenario\":{i},")), "{line}");
+        }
+        // Every cell distribution has the right replication count.
+        for c in &report.cells {
+            let expect = if c.key.noise == "none" { 1 } else { 3 };
+            assert_eq!(c.makespan.n, expect, "{:?}", c.key);
+        }
+        // Noise actually spreads the distribution on at least one cell.
+        assert!(report
+            .cells
+            .iter()
+            .any(|c| c.key.noise == "j10" && c.makespan.max > c.makespan.min));
+        // Render and JSON don't panic and mention a cell.
+        assert!(report.render().contains("ring"));
+        assert!(report.to_json().contains("\"cells\""));
+    }
+
+    #[test]
+    fn online_workloads_sweep_too() {
+        let plat = tiny_platform("p0", 4);
+        let cfg = SweepConfig {
+            programs: vec![Program::online("allred", 4, |ctx| {
+                let x = [ctx.rank() as f64];
+                ctx.allreduce(&x, &smpi::op::sum::<f64>(), &ctx.world());
+            })],
+            platforms: vec![plat],
+            fabrics: vec![("surf".into(), FabricKind::surf())],
+            calibrations: vec![("affine".into(), TransferModel::default_affine())],
+            noises: vec![NoiseAxis::none()],
+            workers: 2,
+            seed: 0,
+            strip_hostdep: true,
+        };
+        let (report, _) = run_sweep(&cfg, Vec::new()).unwrap();
+        assert_eq!(report.scenarios, 1);
+        assert!(report.cells[0].makespan.min > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least one calibration")]
+    fn surf_without_calibration_is_rejected() {
+        let plat = tiny_platform("p0", 2);
+        let trace = capture_ring(&tiny_platform("c", 4).1);
+        let cfg = SweepConfig {
+            programs: vec![Program::trace("ring", trace)],
+            platforms: vec![plat],
+            fabrics: vec![("surf".into(), FabricKind::surf())],
+            calibrations: vec![],
+            noises: vec![NoiseAxis::none()],
+            ..Default::default()
+        };
+        let _ = run_sweep(&cfg, Vec::new());
+    }
+}

@@ -1,0 +1,163 @@
+//! Work-stealing job distribution for scenario execution.
+//!
+//! Each worker owns a deque seeded round-robin with scenario indices. The
+//! owner pops from the *front* (FIFO — low scenario ids finish early, which
+//! keeps the ordered emitter's reorder buffer small); thieves steal from
+//! the *back* of a victim's deque (the jobs the owner would reach last),
+//! the classic owner/thief end-split of work-stealing deques. Scenarios are
+//! coarse (one full re-simulation each, milliseconds to seconds), so a
+//! `Mutex<VecDeque>` per worker is contention-free in practice and keeps
+//! the structure obviously correct; no job ever spawns another job, so a
+//! full scan finding every deque empty is a proof of termination.
+//!
+//! Determinism does **not** depend on this module: scenario results are
+//! pure functions of the scenario id, and the emitter reorders by id. The
+//! pool only decides *who* computes *when*.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A claimed job: which scenario, and whether it was stolen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Scenario index to execute.
+    pub id: usize,
+    /// `true` when the job came from another worker's deque.
+    pub stolen: bool,
+}
+
+/// Fixed-size pool of per-worker deques over a fixed job set.
+pub struct StealPool {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealPool {
+    /// Distributes jobs `0..jobs` round-robin over `workers` deques
+    /// (worker `w` is seeded with jobs `w, w + workers, …` in increasing
+    /// order, so every worker starts on low ids).
+    pub fn new(workers: usize, jobs: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for job in 0..jobs {
+            deques[job % workers].push_back(job);
+        }
+        StealPool {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Claims the next job for `worker`: its own front, else a steal from
+    /// the back of the first non-empty victim (scanning round-robin from
+    /// `worker + 1`). `None` means every deque is empty — since jobs never
+    /// enqueue new jobs, that is global termination.
+    pub fn pop(&self, worker: usize) -> Option<Job> {
+        if let Some(id) = self.deques[worker].lock().unwrap().pop_front() {
+            return Some(Job { id, stolen: false });
+        }
+        let n = self.deques.len();
+        for k in 1..n {
+            let victim = (worker + k) % n;
+            if let Some(id) = self.deques[victim].lock().unwrap().pop_back() {
+                return Some(Job { id, stolen: true });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_job_claimed_exactly_once() {
+        let pool = StealPool::new(3, 10);
+        let mut seen = HashSet::new();
+        for w in [0, 0, 1, 2, 1, 0, 2, 2, 1, 0] {
+            let job = pool.pop(w).expect("jobs remain");
+            assert!(seen.insert(job.id), "job {} claimed twice", job.id);
+        }
+        assert_eq!(seen.len(), 10);
+        assert_eq!(pool.pop(0), None);
+        assert_eq!(pool.pop(2), None);
+    }
+
+    #[test]
+    fn owner_drains_fifo() {
+        let pool = StealPool::new(2, 6);
+        // Worker 0 owns 0, 2, 4 and pops them in that order.
+        assert_eq!(
+            pool.pop(0),
+            Some(Job {
+                id: 0,
+                stolen: false
+            })
+        );
+        assert_eq!(
+            pool.pop(0),
+            Some(Job {
+                id: 2,
+                stolen: false
+            })
+        );
+        assert_eq!(
+            pool.pop(0),
+            Some(Job {
+                id: 4,
+                stolen: false
+            })
+        );
+        // Then steals from the BACK of worker 1's deque (1, 3, 5 → 5).
+        assert_eq!(
+            pool.pop(0),
+            Some(Job {
+                id: 5,
+                stolen: true
+            })
+        );
+        // Worker 1 still gets its front.
+        assert_eq!(
+            pool.pop(1),
+            Some(Job {
+                id: 1,
+                stolen: false
+            })
+        );
+    }
+
+    #[test]
+    fn single_worker_is_sequential() {
+        let pool = StealPool::new(1, 4);
+        let order: Vec<usize> = std::iter::from_fn(|| pool.pop(0)).map(|j| j.id).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_jobs() {
+        let pool = StealPool::new(4, 1000);
+        let claimed: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let pool = &pool;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(job) = pool.pop(w) {
+                            mine.push(job.id);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<usize> = claimed.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

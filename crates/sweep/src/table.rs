@@ -1,0 +1,176 @@
+//! Streamed, ordered results and per-cell distribution summaries.
+//!
+//! Workers finish scenarios in a scheduling-dependent order, but the
+//! results table must be identical for any worker count. The
+//! [`OrderedEmitter`] is a reorder buffer: lines are pushed keyed by
+//! scenario id and written to the sink the moment the next consecutive id
+//! is available. Memory is bounded by the completion skew between workers
+//! (at most "jobs in flight + buffered out-of-order lines"), never by the
+//! sweep size — the table streams.
+//!
+//! [`Distribution`] is the aggregation half: order statistics of a cell's
+//! makespan samples via the nearest-rank method (no interpolation — the
+//! reported quantiles are actual samples, which keeps them byte-stable
+//! under formatting).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use smpi_obs::json::JsonBuf;
+
+/// Order statistics of one matrix cell's makespan samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Distribution {
+    /// Sample count.
+    pub n: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Nearest-rank median.
+    pub median: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Distribution {
+    /// Summarizes `samples` (must be non-empty; order irrelevant).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "distribution over zero samples");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite makespans"));
+        let nearest_rank = |q: f64| -> f64 {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Distribution {
+            n: sorted.len(),
+            min: sorted[0],
+            median: nearest_rank(0.50),
+            p95: nearest_rank(0.95),
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        }
+    }
+
+    /// Appends this summary as a JSON object value.
+    pub fn append_json(&self, j: &mut JsonBuf) {
+        j.begin_obj();
+        j.key("n").uint_val(self.n as u64);
+        j.key("min").num_val(self.min);
+        j.key("median").num_val(self.median);
+        j.key("p95").num_val(self.p95);
+        j.key("max").num_val(self.max);
+        j.key("mean").num_val(self.mean);
+        j.end_obj();
+    }
+}
+
+/// Reorder buffer turning out-of-order completions into an id-ordered
+/// stream of lines.
+pub struct OrderedEmitter<W: Write> {
+    sink: W,
+    next: usize,
+    pending: BTreeMap<usize, String>,
+    high_water: usize,
+}
+
+impl<W: Write> OrderedEmitter<W> {
+    /// Creates an emitter over `sink`, expecting ids `0, 1, 2, …`.
+    pub fn new(sink: W) -> Self {
+        OrderedEmitter {
+            sink,
+            next: 0,
+            pending: BTreeMap::new(),
+            high_water: 0,
+        }
+    }
+
+    /// Submits the line of scenario `id` (no trailing newline). Writes it —
+    /// and any buffered successors it unblocks — if `id` is the next
+    /// consecutive id; buffers it otherwise.
+    pub fn push(&mut self, id: usize, line: String) -> std::io::Result<()> {
+        assert!(id >= self.next, "scenario {id} emitted twice");
+        self.pending.insert(id, line);
+        self.high_water = self.high_water.max(self.pending.len());
+        while let Some(line) = self.pending.remove(&self.next) {
+            self.sink.write_all(line.as_bytes())?;
+            self.sink.write_all(b"\n")?;
+            self.next += 1;
+        }
+        Ok(())
+    }
+
+    /// Largest number of lines ever buffered (the reorder-buffer footprint).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Flushes and returns the sink. Panics if lines are still buffered
+    /// (a gap in the id sequence was never filled).
+    pub fn finish(mut self) -> std::io::Result<W> {
+        assert!(
+            self.pending.is_empty(),
+            "emitter finished with {} lines stuck behind missing id {}",
+            self.pending.len(),
+            self.next
+        );
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_of_known_samples() {
+        let d = Distribution::from_samples(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        assert_eq!(d.n, 5);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.median, 3.0);
+        assert_eq!(d.p95, 5.0);
+        assert_eq!(d.max, 5.0);
+        assert_eq!(d.mean, 3.0);
+    }
+
+    #[test]
+    fn single_sample_collapses() {
+        let d = Distribution::from_samples(&[2.5]);
+        assert_eq!(
+            (d.min, d.median, d.p95, d.max, d.mean),
+            (2.5, 2.5, 2.5, 2.5, 2.5)
+        );
+    }
+
+    #[test]
+    fn nearest_rank_p95_on_twenty_samples() {
+        let samples: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let d = Distribution::from_samples(&samples);
+        assert_eq!(d.p95, 19.0); // ceil(0.95 * 20) = 19th of 20
+        assert_eq!(d.median, 10.0); // ceil(0.5 * 20) = 10th
+    }
+
+    #[test]
+    fn emitter_reorders_by_id() {
+        let mut em = OrderedEmitter::new(Vec::new());
+        em.push(2, "c".into()).unwrap();
+        em.push(0, "a".into()).unwrap();
+        em.push(1, "b".into()).unwrap();
+        em.push(3, "d".into()).unwrap();
+        assert_eq!(em.high_water(), 2);
+        let out = em.finish().unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "a\nb\nc\nd\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck behind missing id")]
+    fn emitter_detects_gaps() {
+        let mut em = OrderedEmitter::new(Vec::new());
+        em.push(1, "b".into()).unwrap();
+        let _ = em.finish();
+    }
+}

@@ -6,46 +6,74 @@
 //! cargo run --release --example capacity_planning
 //! ```
 //!
-//! The expected workload here is a 16-process pairwise all-to-all of 1 MiB
-//! blocks (a transpose-heavy solver). Three candidate interconnects are
-//! simulated; none needs to exist.
+//! The expected workload (a 16-process pairwise all-to-all of 1 MiB
+//! blocks — a transpose-heavy solver) is captured *once* as a
+//! time-independent trace. The sweep engine then replays it across the
+//! full purchase matrix: 2 candidate interconnects × 2 network models
+//! (the calibrated surf kernel and the packet-level substrate) × noise
+//! on/off — with 8 jittered replications per noisy cell, so the answer is
+//! a makespan *distribution* per candidate, not a single optimistic
+//! number. None of the clusters needs to exist.
 
 use std::sync::Arc;
 
 use smpi_suite::platform::{flat_cluster, ClusterConfig, RoutedPlatform};
 use smpi_suite::smpi::World;
 use smpi_suite::surf::TransferModel;
+use smpi_suite::sweep::{run_sweep, FabricKind, NoiseAxis, Program, SweepConfig};
 use smpi_suite::workloads::timed_alltoall;
 
-fn main() {
-    let candidates = [
-        ("1 GbE, 50us", 125e6, 50e-6),
-        ("10 GbE, 30us", 1.25e9, 30e-6),
-        ("25 GbE, 5us", 3.125e9, 5e-6),
-    ];
-    let chunk = 128 * 1024; // 1 MiB per peer
-
-    println!(
-        "{:<16} {:>14} {:>12}",
-        "interconnect", "alltoall(s)", "speedup"
-    );
-    let mut baseline = None;
-    for (name, bw, lat) in candidates {
-        let platform = Arc::new(RoutedPlatform::new(flat_cluster(
-            "candidate",
+fn candidate(name: &str, bw: f64, lat: f64) -> (String, Arc<RoutedPlatform>) {
+    (
+        name.to_string(),
+        Arc::new(RoutedPlatform::new(flat_cluster(
+            name,
             16,
             &ClusterConfig {
                 link_bandwidth: bw,
                 link_latency: lat,
                 ..ClusterConfig::default()
             },
-        )));
+        ))),
+    )
+}
+
+fn main() {
+    let chunk = 128 * 1024; // 1 MiB per peer
+
+    // Capture the workload once, on the cheapest candidate.
+    let gbe = candidate("1gbe-50us", 125e6, 50e-6);
+    let world = World::smpi(Arc::clone(&gbe.1), TransferModel::default_affine()).capture(true);
+    let report = world.run(16, move |ctx| {
+        timed_alltoall(ctx, chunk);
+    });
+    let trace = Arc::new(report.ti_trace.expect("capture enabled"));
+
+    // The purchase matrix: platforms × models × weather.
+    let cfg = SweepConfig {
+        programs: vec![Program::trace("alltoall-1MiB", trace)],
+        platforms: vec![gbe, candidate("10gbe-30us", 1.25e9, 30e-6)],
+        fabrics: vec![
+            ("surf".into(), FabricKind::surf()),
+            ("packet".into(), FabricKind::packet()),
+        ],
         // 92% of nominal is the standard TCP payload derate.
-        let world = World::smpi(platform, TransferModel::default_affine());
-        let report = world.run(16, move |ctx| timed_alltoall(ctx, chunk));
-        let t = report.results.iter().copied().fold(0.0, f64::max);
-        let base = *baseline.get_or_insert(t);
-        println!("{:<16} {:>14.4} {:>11.2}x", name, t, base / t);
-    }
-    println!("\n(simulated on one machine; no cluster was purchased in the making of this table)");
+        calibrations: vec![("affine-92".into(), TransferModel::default_affine())],
+        noises: vec![NoiseAxis::none(), NoiseAxis::jitter("j10", 0.10, 8)],
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        seed: 2011,
+        strip_hostdep: true,
+    };
+
+    println!(
+        "sweeping {} scenarios over {} workers...\n",
+        cfg.scenario_count(),
+        cfg.workers
+    );
+    // Stream the per-scenario table to a sink we discard here; the
+    // distributions are the deliverable for a purchase decision.
+    let (report, _lines) = run_sweep(&cfg, std::io::sink()).expect("sweep");
+
+    println!("{}", report.render());
+    println!("(simulated on one machine; no cluster was purchased in the making of this table)");
 }

@@ -9,7 +9,9 @@ pub use simix;
 pub use smpi;
 pub use smpi_calibrate as calibrate;
 pub use smpi_metrics as metrics;
+pub use smpi_obs as obs;
 pub use smpi_platform as platform;
 pub use smpi_replay as replay;
+pub use smpi_sweep as sweep;
 pub use smpi_workloads as workloads;
 pub use surf_sim as surf;
