@@ -42,15 +42,28 @@ pub enum SimError {
         /// Flight-recorder snapshot of every blocked rank.
         postmortem: Box<Postmortem>,
     },
+    /// The runtime's protocol state machine was handed an event that
+    /// references a request or message it no longer (or never) knew about —
+    /// a fabric completion for an unknown token, a receive binding to a
+    /// vanished request, a completion for a dropped message. Typically a
+    /// malformed or truncated `.tit` replay trace whose operation stream
+    /// violates MPI matching semantics; previously these paths panicked and
+    /// poisoned the maestro thread.
+    Protocol {
+        /// What was being completed and which id was missing.
+        detail: String,
+        /// Flight-recorder snapshot at the point of failure.
+        postmortem: Box<Postmortem>,
+    },
 }
 
 impl SimError {
     /// The flight-recorder snapshot attached to the failure.
     pub fn postmortem(&self) -> &Postmortem {
         match self {
-            SimError::Stall { postmortem, .. } | SimError::Deadlock { postmortem, .. } => {
-                postmortem
-            }
+            SimError::Stall { postmortem, .. }
+            | SimError::Deadlock { postmortem, .. }
+            | SimError::Protocol { postmortem, .. } => postmortem,
         }
     }
 }
@@ -80,6 +93,16 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::Protocol { detail, postmortem } => {
+                write!(
+                    f,
+                    "protocol error: {detail} (malformed or truncated trace?)"
+                )?;
+                if !postmortem.ranks.is_empty() {
+                    write!(f, "\n{}", postmortem.render())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -88,7 +111,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Stall { error, .. } => Some(error),
-            SimError::Deadlock { .. } => None,
+            SimError::Deadlock { .. } | SimError::Protocol { .. } => None,
         }
     }
 }

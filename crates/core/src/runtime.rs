@@ -312,6 +312,20 @@ pub struct Runtime {
     progress: Option<Progress>,
 }
 
+/// ETA extrapolation for the progress emitter: wall seconds until `sim`
+/// reaches `total_hint` at the observed `sim_rate` (simulated seconds per
+/// wall second). Returns `None` — rendered as an explicit `"eta_s":null` —
+/// whenever the extrapolation is meaningless: no hint, a zero/negative
+/// hint, a rate that is zero, negative or NaN (a tier that finished inside
+/// the first progress interval advances no sim time), or a denormal rate
+/// whose quotient overflows to infinity.
+fn eta_seconds(total_hint: Option<f64>, sim: f64, sim_rate: f64) -> Option<f64> {
+    total_hint
+        .filter(|&total| total > 0.0 && sim_rate > 0.0)
+        .map(|total| (total - sim).max(0.0) / sim_rate)
+        .filter(|eta| eta.is_finite())
+}
+
 /// Wall-clock-periodic progress emitter state.
 struct Progress {
     /// Minimum wall-clock seconds between emitted lines.
@@ -540,7 +554,7 @@ impl Runtime {
                         alive -= 1;
                     }
                     ActorEvent::Request(id, call) => {
-                        self.handle_simcall(sx, id, call);
+                        self.handle_simcall(sx, id, call)?;
                     }
                 }
             }
@@ -566,7 +580,7 @@ impl Runtime {
                 Ok(Some((t, tokens))) => {
                     self.clock.publish(t.as_secs());
                     for tok in tokens {
-                        self.on_token(tok);
+                        self.on_token(tok)?;
                     }
                     let woken = self.resolve_waiters(sx);
                     if self.timeseries.is_some() {
@@ -635,10 +649,7 @@ impl Runtime {
         }
         let sim_rate = (sim - p.last_sim) / since;
         let simcall_rate = (n_simcalls - p.last_simcalls) as f64 / since;
-        let eta = p
-            .total_hint
-            .filter(|_| sim_rate > 0.0)
-            .map(|total| (total - sim).max(0.0) / sim_rate);
+        let eta = eta_seconds(p.total_hint, sim, sim_rate);
         let wall = now.duration_since(p.started).as_secs_f64();
         p.last = now;
         p.last_sim = sim;
@@ -831,7 +842,12 @@ impl Runtime {
         ))
     }
 
-    fn handle_simcall(&mut self, sx: &mut Sx, actor: ActorId, call: Simcall) {
+    fn handle_simcall(
+        &mut self,
+        sx: &mut Sx,
+        actor: ActorId,
+        call: Simcall,
+    ) -> Result<(), SimError> {
         self.n_simcalls += 1;
         match call {
             Simcall::Isend {
@@ -852,7 +868,7 @@ impl Runtime {
                 // complete (and log its `done` line) inside `post_send`.
                 self.flight
                     .on_post(actor.0, ReqId(self.next_req), op.clone());
-                let req = self.post_send(actor.0, dst, cid, tag, Some(payload), bytes);
+                let req = self.post_send(actor.0, dst, cid, tag, Some(payload), bytes)?;
                 if let Some(cap) = &mut self.capture {
                     cap.on_post(actor.0, req, op);
                 }
@@ -873,7 +889,7 @@ impl Runtime {
                 };
                 self.flight
                     .on_post(actor.0, ReqId(self.next_req), op.clone());
-                let req = self.post_send(actor.0, dst, cid, tag, None, bytes);
+                let req = self.post_send(actor.0, dst, cid, tag, None, bytes)?;
                 if let Some(cap) = &mut self.capture {
                     cap.on_post(actor.0, req, op);
                 }
@@ -893,7 +909,7 @@ impl Runtime {
                 };
                 self.flight
                     .on_post(actor.0, ReqId(self.next_req), op.clone());
-                let req = self.post_recv(actor.0, src, cid, tag, max_bytes);
+                let req = self.post_recv(actor.0, src, cid, tag, max_bytes)?;
                 if let Some(cap) = &mut self.capture {
                     cap.on_post(actor.0, req, op);
                 }
@@ -1011,6 +1027,7 @@ impl Runtime {
                 sx.resolve(actor, SimResp::Unit);
             }
         }
+        Ok(())
     }
 
     fn alloc_req(&mut self, kind: ReqKind) -> ReqId {
@@ -1035,7 +1052,7 @@ impl Runtime {
         tag: i32,
         payload: Option<Box<[u8]>>,
         bytes: u64,
-    ) -> ReqId {
+    ) -> Result<ReqId, SimError> {
         let send_req = self.alloc_req(ReqKind::Send);
         let eager = self.profile.is_eager(bytes);
         self.record(TraceKind::SendPosted {
@@ -1076,14 +1093,14 @@ impl Runtime {
 
         // Try to match the earliest compatible already-posted receive.
         if let Some(req) = self.posted_recvs.pop_match(cid, dst, src, tag) {
-            self.bind(mid, req);
+            self.bind(mid, req)?;
         } else {
             self.pending_msgs.push(cid, dst, src, tag, mid.0, mid);
         }
 
         if eager {
             // Eager: the wire starts regardless of matching.
-            self.begin_wire(mid);
+            self.begin_wire(mid)?;
             // Sender-side completion: injection delay, or immediate.
             let pre = self.profile.send_overhead;
             let inj = if self.profile.injection_rate.is_finite() {
@@ -1095,16 +1112,23 @@ impl Runtime {
                 let tok = self.fabric.start_sleep(pre + inj);
                 self.tokens.insert(tok, TokenUse::SenderDone(mid));
             } else {
-                self.complete_send(mid);
+                self.complete_send(mid)?;
             }
         } else if self.messages[&mid].recv_req.is_some() {
             // Rendezvous already matched: begin the handshake.
-            self.begin_rendezvous(mid);
+            self.begin_rendezvous(mid)?;
         }
-        send_req
+        Ok(send_req)
     }
 
-    fn post_recv(&mut self, dst: u32, src: i32, cid: u32, tag: i32, max_bytes: u64) -> ReqId {
+    fn post_recv(
+        &mut self,
+        dst: u32,
+        src: i32,
+        cid: u32,
+        tag: i32,
+        max_bytes: u64,
+    ) -> Result<ReqId, SimError> {
         self.record(TraceKind::RecvPosted { dst, src, tag });
         let req = self.alloc_req(ReqKind::Recv {
             max_bytes,
@@ -1113,98 +1137,136 @@ impl Runtime {
         // Match the earliest compatible pending message (send-post order;
         // everything in the pending store is unbound by construction).
         if let Some(mid) = self.pending_msgs.pop_match(cid, dst, src, tag) {
-            self.bind(mid, req);
+            self.bind(mid, req)?;
             let m = &self.messages[&mid];
             if m.eager {
                 if m.state == MsgState::Arrived {
-                    self.complete_recv(mid);
+                    self.complete_recv(mid)?;
                 }
                 // else: completes when the arrival chain finishes.
             } else {
-                self.begin_rendezvous(mid);
+                self.begin_rendezvous(mid)?;
             }
         } else {
             self.posted_recvs.push(cid, dst, src, tag, req.0, req);
         }
-        req
+        Ok(req)
+    }
+
+    /// Builds a [`SimError::Protocol`] with the current flight-recorder
+    /// snapshot attached, so a malformed or truncated trace reports which
+    /// id was missing *and* what every blocked rank was doing.
+    fn protocol(&self, detail: String) -> SimError {
+        SimError::Protocol {
+            detail,
+            postmortem: Box::new(self.build_postmortem()),
+        }
+    }
+
+    /// Completion-path message lookup: a missing id means the event stream
+    /// violated the protocol state machine (e.g. a truncated `.tit` trace),
+    /// which is a diagnosable [`SimError::Protocol`], not a panic.
+    fn msg_mut(&mut self, mid: MsgId, ctx: &str) -> Result<&mut Message, SimError> {
+        if !self.messages.contains_key(&mid) {
+            return Err(self.protocol(format!("{ctx} message {} that is not live", mid.0)));
+        }
+        Ok(self.messages.get_mut(&mid).expect("presence just checked"))
+    }
+
+    /// Completion-path request lookup; same contract as [`Self::msg_mut`].
+    fn req_mut(&mut self, req: ReqId, ctx: &str) -> Result<&mut Request, SimError> {
+        if !self.requests.contains_key(&req) {
+            return Err(self.protocol(format!("{ctx} request {} that is not live", req.0)));
+        }
+        Ok(self.requests.get_mut(&req).expect("presence just checked"))
     }
 
     /// Binds a message to a receive request (both directions).
-    fn bind(&mut self, mid: MsgId, req: ReqId) {
-        let m = self.messages.get_mut(&mid).unwrap();
+    fn bind(&mut self, mid: MsgId, req: ReqId) -> Result<(), SimError> {
+        let m = self.msg_mut(mid, "binding a receive to a")?;
         debug_assert!(m.recv_req.is_none());
         m.recv_req = Some(req);
-        let (bytes, max) = match &mut self.requests.get_mut(&req).unwrap().kind {
-            ReqKind::Recv { msg, max_bytes, .. } => {
-                debug_assert!(msg.is_none());
-                *msg = Some(mid);
-                (m.bytes, *max_bytes)
-            }
-            ReqKind::Send => unreachable!("binding a message to a send"),
+        let bytes = m.bytes;
+        let mut bound = None;
+        if let ReqKind::Recv { msg, max_bytes } = &mut self.req_mut(req, "binding a")?.kind {
+            debug_assert!(msg.is_none());
+            *msg = Some(mid);
+            bound = Some(*max_bytes);
+        }
+        let Some(max) = bound else {
+            return Err(self.protocol(format!("message {} matched a send request", mid.0)));
         };
         assert!(
             bytes <= max,
             "MPI_ERR_TRUNCATE: message of {bytes} bytes into a {max}-byte buffer"
         );
+        Ok(())
     }
 
     /// Starts the wire transfer (or local copy) for a message.
-    fn begin_wire(&mut self, mid: MsgId) {
-        let m = self.messages.get_mut(&mid).unwrap();
+    fn begin_wire(&mut self, mid: MsgId) -> Result<(), SimError> {
         let pre = self.profile.send_overhead;
+        let self_rate = self.profile.self_rate;
+        let recv_overhead = self.profile.recv_overhead;
+        let m = self.msg_mut(mid, "starting the wire for a")?;
         if m.src == m.dst {
             // Self-message: a memcpy-rate delay covers the whole path.
-            let d = pre + m.bytes as f64 / self.profile.self_rate + self.profile.recv_overhead;
+            let d = pre + m.bytes as f64 / self_rate + recv_overhead;
             m.state = MsgState::PostDelay;
             let tok = self.fabric.start_sleep(d);
             self.tokens.insert(tok, TokenUse::MsgPost(mid));
-            return;
+            return Ok(());
         }
         if pre > 0.0 {
             m.state = MsgState::PreDelay;
             let tok = self.fabric.start_sleep(pre);
             self.tokens.insert(tok, TokenUse::MsgPre(mid));
+            Ok(())
         } else {
-            self.start_transfer_now(mid);
+            self.start_transfer_now(mid)
         }
     }
 
     /// Starts the rendezvous chain once both sides are posted.
-    fn begin_rendezvous(&mut self, mid: MsgId) {
-        let m = self.messages.get_mut(&mid).unwrap();
-        debug_assert!(!m.eager && m.recv_req.is_some());
-        debug_assert_eq!(m.state, MsgState::Posted);
-        if m.src == m.dst {
-            self.begin_wire(mid);
-            return;
+    fn begin_rendezvous(&mut self, mid: MsgId) -> Result<(), SimError> {
+        let (src, dst) = {
+            let m = self.msg_mut(mid, "starting a rendezvous for a")?;
+            debug_assert!(!m.eager && m.recv_req.is_some());
+            debug_assert_eq!(m.state, MsgState::Posted);
+            (m.src, m.dst)
+        };
+        if src == dst {
+            return self.begin_wire(mid);
         }
         let mut delay = self.profile.send_overhead;
         if self.profile.rendezvous_handshake {
             // RTS + CTS round trip before data flows.
             delay += 2.0
-                * self.fabric.control_latency(
-                    self.placement[m.src as usize],
-                    self.placement[m.dst as usize],
-                );
+                * self
+                    .fabric
+                    .control_latency(self.placement[src as usize], self.placement[dst as usize]);
         }
         if delay > 0.0 {
-            m.state = MsgState::PreDelay;
+            self.msg_mut(mid, "starting a rendezvous for a")?.state = MsgState::PreDelay;
             let tok = self.fabric.start_sleep(delay);
             self.tokens.insert(tok, TokenUse::MsgPre(mid));
+            Ok(())
         } else {
-            self.start_transfer_now(mid);
+            self.start_transfer_now(mid)
         }
     }
 
-    fn start_transfer_now(&mut self, mid: MsgId) {
-        let m = self.messages.get_mut(&mid).unwrap();
-        m.state = MsgState::InFlight;
-        let src = self.placement[m.src as usize];
-        let dst = self.placement[m.dst as usize];
+    fn start_transfer_now(&mut self, mid: MsgId) -> Result<(), SimError> {
+        let (msrc, mdst, mbytes) = {
+            let m = self.msg_mut(mid, "starting the transfer of a")?;
+            m.state = MsgState::InFlight;
+            (m.src, m.dst, m.bytes)
+        };
+        let src = self.placement[msrc as usize];
+        let dst = self.placement[mdst as usize];
         // Implementation pipelining efficiency: the wire carries
         // bytes / efficiency effective volume (MpiProfile docs).
-        let bytes = (m.bytes as f64 / self.profile.wire_efficiency).ceil() as u64;
-        let (msrc, mdst) = (m.src, m.dst);
+        let bytes = (mbytes as f64 / self.profile.wire_efficiency).ceil() as u64;
         let tok = self.fabric.start_transfer(src, dst, bytes);
         self.tokens.insert(tok, TokenUse::MsgWire(mid));
         self.record(TraceKind::TransferStarted {
@@ -1212,33 +1274,37 @@ impl Runtime {
             dst: mdst,
             bytes,
         });
+        Ok(())
     }
 
-    fn on_token(&mut self, tok: FabricToken) {
-        let usage = self
-            .tokens
-            .remove(&tok)
-            .expect("completion for unknown token");
+    fn on_token(&mut self, tok: FabricToken) -> Result<(), SimError> {
+        let Some(usage) = self.tokens.remove(&tok) else {
+            return Err(self.protocol(format!("fabric completion for unknown token {}", tok.0)));
+        };
         self.n_tokens += 1;
         match usage {
             TokenUse::MsgPre(mid) => self.start_transfer_now(mid),
             TokenUse::MsgWire(mid) => {
                 if let Some(attr) = self.fabric.take_flow_attribution(tok) {
-                    self.messages.get_mut(&mid).unwrap().attr = Some(attr);
+                    self.msg_mut(mid, "attributing a delivered")?.attr = Some(attr);
                 }
-                let m = &self.messages[&mid];
+                let (eager, bytes) = {
+                    let m = self.msg_mut(mid, "delivering a")?;
+                    (m.eager, m.bytes)
+                };
                 let mut post = self.profile.recv_overhead;
-                if m.eager {
+                if eager {
                     if let Some(rate) = self.profile.copy_rate {
-                        post += m.bytes as f64 / rate;
+                        post += bytes as f64 / rate;
                     }
                 }
                 if post > 0.0 {
-                    self.messages.get_mut(&mid).unwrap().state = MsgState::PostDelay;
+                    self.msg_mut(mid, "delivering a")?.state = MsgState::PostDelay;
                     let t = self.fabric.start_sleep(post);
                     self.tokens.insert(t, TokenUse::MsgPost(mid));
+                    Ok(())
                 } else {
-                    self.arrive(mid);
+                    self.arrive(mid)
                 }
             }
             TokenUse::MsgPost(mid) => self.arrive(mid),
@@ -1247,17 +1313,26 @@ impl Runtime {
                 // Resolution is deferred to the waiter pass; Exec/Sleep use a
                 // dedicated path because there is no ReqId involved.
                 self.delayed_actors.push(actor);
+                Ok(())
             }
         }
     }
 
-    fn arrive(&mut self, mid: MsgId) {
-        let m = self.messages.get_mut(&mid).unwrap();
-        m.state = MsgState::Arrived;
-        let matched = m.recv_req.is_some();
-        let eager = m.eager;
-        let (src, dst, tag, bytes) = (m.src, m.dst, m.tag, m.bytes);
-        if let Some(attr) = m.attr.take() {
+    fn arrive(&mut self, mid: MsgId) -> Result<(), SimError> {
+        let (matched, eager, src, dst, tag, bytes, attr) = {
+            let m = self.msg_mut(mid, "recording the arrival of a")?;
+            m.state = MsgState::Arrived;
+            (
+                m.recv_req.is_some(),
+                m.eager,
+                m.src,
+                m.dst,
+                m.tag,
+                m.bytes,
+                m.attr.take(),
+            )
+        };
+        if let Some(attr) = attr {
             // Delivery order: deterministic, and FIFO-pairable with the
             // trace's Delivered events per (src, dst).
             self.flow_records.push(FlowRecord {
@@ -1279,14 +1354,15 @@ impl Runtime {
             self.rec.counter_add("core.msgs.unexpected", 1);
         }
         if matched {
-            self.complete_recv(mid);
+            self.complete_recv(mid)?;
             if !eager {
                 // Rendezvous: synchronous sender completes with arrival.
-                self.complete_send(mid);
+                self.complete_send(mid)?;
             }
         }
         // Unmatched eager message: stays Arrived in pending_msgs until a
         // receive claims it.
+        Ok(())
     }
 
     /// Marks a request complete and, if an actor is blocked on it, updates
@@ -1310,46 +1386,49 @@ impl Runtime {
         }
     }
 
-    fn complete_send(&mut self, mid: MsgId) {
-        let m = &self.messages[&mid];
+    fn complete_send(&mut self, mid: MsgId) -> Result<(), SimError> {
+        let m = self
+            .messages
+            .get(&mid)
+            .ok_or_else(|| self.protocol(format!("send completion for dead message {}", mid.0)))?;
         let req = m.send_req;
         let (src, dst, tag, bytes) = (m.src, m.dst, m.tag, m.bytes);
-        let r = self.requests.get_mut(&req).unwrap();
+        let r = self.req_mut(req, "completing a send on a")?;
         debug_assert!(!r.complete, "send completed twice");
         r.complete = true;
         r.record = Some((src, tag, bytes, None));
         self.flight.on_done(src, req, "send", dst, tag, bytes);
         self.notify_completion(req);
         self.gc_message(mid);
+        Ok(())
     }
 
-    fn complete_recv(&mut self, mid: MsgId) {
-        let (req, payload, src, dst, tag, bytes) = {
-            let m = self.messages.get_mut(&mid).unwrap();
+    fn complete_recv(&mut self, mid: MsgId) -> Result<(), SimError> {
+        let (recv_req, payload, src, dst, tag, bytes) = {
+            let m = self.msg_mut(mid, "completing a receive on a")?;
             debug_assert_eq!(m.state, MsgState::Arrived);
-            (
-                m.recv_req.expect("recv bound"),
-                m.payload.take(),
-                m.src,
-                m.dst,
-                m.tag,
-                m.bytes,
-            )
+            (m.recv_req, m.payload.take(), m.src, m.dst, m.tag, m.bytes)
         };
-        let r = self.requests.get_mut(&req).unwrap();
+        let Some(req) = recv_req else {
+            return Err(self.protocol(format!("receive completion for unbound message {}", mid.0)));
+        };
+        let r = self.req_mut(req, "completing a receive on a")?;
         debug_assert!(!r.complete, "recv completed twice");
         r.complete = true;
         r.record = Some((src, tag, bytes, payload));
         self.flight.on_done(dst, req, "recv", src, tag, bytes);
         self.notify_completion(req);
         self.gc_message(mid);
+        Ok(())
     }
 
     /// Drops a message once both sides have completed. Requests vanish from
     /// the table once their completion has been reported, so a missing
-    /// request counts as complete.
+    /// request counts as complete (and a dead message is already gone).
     fn gc_message(&mut self, mid: MsgId) {
-        let m = &self.messages[&mid];
+        let Some(m) = self.messages.get(&mid) else {
+            return;
+        };
         let done =
             |req: ReqId| -> bool { self.requests.get(&req).map(|r| r.complete).unwrap_or(true) };
         let send_done = done(m.send_req);
@@ -1443,6 +1522,25 @@ mod tests {
     use crate::matching::env_matches;
 
     use super::*;
+
+    #[test]
+    fn eta_is_null_unless_the_extrapolation_is_meaningful() {
+        // Healthy case: 10 simulated seconds to go at 2 sim-s per wall-s.
+        assert_eq!(eta_seconds(Some(30.0), 20.0, 2.0), Some(5.0));
+        // Already past the hint: clamped to zero, not negative.
+        assert_eq!(eta_seconds(Some(30.0), 40.0, 2.0), Some(0.0));
+        // No hint.
+        assert_eq!(eta_seconds(None, 20.0, 2.0), None);
+        // A zero hint must not claim "done now".
+        assert_eq!(eta_seconds(Some(0.0), 0.0, 2.0), None);
+        // A tier that finished inside the first interval advances no sim
+        // time: rate 0 (or NaN from 0/0 upstream) means no extrapolation.
+        assert_eq!(eta_seconds(Some(30.0), 0.0, 0.0), None);
+        assert_eq!(eta_seconds(Some(30.0), 0.0, f64::NAN), None);
+        assert_eq!(eta_seconds(Some(30.0), 0.0, -1.0), None);
+        // Denormal rate: the quotient overflows to +inf, which is not an ETA.
+        assert_eq!(eta_seconds(Some(1e300), 0.0, 1e-300), None);
+    }
 
     #[test]
     fn env_matching_rules() {

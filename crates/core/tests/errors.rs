@@ -29,6 +29,7 @@ fn kernel_stall_propagates_as_typed_error() {
             engine: EngineConfig {
                 contention: true,
                 tcp_window: Some(0.0),
+                class_folding: true,
             },
         },
         smpi::MpiProfile::smpi(),
@@ -178,6 +179,25 @@ fn tag_mismatch_postmortem_names_both_sides() {
     let msg = err.to_string();
     assert!(msg.contains("postmortem: 2 blocked rank(s)"), "{msg}");
     assert!(msg.contains("nearest match:"), "{msg}");
+}
+
+/// Protocol violations (a completion naming a request or message the
+/// runtime no longer knows — the signature of a malformed or truncated
+/// `.tit` replay trace) are typed, self-describing errors rather than
+/// panics that poison the maestro thread.
+#[test]
+fn protocol_error_is_typed_and_diagnosable() {
+    let err = SimError::Protocol {
+        detail: "fabric completion for unknown token 42".into(),
+        postmortem: Box::default(),
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("protocol error"), "{msg}");
+    assert!(msg.contains("unknown token 42"), "{msg}");
+    assert!(msg.contains("truncated trace"), "{msg}");
+    // The shared postmortem accessor covers the new variant.
+    assert!(err.postmortem().ranks.is_empty());
+    assert!(std::error::Error::source(&err).is_none());
 }
 
 /// The postmortem JSON is deterministic; gate it against a committed

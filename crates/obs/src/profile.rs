@@ -89,6 +89,16 @@ pub struct KernelProfile {
     /// Orphaned heap entries dropped on pop (stale generation or stale
     /// prediction).
     pub heap_orphans: u64,
+    /// Flows folded away into uniform-round route-class representatives
+    /// (each saved a solver variable).
+    pub classes_folded: u64,
+    /// Same-instant completions observed past the first of their batch
+    /// (each saved a reshare/solve a one-event-per-step kernel would pay).
+    pub batched_completions: u64,
+    /// Components dispatched in parallel-ready reshare batches (≥ 2
+    /// independent components with enough coupled variables to amortize
+    /// worker threads). A property of the workload, not of the host.
+    pub parallel_components: u64,
     /// Variables per max-min solve (the coupled component size).
     pub component_vars: KernelHist,
     /// Actions re-rated per incremental reshare (the dirty cascade).
@@ -104,6 +114,10 @@ impl KernelProfile {
         out.push_str(&format!(
             "  kernel: {} reshares ({} full), heap {} rebuilds / {} orphans\n",
             self.reshares, self.full_reshares, self.heap_rebuilds, self.heap_orphans
+        ));
+        out.push_str(&format!(
+            "  kernel fast path: {} classes folded, {} batched completions, {} parallel components\n",
+            self.classes_folded, self.batched_completions, self.parallel_components
         ));
         for (name, h) in [
             ("component size (vars/solve)", &self.component_vars),
@@ -130,6 +144,11 @@ impl KernelProfile {
         j.key("full_reshares").uint_val(self.full_reshares);
         j.key("heap_rebuilds").uint_val(self.heap_rebuilds);
         j.key("heap_orphans").uint_val(self.heap_orphans);
+        j.key("classes_folded").uint_val(self.classes_folded);
+        j.key("batched_completions")
+            .uint_val(self.batched_completions);
+        j.key("parallel_components")
+            .uint_val(self.parallel_components);
         j.key("component_vars");
         self.component_vars.to_json(&mut j);
         j.key("cascade");
@@ -311,6 +330,9 @@ mod tests {
             full_reshares: 2,
             heap_rebuilds: 1,
             heap_orphans: 7,
+            classes_folded: 30,
+            batched_completions: 5,
+            parallel_components: 4,
             ..KernelProfile::default()
         };
         for v in [1.0, 3.0, 8.0] {
@@ -372,12 +394,19 @@ mod tests {
         assert!(text.contains("10 reshares (2 full)"), "got: {text}");
         assert!(text.contains("component size"), "got: {text}");
         assert!(text.contains("solve wall-clock"), "got: {text}");
+        assert!(
+            text.contains("30 classes folded, 5 batched completions, 4 parallel components"),
+            "got: {text}"
+        );
         let json = k.to_json();
         for key in [
             "reshares",
             "full_reshares",
             "heap_rebuilds",
             "heap_orphans",
+            "classes_folded",
+            "batched_completions",
+            "parallel_components",
             "component_vars",
             "cascade",
             "solve_ns",

@@ -53,6 +53,35 @@ use std::time::Instant;
 /// Relative tolerance when deciding that an action's remaining work is done.
 const COMPLETION_EPS: f64 = 1e-9;
 
+/// Minimum total coupled variables across a reshare before independent
+/// components are considered worth dispatching to worker threads. Below
+/// this, spawn overhead dwarfs the solves. The threshold also defines the
+/// `parallel_components` counter (a property of the workload, not the
+/// host), so it must not depend on runtime core counts.
+const PARALLEL_MIN_VARS: usize = 256;
+
+/// One dirty component's max-min problem plus the bookkeeping needed to
+/// apply its solution back to engine actions.
+struct BuiltComponent {
+    problem: MaxMinProblem,
+    /// Constraint index → kernel link (None for host constraints).
+    cnst_link: Vec<Option<u32>>,
+    /// Member slots in birth order.
+    sharing: Vec<u32>,
+    /// Member index → solver variable index (identity when unfolded; the
+    /// route-class representative when folded).
+    var_of: Vec<u32>,
+    /// Members folded away into class representatives (0 when unfolded).
+    folded: u64,
+}
+
+/// A solved component, ready to merge in component-birth order.
+struct SolvedComponent {
+    rates: Vec<f64>,
+    bottlenecks: Option<Vec<Option<CnstId>>>,
+    ns: f64,
+}
+
 /// Birth-ordered key of an action inside constraint user sets: the start
 /// sequence number first, so iteration replays creation order.
 type UserKey = (u64, u32);
@@ -143,6 +172,11 @@ pub struct EngineConfig {
     /// Optional TCP-window rate cap: a flow's rate is additionally bounded by
     /// `tcp_window / (2 * route_latency)` (CM02-style). `None` disables it.
     pub tcp_window: Option<f64>,
+    /// Uniform-round class folding (on by default); see
+    /// [`Simulation::set_class_folding`]. Exposed here so full-stack
+    /// harnesses can run the folding ablation without reaching into the
+    /// kernel.
+    pub class_folding: bool,
 }
 
 impl Default for EngineConfig {
@@ -150,6 +184,7 @@ impl Default for EngineConfig {
         EngineConfig {
             contention: true,
             tcp_window: None,
+            class_folding: true,
         }
     }
 }
@@ -248,6 +283,11 @@ pub struct Simulation {
     full_dirty: bool,
     /// Ablation/testing hook: always re-share from scratch.
     force_full: bool,
+    /// Uniform-round class folding (on by default): solve one representative
+    /// per route-equivalence class when a component is uniform. Ablation
+    /// hook mirrors `force_full`; see [`set_class_folding`]
+    /// (Self::set_class_folding).
+    class_folding: bool,
     config: EngineConfig,
     /// Observability sink; disabled by default (every emit is one branch).
     rec: Rec,
@@ -261,6 +301,21 @@ pub struct Simulation {
     /// Always-on solver introspection (plain counters + inline histograms;
     /// see `KernelProfile` for why this is not gated on `rec`).
     kstats: KernelProfile,
+    /// Epoch-stamped visit marks for [`collect_dirty_components`]
+    /// (Self::collect_dirty_components), indexed by action slot / link /
+    /// host. A mark is set iff its entry equals `comp_epoch`, so clearing
+    /// between reshares is a single counter bump instead of a memset.
+    comp_stamp: Vec<u64>,
+    link_stamp: Vec<u64>,
+    host_stamp: Vec<u64>,
+    comp_epoch: u64,
+    /// Epoch-stamped scratch for [`build_component`](Self::build_component):
+    /// maps a link / host to its constraint's insertion index in the
+    /// component currently being built. Same stamping scheme as
+    /// `comp_stamp`, sharing `comp_epoch` (each user bumps the epoch before
+    /// use, so the phases can never read each other's marks).
+    cnst_scratch_links: Vec<(u64, u32)>,
+    cnst_scratch_hosts: Vec<(u64, u32)>,
 }
 
 impl Default for Simulation {
@@ -288,11 +343,18 @@ impl Simulation {
             dirty_hosts: BTreeSet::new(),
             full_dirty: false,
             force_full: false,
+            class_folding: config.class_folding,
             config,
             rec: Rec::disabled(),
             last_util: Vec::new(),
             done_attr: HashMap::new(),
             kstats: KernelProfile::default(),
+            comp_stamp: Vec::new(),
+            link_stamp: Vec::new(),
+            host_stamp: Vec::new(),
+            comp_epoch: 0,
+            cnst_scratch_links: Vec::new(),
+            cnst_scratch_hosts: Vec::new(),
         }
     }
 
@@ -371,6 +433,19 @@ impl Simulation {
     /// baseline.
     pub fn set_full_reshare(&mut self, force: bool) {
         self.force_full = force;
+    }
+
+    /// Enables or disables uniform-round class folding (on by default):
+    /// when every flow of a dirty component carries the same weight and the
+    /// same rate-bound bit pattern (an *eager collective round*), flows with
+    /// identical constraint sets are folded into one solver variable per
+    /// route-equivalence class and the representative's share is replicated
+    /// to the rest. The fold is bitwise-exact under that precondition
+    /// (DESIGN §16); heterogeneous components always take the unfolded
+    /// path. Ablation hook mirroring
+    /// [`set_full_reshare`](Self::set_full_reshare).
+    pub fn set_class_folding(&mut self, enabled: bool) {
+        self.class_folding = enabled;
     }
 
     /// Adds a link with `bandwidth` bytes/s and `latency` seconds.
@@ -859,61 +934,119 @@ impl Simulation {
         }
     }
 
-    /// Re-solves only the connected component of the constraint↔action
-    /// graph reachable from dirty constraints. Variables are added in birth
-    /// order and constraints in first-use order — the same relative order a
-    /// full rebuild would use — so per-component arithmetic is identical.
-    fn reshare_incremental(&mut self) {
-        let now = self.now;
-        let mut stack: Vec<(bool, u32)> = self
+    /// Collects the connected components of the constraint↔action graph
+    /// reachable from the dirty constraints, one BFS per unvisited seed.
+    /// Visited marks are epoch stamps in per-slot/link/host scratch vectors
+    /// (O(1) membership, reset by bumping `comp_epoch`), members are
+    /// deduplicated by action slot and sorted into birth order per
+    /// component, and the component list is sorted by its oldest member —
+    /// the *component-birth order* that parallel solving merges results
+    /// back in.
+    fn collect_dirty_components(&mut self) -> Vec<Vec<UserKey>> {
+        self.comp_epoch += 1;
+        let epoch = self.comp_epoch;
+        if self.comp_stamp.len() < self.actions.capacity_slots() {
+            self.comp_stamp.resize(self.actions.capacity_slots(), 0);
+        }
+        if self.link_stamp.len() < self.links.len() {
+            self.link_stamp.resize(self.links.len(), 0);
+        }
+        if self.host_stamp.len() < self.hosts.len() {
+            self.host_stamp.resize(self.hosts.len(), 0);
+        }
+        let seeds: Vec<(bool, u32)> = self
             .dirty_links
             .iter()
             .map(|&l| (true, l))
             .chain(self.dirty_hosts.iter().map(|&h| (false, h)))
             .collect();
-        let mut seen_links: BTreeSet<u32> = self.dirty_links.clone();
-        let mut seen_hosts: BTreeSet<u32> = self.dirty_hosts.clone();
-        let mut affected: BTreeSet<UserKey> = BTreeSet::new();
-        while let Some((is_link, ix)) = stack.pop() {
-            let users: Vec<UserKey> = if is_link {
-                self.links[ix as usize].users.iter().copied().collect()
+        let mut comps: Vec<Vec<UserKey>> = Vec::new();
+        let mut stack: Vec<(bool, u32)> = Vec::new();
+        for (seed_is_link, seed) in seeds {
+            let mark = if seed_is_link {
+                &mut self.link_stamp[seed as usize]
             } else {
-                self.hosts[ix as usize].users.iter().copied().collect()
+                &mut self.host_stamp[seed as usize]
             };
-            for key in users {
-                if !affected.insert(key) {
-                    continue;
-                }
-                let (_seq, slot) = key;
-                match &self.actions.get(slot).expect("user of a constraint").kind {
-                    ActionKind::Transfer { route, .. } => {
-                        for l in route {
-                            let li = l.index() as u32;
-                            if self.links[li as usize].contended && seen_links.insert(li) {
-                                stack.push((true, li));
+            if *mark == epoch {
+                continue; // already swallowed by an earlier component
+            }
+            *mark = epoch;
+            stack.push((seed_is_link, seed));
+            let mut affected: Vec<UserKey> = Vec::new();
+            while let Some((is_link, ix)) = stack.pop() {
+                let users = if is_link {
+                    &self.links[ix as usize].users
+                } else {
+                    &self.hosts[ix as usize].users
+                };
+                for &key in users {
+                    let (_seq, slot) = key;
+                    if self.comp_stamp[slot as usize] == epoch {
+                        continue;
+                    }
+                    self.comp_stamp[slot as usize] = epoch;
+                    affected.push(key);
+                    match &self.actions.get(slot).expect("user of a constraint").kind {
+                        ActionKind::Transfer { route, .. } => {
+                            for l in route {
+                                let li = l.index();
+                                if self.links[li].contended && self.link_stamp[li] != epoch {
+                                    self.link_stamp[li] = epoch;
+                                    stack.push((true, li as u32));
+                                }
                             }
                         }
-                    }
-                    ActionKind::Exec { host, .. } => {
-                        let hi = host.index() as u32;
-                        if seen_hosts.insert(hi) {
-                            stack.push((false, hi));
+                        ActionKind::Exec { host, .. } => {
+                            let hi = host.index();
+                            if self.host_stamp[hi] != epoch {
+                                self.host_stamp[hi] = epoch;
+                                stack.push((false, hi as u32));
+                            }
                         }
+                        ActionKind::Sleep { .. } => unreachable!("sleeps have no constraints"),
                     }
-                    ActionKind::Sleep { .. } => unreachable!("sleeps have no constraints"),
                 }
             }
+            if !affected.is_empty() {
+                affected.sort_unstable();
+                comps.push(affected);
+            }
         }
+        comps.sort_by_key(|m| m[0]);
+        comps
+    }
 
-        self.kstats.reshares += 1;
-        self.kstats.cascade.observe(affected.len() as f64);
+    /// Builds one component's max-min problem. Constraints are added in
+    /// first-use order and variables in birth order — the same relative
+    /// order a full rebuild would use, so per-component arithmetic is
+    /// identical. When the component is *uniform* (every member shares one
+    /// bound bit pattern; engine variables all have weight 1) and class
+    /// folding is enabled, members with identical constraint sets are folded
+    /// into a single class variable with their multiplicity; the uniformity
+    /// precondition makes the folded solve bitwise-equal to the expanded
+    /// one (see `lmm.rs` module docs and DESIGN §16).
+    fn build_component(&mut self, members: &[UserKey]) -> BuiltComponent {
+        self.comp_epoch += 1;
+        let epoch = self.comp_epoch;
+        if self.cnst_scratch_links.len() < self.links.len() {
+            self.cnst_scratch_links.resize(self.links.len(), (0, 0));
+        }
+        if self.cnst_scratch_hosts.len() < self.hosts.len() {
+            self.cnst_scratch_hosts.resize(self.hosts.len(), (0, 0));
+        }
         let mut problem = MaxMinProblem::new();
-        let mut link_cnst: Vec<Option<CnstId>> = vec![None; self.links.len()];
-        let mut host_cnst: Vec<Option<CnstId>> = vec![None; self.hosts.len()];
+        // Component constraints in insertion order; entry `k` is the id with
+        // `index() == k`, so the epoch scratch can store bare indices.
+        let mut cnst_ids: Vec<CnstId> = Vec::new();
         let mut cnst_link: Vec<Option<u32>> = Vec::new();
-        let mut sharing: Vec<u32> = Vec::new();
-        for &(_seq, slot) in &affected {
-            match &self.actions.get(slot).expect("live action").kind {
+        let mut sharing: Vec<u32> = Vec::with_capacity(members.len());
+        let mut member_cnsts: Vec<Vec<CnstId>> = Vec::with_capacity(members.len());
+        let mut member_bound: Vec<f64> = Vec::with_capacity(members.len());
+        let mut uniform_bits: Option<u64> = None;
+        let mut uniform = true;
+        for &(_seq, slot) in members {
+            let (cnsts, bound) = match &self.actions.get(slot).expect("live action").kind {
                 ActionKind::Transfer { route, bound, .. } => {
                     let mut cnsts = Vec::with_capacity(route.len());
                     for l in route {
@@ -921,45 +1054,185 @@ impl Simulation {
                         if !self.links[li].contended {
                             continue;
                         }
-                        let c = match link_cnst[li] {
-                            Some(c) => c,
-                            None => {
-                                let c = problem.add_constraint(self.links[li].bandwidth);
-                                debug_assert_eq!(c.index(), cnst_link.len());
-                                cnst_link.push(Some(li as u32));
-                                link_cnst[li] = Some(c);
-                                c
-                            }
+                        let (stamp, k) = self.cnst_scratch_links[li];
+                        let c = if stamp == epoch {
+                            cnst_ids[k as usize]
+                        } else {
+                            let c = problem.add_constraint(self.links[li].bandwidth);
+                            debug_assert_eq!(c.index(), cnst_link.len());
+                            self.cnst_scratch_links[li] = (epoch, cnst_ids.len() as u32);
+                            cnst_ids.push(c);
+                            cnst_link.push(Some(li as u32));
+                            c
                         };
                         cnsts.push(c);
                     }
-                    problem.add_variable(*bound, &cnsts);
-                    sharing.push(slot);
+                    (cnsts, *bound)
                 }
                 ActionKind::Exec { host, .. } => {
                     let hi = host.index();
-                    let c = match host_cnst[hi] {
-                        Some(c) => c,
-                        None => {
-                            let c = problem.add_constraint(self.hosts[hi].speed);
-                            debug_assert_eq!(c.index(), cnst_link.len());
-                            cnst_link.push(None);
-                            host_cnst[hi] = Some(c);
-                            c
-                        }
+                    let (stamp, k) = self.cnst_scratch_hosts[hi];
+                    let c = if stamp == epoch {
+                        cnst_ids[k as usize]
+                    } else {
+                        let c = problem.add_constraint(self.hosts[hi].speed);
+                        debug_assert_eq!(c.index(), cnst_link.len());
+                        self.cnst_scratch_hosts[hi] = (epoch, cnst_ids.len() as u32);
+                        cnst_ids.push(c);
+                        cnst_link.push(None);
+                        c
                     };
-                    problem.add_variable(f64::INFINITY, &[c]);
-                    sharing.push(slot);
+                    (vec![c], f64::INFINITY)
                 }
                 ActionKind::Sleep { .. } => unreachable!(),
+            };
+            uniform &= *uniform_bits.get_or_insert(bound.to_bits()) == bound.to_bits();
+            member_cnsts.push(cnsts);
+            member_bound.push(bound);
+            sharing.push(slot);
+        }
+
+        let mut var_of: Vec<u32> = Vec::with_capacity(members.len());
+        let mut folded = 0u64;
+        if self.class_folding && uniform && members.len() >= 2 {
+            // One solver variable per route-equivalence class, in order of
+            // each class's oldest member. Keys borrow the members' constraint
+            // lists as-is (no per-member allocation or sort): constraints are
+            // numbered in first-use order over deduplicated stored routes, so
+            // equal routes produce equal lists. Two orderings of the same
+            // constraint set would land in separate classes, which costs a
+            // fold but never exactness — folding is exact for *any* partition
+            // of same-bound unit-weight members into identical-set classes.
+            let mut class_of: HashMap<&[CnstId], u32> = HashMap::new();
+            let mut class_rep: Vec<u32> = Vec::new();
+            let mut class_count: Vec<u32> = Vec::new();
+            for (i, cnsts) in member_cnsts.iter().enumerate() {
+                match class_of.entry(cnsts.as_slice()) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let k = *e.get();
+                        class_count[k as usize] += 1;
+                        var_of.push(k);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let k = class_rep.len() as u32;
+                        e.insert(k);
+                        class_rep.push(i as u32);
+                        class_count.push(1);
+                        var_of.push(k);
+                    }
+                }
+            }
+            let bound = member_bound[0];
+            for (&rep, &count) in class_rep.iter().zip(&class_count) {
+                problem.add_variable_class(bound, count, &member_cnsts[rep as usize]);
+            }
+            folded = (member_cnsts.len() - class_rep.len()) as u64;
+        } else {
+            for (i, cnsts) in member_cnsts.iter().enumerate() {
+                problem.add_variable(member_bound[i], cnsts);
+                var_of.push(i as u32);
             }
         }
-        let (rates, bottlenecks) = self.solve_timed(&problem, sharing.len());
-        for (k, &slot) in sharing.iter().enumerate() {
-            let a = self.actions.get_mut(slot).expect("live action");
-            Self::fold(a, now);
-            self.set_bottleneck(slot, k, &bottlenecks, &cnst_link);
-            self.apply_rate(slot, rates[k]);
+        BuiltComponent {
+            problem,
+            cnst_link,
+            sharing,
+            var_of,
+            folded,
+        }
+    }
+
+    /// Solves one built component; pure, so components can be dispatched to
+    /// worker threads. Wall-clock timing is returned for the (wallclock-
+    /// stripped) `solve_ns` histogram; rates and bottlenecks are fully
+    /// deterministic, so thread scheduling cannot perturb results.
+    fn solve_component(problem: &MaxMinProblem, record: bool) -> SolvedComponent {
+        let t0 = Instant::now();
+        let (rates, bottlenecks) = if record {
+            let (r, b) = problem.solve_with_bottlenecks();
+            (r, Some(b))
+        } else {
+            (problem.solve(), None)
+        };
+        SolvedComponent {
+            rates,
+            bottlenecks,
+            ns: t0.elapsed().as_nanos() as f64,
+        }
+    }
+
+    /// Re-solves only the connected components of the constraint↔action
+    /// graph reachable from dirty constraints. Components are independent
+    /// sub-problems (their constraint λ arithmetic never interacts), so they
+    /// are solved separately — on worker threads when there are several and
+    /// enough coupled variables to amortize the spawns — and the results are
+    /// merged back in component-birth order, keeping every counter and rate
+    /// bitwise-deterministic regardless of the host's core count.
+    fn reshare_incremental(&mut self) {
+        let now = self.now;
+        let comps = self.collect_dirty_components();
+        self.kstats.reshares += 1;
+        self.kstats
+            .cascade
+            .observe(comps.iter().map(|m| m.len()).sum::<usize>() as f64);
+
+        let builts: Vec<BuiltComponent> = comps.iter().map(|m| self.build_component(m)).collect();
+
+        let record = self.rec.is_enabled();
+        let total_vars: usize = builts.iter().map(|b| b.problem.num_variables()).sum();
+        // `parallel_components` counts components in parallel-*ready*
+        // batches — a property of the simulation, not of the host — so the
+        // counter is identical on a 1-core laptop and a 64-core CI runner.
+        // Whether threads are actually spawned additionally depends on the
+        // cores available right now.
+        let parallel_ready = builts.len() >= 2 && total_vars >= PARALLEL_MIN_VARS;
+        if parallel_ready {
+            self.kstats.parallel_components += builts.len() as u64;
+        }
+        let workers = if parallel_ready {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(builts.len())
+        } else {
+            1
+        };
+        let solved: Vec<SolvedComponent> = if workers > 1 {
+            let mut out: Vec<Option<SolvedComponent>> = Vec::new();
+            out.resize_with(builts.len(), || None);
+            let chunk = builts.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                for (bs, os) in builts.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    s.spawn(move || {
+                        for (b, o) in bs.iter().zip(os.iter_mut()) {
+                            *o = Some(Self::solve_component(&b.problem, record));
+                        }
+                    });
+                }
+            });
+            out.into_iter()
+                .map(|o| o.expect("every component solved"))
+                .collect()
+        } else {
+            builts
+                .iter()
+                .map(|b| Self::solve_component(&b.problem, record))
+                .collect()
+        };
+
+        for (b, s) in builts.iter().zip(&solved) {
+            self.kstats.solve_ns.observe(s.ns);
+            self.kstats
+                .component_vars
+                .observe(b.problem.num_variables() as f64);
+            self.kstats.classes_folded += b.folded;
+            for (i, &slot) in b.sharing.iter().enumerate() {
+                let k = b.var_of[i] as usize;
+                let a = self.actions.get_mut(slot).expect("live action");
+                Self::fold(a, now);
+                self.set_bottleneck(slot, k, &s.bottlenecks, &b.cnst_link);
+                self.apply_rate(slot, s.rates[k]);
+            }
         }
         self.dirty_links.clear();
         self.dirty_hosts.clear();
@@ -1320,6 +1593,9 @@ impl Simulation {
                 }
             }
             if !done.is_empty() {
+                // Every completion past the first in this batch would have
+                // cost its own reshare/solve in a one-event-per-step kernel.
+                self.kstats.batched_completions += (done.len() - 1) as u64;
                 return Ok(Some((self.now, done)));
             }
             // Otherwise only latency phases ended (or predictions were a
@@ -1404,6 +1680,7 @@ mod tests {
         let mut sim = Simulation::with_config(EngineConfig {
             contention: false,
             tcp_window: None,
+            class_folding: true,
         });
         let l = sim.add_link(100.0, 0.0);
         sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
@@ -1507,6 +1784,7 @@ mod tests {
         let mut sim = Simulation::with_config(EngineConfig {
             contention: true,
             tcp_window: Some(10.0),
+            class_folding: true,
         });
         let l = sim.add_link(1000.0, 0.5);
         // cap = 10 / (2*0.5) = 10 B/s, well below the 1000 B/s link.
@@ -1655,19 +1933,34 @@ mod tests {
         while sim.advance_to_next().is_some() {}
         let k = sim.kernel_profile();
         assert!(k.reshares >= 2, "reshares: {}", k.reshares);
-        assert_eq!(k.solve_ns.count, k.reshares, "one timed solve per reshare");
+        // One timed solve per dirty *component*; a reshare whose dirty
+        // constraints have no remaining users solves nothing.
         assert_eq!(
-            k.component_vars.count, k.reshares,
-            "one component size per reshare"
+            k.solve_ns.count, k.component_vars.count,
+            "one timed solve per component"
         );
-        assert_eq!(
-            k.component_vars.max, 2.0,
-            "the two flows couple into one component"
-        );
+        assert!(k.solve_ns.count >= 1, "solves: {}", k.solve_ns.count);
+        // The two flows couple into one component, but they share a bound
+        // and a route so class folding solves a single representative.
+        assert_eq!(k.component_vars.max, 1.0, "folded to one class variable");
+        assert!(k.classes_folded >= 1, "folds: {}", k.classes_folded);
         assert!(
             sim.take_attribution(a).is_none(),
             "no recorder, no attribution"
         );
+    }
+
+    #[test]
+    fn class_folding_off_solves_every_member() {
+        let mut sim = Simulation::new();
+        sim.set_class_folding(false);
+        let l = sim.add_link(100.0, 0.0);
+        sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
+        sim.start_transfer(&[l], 500.0, &TransferModel::ideal());
+        while sim.advance_to_next().is_some() {}
+        let k = sim.kernel_profile();
+        assert_eq!(k.classes_folded, 0, "ablated");
+        assert_eq!(k.component_vars.max, 2.0, "one variable per flow");
     }
 
     #[test]
@@ -1677,6 +1970,7 @@ mod tests {
         let mut sim = Simulation::with_config(EngineConfig {
             contention: true,
             tcp_window: Some(0.0),
+            class_folding: true,
         });
         let l = sim.add_link(100.0, 0.5);
         let a = sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());
@@ -1699,6 +1993,7 @@ mod tests {
         let mut sim = Simulation::with_config(EngineConfig {
             contention: true,
             tcp_window: Some(0.0),
+            class_folding: true,
         });
         let l = sim.add_link(100.0, 0.5);
         sim.start_transfer(&[l], 1000.0, &TransferModel::ideal());

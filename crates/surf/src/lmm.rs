@@ -17,6 +17,35 @@
 //! variable freezes when either its own bound is reached or one of its
 //! constraints saturates. The algorithm terminates after at most `V`
 //! freezes and yields the unique max-min fair allocation.
+//!
+//! Two implementations share that freeze schedule:
+//!
+//! * [`solve`](MaxMinProblem::solve) — the production path. The per-round
+//!   argmin over constraints uses a lazily-invalidated min-heap of
+//!   `(λ bits, constraint)` and the argmin over individually-bounded
+//!   variables a pre-sorted cursor, so a solve costs
+//!   `O((V + C) log + Σ degree log C)` instead of the naive
+//!   `O(rounds · (V + C))` — the difference between milliseconds and
+//!   minutes when an allreduce round couples 16k flows into one component.
+//!   Both argmins reproduce the naive scan's selection (smallest λ, ties to
+//!   the lowest index, constraints before bounds) *exactly*, so the freeze
+//!   sequence — and therefore every rate — is bitwise-identical to the
+//!   reference.
+//! * [`solve_reference`](MaxMinProblem::solve_reference) — the original
+//!   quadratic scan, kept as the executable specification. The
+//!   `tests/lmm_props.rs` differential proptest pins `solve` against it
+//!   bitwise on randomized problems.
+//!
+//! Variables can carry a *multiplicity*
+//! ([`add_variable_class`](MaxMinProblem::add_variable_class)): `k`
+//! interchangeable unit-weight
+//! flows folded into one solver variable. The solver mirrors the expanded
+//! problem's arithmetic operation-for-operation (weight sums and frozen
+//! usage are accumulated by repeated addition, one step per folded member),
+//! which makes the folded solve bitwise-equal to the expanded one whenever
+//! every variable of the (sub)problem shares a single weight and a single
+//! bound bit-pattern — the *uniform round* precondition the engine's class
+//! folding detector enforces (DESIGN §16).
 
 /// Handle to a constraint (a link, or a host's compute capacity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +78,9 @@ pub struct MaxMinProblem {
     capacities: Vec<f64>,
     bounds: Vec<f64>,
     weights: Vec<f64>,
+    /// Multiplicity per variable: how many interchangeable unit flows this
+    /// solver variable stands for (1 for ordinary variables).
+    mults: Vec<u32>,
     /// For each variable, the constraints it crosses (deduplicated).
     memberships: Vec<Vec<usize>>,
     /// For each constraint, the variables crossing it.
@@ -88,6 +120,36 @@ impl MaxMinProblem {
         weight: f64,
         constraints: &[CnstId],
     ) -> VarId {
+        self.add_variable_impl(bound, weight, 1, constraints)
+    }
+
+    /// Adds a *folded class*: `members` interchangeable unit-weight flows
+    /// represented by a single solver variable. The returned variable's rate
+    /// is the per-member rate; the class together consumes `members` times
+    /// that on each constraint.
+    ///
+    /// The fold is bitwise-exact versus adding `members` separate variables
+    /// only under the uniform-round precondition (every variable of the
+    /// problem has weight 1 and the same bound bit-pattern); see the module
+    /// docs. Callers that cannot guarantee it must fall back to unfolded
+    /// variables.
+    pub fn add_variable_class(
+        &mut self,
+        bound: f64,
+        members: u32,
+        constraints: &[CnstId],
+    ) -> VarId {
+        assert!(members >= 1, "class must have at least one member");
+        self.add_variable_impl(bound, 1.0, members, constraints)
+    }
+
+    fn add_variable_impl(
+        &mut self,
+        bound: f64,
+        weight: f64,
+        mult: u32,
+        constraints: &[CnstId],
+    ) -> VarId {
         assert!(!bound.is_nan() && bound >= 0.0, "invalid bound {bound}");
         assert!(
             weight.is_finite() && weight > 0.0,
@@ -96,6 +158,7 @@ impl MaxMinProblem {
         let vid = self.bounds.len();
         self.bounds.push(bound);
         self.weights.push(weight);
+        self.mults.push(mult);
         let mut member: Vec<usize> = constraints.iter().map(|c| c.0).collect();
         member.sort_unstable();
         member.dedup();
@@ -117,6 +180,15 @@ impl MaxMinProblem {
         self.capacities.len()
     }
 
+    /// Variable-count cutoff below which [`solve`](Self::solve) runs the
+    /// linear-scan loop instead of the heap/cursor path. The two follow the
+    /// identical freeze schedule bitwise (`tests/lmm_props.rs` pins them),
+    /// so the cutoff is purely a performance knob: small problems are
+    /// dominated by the heap path's setup allocations, while past a few
+    /// hundred coupled variables the scan's O(rounds · (V + C)) argmin
+    /// re-scans take over.
+    const SCAN_SOLVER_MAX_VARS: usize = 512;
+
     /// Solves the problem, returning the rate of each variable, indexed by
     /// [`VarId`] insertion order.
     ///
@@ -124,6 +196,19 @@ impl MaxMinProblem {
     /// infinite rate; this is rejected in debug builds because it always
     /// indicates a modelling error upstream.
     pub fn solve(&self) -> Vec<f64> {
+        if self.bounds.len() <= Self::SCAN_SOLVER_MAX_VARS {
+            self.solve_scan_impl(None)
+        } else {
+            self.solve_impl(None)
+        }
+    }
+
+    /// The heap/cursor path unconditionally, bypassing the size dispatch of
+    /// [`solve`](Self::solve). Exists so the differential property tests can
+    /// pin the heap path against [`solve_reference`](Self::solve_reference)
+    /// on problems of any size.
+    #[doc(hidden)]
+    pub fn solve_heap(&self) -> Vec<f64> {
         self.solve_impl(None)
     }
 
@@ -137,27 +222,30 @@ impl MaxMinProblem {
     /// problem; only the extra bookkeeping differs.
     pub fn solve_with_bottlenecks(&self) -> (Vec<f64>, Vec<Option<CnstId>>) {
         let mut bottlenecks = vec![None; self.bounds.len()];
-        let rates = self.solve_impl(Some(&mut bottlenecks));
+        let rates = if self.bounds.len() <= Self::SCAN_SOLVER_MAX_VARS {
+            self.solve_scan_impl(Some(&mut bottlenecks))
+        } else {
+            self.solve_impl(Some(&mut bottlenecks))
+        };
         (rates, bottlenecks)
     }
 
-    fn solve_impl(&self, mut bottlenecks: Option<&mut Vec<Option<CnstId>>>) -> Vec<f64> {
-        let nv = self.bounds.len();
+    /// Shared set-up for both solver implementations: weight sums per
+    /// constraint, accumulated by repeated addition — one step per folded
+    /// member — so folded and expanded problems build bitwise-identical
+    /// sums.
+    fn init_wsums(&self) -> (Vec<f64>, Vec<f64>) {
         let nc = self.capacities.len();
-        let mut rate = vec![0.0_f64; nv];
-        let mut frozen = vec![false; nv];
-
-        // Per-constraint bookkeeping under the rising water level λ:
-        // usage(l) = frozen_usage[l] + λ * wsum_unfrozen[l].
-        let mut frozen_usage = vec![0.0_f64; nc];
         let mut wsum_unfrozen = vec![0.0_f64; nc];
-        for v in 0..nv {
+        for v in 0..self.bounds.len() {
             debug_assert!(
                 !self.memberships[v].is_empty() || self.bounds[v].is_finite(),
                 "variable {v} is unconstrained and unbounded"
             );
             for &c in &self.memberships[v] {
-                wsum_unfrozen[c] += self.weights[v];
+                for _ in 0..self.mults[v] {
+                    wsum_unfrozen[c] += self.weights[v];
+                }
             }
         }
         // Snapshot of the initial weight sums: `freeze_var` snaps tiny
@@ -167,6 +255,204 @@ impl MaxMinProblem {
         // weights are themselves tiny (e.g. 1e-15), handing the remaining
         // variables an infinite λ and therefore an unbounded rate.
         let wsum_init = wsum_unfrozen.clone();
+        (wsum_unfrozen, wsum_init)
+    }
+
+    #[inline]
+    fn lam_of(&self, c: usize, frozen_usage: &[f64], wsum_unfrozen: &[f64]) -> f64 {
+        (self.capacities[c] - frozen_usage[c]).max(0.0) / wsum_unfrozen[c]
+    }
+
+    /// Fast progressive filling. Replicates [`solve_reference`]
+    /// (Self::solve_reference)'s freeze schedule exactly — same rounds, same
+    /// selections, same arithmetic on the same values — while replacing its
+    /// two per-round linear argmin scans:
+    ///
+    /// * constraints live in a lazily-invalidated min-heap keyed by
+    ///   `(λ.to_bits(), index)` (non-negative IEEE doubles order like their
+    ///   bit patterns, and λ is never NaN here); an entry is trusted only if
+    ///   it matches the constraint's current λ, so stale entries from
+    ///   earlier freezes are dropped on peek;
+    /// * bounded variables are pre-sorted by `(bound/weight).to_bits()` and
+    ///   consumed through a cursor that skips already-frozen entries.
+    ///
+    /// Ties resolve as the reference scan does: lowest index wins within a
+    /// kind, and a constraint beats a bound at equal λ (the reference scans
+    /// constraints first and requires strictly smaller λ to switch).
+    fn solve_impl(&self, mut bottlenecks: Option<&mut Vec<Option<CnstId>>>) -> Vec<f64> {
+        let nv = self.bounds.len();
+        let nc = self.capacities.len();
+        let mut rate = vec![0.0_f64; nv];
+        let mut frozen = vec![false; nv];
+        let mut frozen_usage = vec![0.0_f64; nc];
+        let (mut wsum_unfrozen, wsum_init) = self.init_wsums();
+
+        const INF_BITS: u64 = 0x7FF0_0000_0000_0000; // f64::INFINITY.to_bits()
+        /// Sentinel for "constraint left the λ search" (weight sum hit 0);
+        /// larger than any real λ bit pattern, so stale heap entries can
+        /// never match it.
+        const DEAD: u64 = u64::MAX;
+
+        let mut cur_lam: Vec<u64> = vec![DEAD; nc];
+        let mut cheap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+            std::collections::BinaryHeap::with_capacity(nc);
+        for (c, lam) in cur_lam.iter_mut().enumerate() {
+            if wsum_unfrozen[c] > 0.0 {
+                let bits = self.lam_of(c, &frozen_usage, &wsum_unfrozen).to_bits();
+                *lam = bits;
+                cheap.push(std::cmp::Reverse((bits, c)));
+            }
+        }
+        let mut border: Vec<(u64, u32)> = (0..nv)
+            .filter(|&v| self.bounds[v].is_finite())
+            .map(|v| ((self.bounds[v] / self.weights[v]).to_bits(), v as u32))
+            .collect();
+        border.sort_unstable();
+        let mut bcur = 0usize;
+
+        let mut level = 0.0_f64;
+        let mut remaining = nv;
+        // Constraints whose λ inputs changed in the current round.
+        let mut touched: Vec<usize> = Vec::new();
+        while remaining > 0 {
+            let cbest = loop {
+                match cheap.peek() {
+                    None => break None,
+                    Some(&std::cmp::Reverse((bits, c))) => {
+                        if cur_lam[c] == bits {
+                            break Some((bits, c));
+                        }
+                        cheap.pop();
+                    }
+                }
+            };
+            while bcur < border.len() && frozen[border[bcur].1 as usize] {
+                bcur += 1;
+            }
+            let vbest = border.get(bcur).copied();
+
+            // Reference selection order: constraints first, a bound wins
+            // only with strictly smaller λ.
+            let (best_bits, pick) = match (cbest, vbest) {
+                (None, None) => (INF_BITS, None),
+                (Some((cb, c)), None) => (cb, Some((false, c))),
+                (None, Some((vb, v))) => (vb, Some((true, v as usize))),
+                (Some((cb, c)), Some((vb, v))) => {
+                    if vb < cb {
+                        (vb, Some((true, v as usize)))
+                    } else {
+                        (cb, Some((false, c)))
+                    }
+                }
+            };
+            if best_bits >= INF_BITS {
+                // Only unbounded variables on capacity-free constraints remain
+                // (cannot happen with finite capacities, but guard anyway).
+                for v in 0..nv {
+                    if !frozen[v] {
+                        rate[v] = self.bounds[v];
+                        frozen[v] = true;
+                    }
+                }
+                break;
+            }
+
+            level = level.max(f64::from_bits(best_bits));
+            touched.clear();
+            match pick {
+                Some((true, v)) => {
+                    self.freeze_var(
+                        v,
+                        self.bounds[v],
+                        &mut rate,
+                        &mut frozen,
+                        &mut frozen_usage,
+                        &mut wsum_unfrozen,
+                        &wsum_init,
+                        &mut remaining,
+                        Some(&mut touched),
+                    );
+                }
+                Some((false, c)) => {
+                    // Freeze every unfrozen variable crossing the saturated
+                    // constraint at the current level.
+                    let users: Vec<usize> = self.users[c]
+                        .iter()
+                        .copied()
+                        .filter(|&v| !frozen[v])
+                        .collect();
+                    for v in users {
+                        let r = (self.weights[v] * level).min(self.bounds[v]);
+                        if let Some(b) = bottlenecks.as_deref_mut() {
+                            // A tie between the constraint's saturation level
+                            // and the variable's own bound attributes to the
+                            // bound only when the bound is the strictly
+                            // smaller cap.
+                            b[v] = if self.bounds[v] < self.weights[v] * level {
+                                None
+                            } else {
+                                Some(CnstId(c))
+                            };
+                        }
+                        self.freeze_var(
+                            v,
+                            r,
+                            &mut rate,
+                            &mut frozen,
+                            &mut frozen_usage,
+                            &mut wsum_unfrozen,
+                            &wsum_init,
+                            &mut remaining,
+                            Some(&mut touched),
+                        );
+                    }
+                }
+                None => unreachable!("finite best always has a pick"),
+            }
+            // Re-key the touched constraints. λ depends only on the
+            // constraint's own usage and weight sum, so values computed here
+            // are the same the reference would recompute next round.
+            touched.sort_unstable();
+            touched.dedup();
+            for &c in &touched {
+                if wsum_unfrozen[c] > 0.0 {
+                    let bits = self.lam_of(c, &frozen_usage, &wsum_unfrozen).to_bits();
+                    if cur_lam[c] != bits {
+                        cur_lam[c] = bits;
+                        cheap.push(std::cmp::Reverse((bits, c)));
+                    }
+                } else {
+                    cur_lam[c] = DEAD;
+                }
+            }
+        }
+        rate
+    }
+
+    /// The original O(rounds · (V + C)) progressive-filling loop, kept as
+    /// the executable specification of the freeze schedule. `solve` must
+    /// match it bitwise on any input (`tests/lmm_props.rs`); it is also the
+    /// naive side of the engine-level folding ablation.
+    #[doc(hidden)]
+    pub fn solve_reference(&self) -> Vec<f64> {
+        self.solve_scan_impl(None)
+    }
+
+    /// The linear-scan progressive-filling loop, optionally recording each
+    /// variable's freezing constraint with the same attribution rule as
+    /// [`solve_impl`]: a bound freeze (or the unconstrained guard) leaves
+    /// `None`, a constraint freeze records the constraint unless the
+    /// variable's own bound is the strictly smaller cap.
+    fn solve_scan_impl(&self, mut bottlenecks: Option<&mut Vec<Option<CnstId>>>) -> Vec<f64> {
+        let nv = self.bounds.len();
+        let nc = self.capacities.len();
+        let mut rate = vec![0.0_f64; nv];
+        let mut frozen = vec![false; nv];
+
+        // Per-constraint bookkeeping under the rising water level λ:
+        // usage(l) = frozen_usage[l] + λ * wsum_unfrozen[l].
+        let mut frozen_usage = vec![0.0_f64; nc];
+        let (mut wsum_unfrozen, wsum_init) = self.init_wsums();
 
         let mut level = 0.0_f64;
         let mut remaining = nv;
@@ -177,7 +463,7 @@ impl MaxMinProblem {
             let mut best_var: Option<usize> = None;
             for c in 0..nc {
                 if wsum_unfrozen[c] > 0.0 {
-                    let lam = (self.capacities[c] - frozen_usage[c]).max(0.0) / wsum_unfrozen[c];
+                    let lam = self.lam_of(c, &frozen_usage, &wsum_unfrozen);
                     if lam < best {
                         best = lam;
                         best_cnst = Some(c);
@@ -197,8 +483,6 @@ impl MaxMinProblem {
             }
 
             if best.is_infinite() {
-                // Only unbounded variables on capacity-free constraints remain
-                // (cannot happen with finite capacities, but guard anyway).
                 for v in 0..nv {
                     if !frozen[v] {
                         rate[v] = self.bounds[v];
@@ -219,10 +503,9 @@ impl MaxMinProblem {
                     &mut wsum_unfrozen,
                     &wsum_init,
                     &mut remaining,
+                    None,
                 );
             } else if let Some(c) = best_cnst {
-                // Freeze every unfrozen variable crossing the saturated
-                // constraint at the current level.
                 let users: Vec<usize> = self.users[c]
                     .iter()
                     .copied()
@@ -231,9 +514,6 @@ impl MaxMinProblem {
                 for v in users {
                     let r = (self.weights[v] * level).min(self.bounds[v]);
                     if let Some(b) = bottlenecks.as_deref_mut() {
-                        // A tie between the constraint's saturation level and
-                        // the variable's own bound attributes to the bound
-                        // only when the bound is the strictly smaller cap.
                         b[v] = if self.bounds[v] < self.weights[v] * level {
                             None
                         } else {
@@ -249,6 +529,7 @@ impl MaxMinProblem {
                         &mut wsum_unfrozen,
                         &wsum_init,
                         &mut remaining,
+                        None,
                     );
                 }
             }
@@ -267,19 +548,28 @@ impl MaxMinProblem {
         wsum_unfrozen: &mut [f64],
         wsum_init: &[f64],
         remaining: &mut usize,
+        mut touched: Option<&mut Vec<usize>>,
     ) {
         debug_assert!(!frozen[v]);
         rate[v] = r;
         frozen[v] = true;
         *remaining -= 1;
         for &c in &self.memberships[v] {
-            frozen_usage[c] += r;
-            wsum_unfrozen[c] -= self.weights[v];
-            // Snap accumulated subtraction dust to zero, with a tolerance
-            // relative to the constraint's initial weight sum so that
-            // constraints built from legitimately tiny weights survive.
-            if wsum_unfrozen[c] < wsum_init[c] * 1e-12 {
-                wsum_unfrozen[c] = 0.0;
+            // One accumulation step per folded member, mirroring the
+            // expanded problem's repeated addition exactly (including the
+            // snap-to-zero check after every subtraction).
+            for _ in 0..self.mults[v] {
+                frozen_usage[c] += r;
+                wsum_unfrozen[c] -= self.weights[v];
+                // Snap accumulated subtraction dust to zero, with a tolerance
+                // relative to the constraint's initial weight sum so that
+                // constraints built from legitimately tiny weights survive.
+                if wsum_unfrozen[c] < wsum_init[c] * 1e-12 {
+                    wsum_unfrozen[c] = 0.0;
+                }
+            }
+            if let Some(t) = touched.as_deref_mut() {
+                t.push(c);
             }
         }
     }

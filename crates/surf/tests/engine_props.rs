@@ -149,4 +149,83 @@ proptest! {
             }
         }
     }
+
+    /// Differential pin of the collective-aware fast path: the batched,
+    /// class-folded incremental engine must be *bitwise* identical — event
+    /// times, completion batches and every live rate — to both the folding
+    /// ablation and the naive engine (full reshare per completion, folding
+    /// off) across randomized collective-style rounds on a shared route.
+    /// Uniform rounds (one model, one rate bound) hit the folding and
+    /// same-instant batching paths; mixed rounds give each flow a distinct
+    /// bound bit-pattern, forcing the heterogeneous fallback; undrained
+    /// rounds overlap into the next so folded-eligible and ineligible flows
+    /// coexist in one component.
+    ///
+    /// One shared route keeps every flow in a single component, so the
+    /// incremental and full paths fold remaining work at the same instants
+    /// and bit-identity is well-defined (with disjoint components the two
+    /// schemes re-quantize at different events — that regime is covered by
+    /// the tolerance-based churn test above).
+    #[test]
+    fn fast_path_matches_naive_engine_bitwise(
+        rounds in proptest::collection::vec(
+            // (flows, size, uniform?, drain before next round?)
+            (1usize..12, 1e3f64..1e6, 0u8..2, 0u8..2), 1..8),
+        bws in proptest::collection::vec(1e5f64..1e9, 1..3),
+        lat in 0.0f64..1e-3,
+    ) {
+        // Every observation is captured as raw bits: this test asserts
+        // bit-identity, not closeness.
+        type BitEvent = (u64, Vec<u64>, Vec<(u64, u64)>);
+        let run = |naive_full: bool, folding: bool| {
+            let mut sim = Simulation::new();
+            sim.set_full_reshare(naive_full);
+            sim.set_class_folding(folding);
+            let route: Vec<_> = bws.iter().map(|&bw| sim.add_link(bw, lat)).collect();
+            let mut started = Vec::new();
+            let mut events: Vec<BitEvent> = Vec::new();
+            let mut observe = |sim: &Simulation,
+                               started: &[surf_sim::ActionId],
+                               t: f64,
+                               done: Vec<surf_sim::ActionId>| {
+                let mut done: Vec<u64> = done.iter().map(|a| a.raw()).collect();
+                done.sort_unstable();
+                let mut rates: Vec<(u64, u64)> = started
+                    .iter()
+                    .filter(|&&a| !sim.is_done(a))
+                    .map(|&a| (a.raw(), sim.action_rate(a).unwrap().to_bits()))
+                    .collect();
+                rates.sort_unstable_by_key(|r| r.0);
+                events.push((t.to_bits(), done, rates));
+            };
+            for &(n, size, uni, drain) in &rounds {
+                for k in 0..n {
+                    // A flow's rate bound comes from its model's bandwidth
+                    // factor: a shared model is an eager collective round
+                    // (one bound bit-pattern, foldable); per-flow factors
+                    // make the component heterogeneous.
+                    let model = if uni == 1 {
+                        TransferModel::ideal()
+                    } else {
+                        TransferModel::affine(1.0, 0.5 + k as f64 * 0.07)
+                    };
+                    started.push(sim.start_transfer(&route, size, &model));
+                }
+                if drain == 1 {
+                    while let Some((t, done)) = sim.advance_to_next() {
+                        observe(&sim, &started, t.as_secs(), done);
+                    }
+                }
+            }
+            while let Some((t, done)) = sim.advance_to_next() {
+                observe(&sim, &started, t.as_secs(), done);
+            }
+            events
+        };
+        let fast = run(false, true);
+        let ablated = run(false, false);
+        let naive = run(true, false);
+        prop_assert_eq!(&fast, &ablated);
+        prop_assert_eq!(&fast, &naive);
+    }
 }

@@ -6,9 +6,17 @@
 //! 3. Maximality: every variable is limited by *something* — its bound or a
 //!    saturated constraint (otherwise the allocation would not be max-min).
 //! 4. Non-negativity of all rates.
+//!
+//! Plus two *bitwise* differential pins (see the `lmm` module docs): the
+//! heap/cursor production solver against the quadratic progressive-filling
+//! reference, and folded class variables against their expanded members
+//! under the uniform-round precondition. Bitwise is deliberate — the
+//! engine's incremental reshare, the class-folding fast path and the e2e
+//! goldens all rely on the solver being a pure function of the problem, not
+//! merely accurate to a tolerance.
 
 use proptest::prelude::*;
-use surf_sim::MaxMinProblem;
+use surf_sim::{CnstId, MaxMinProblem};
 
 const EPS: f64 = 1e-6;
 
@@ -119,5 +127,118 @@ proptest! {
             p.solve()
         };
         prop_assert_eq!(build(), build());
+    }
+
+    /// The production solver (lazy min-heap + bound cursor) must follow the
+    /// exact freeze schedule of the naive reference scan: every returned
+    /// rate is bit-for-bit identical, including ties, unbounded variables
+    /// and weighted flows.
+    #[test]
+    fn fast_solver_matches_reference_bitwise(
+        caps in proptest::collection::vec(1e2f64..1e9, 1..6),
+        vars in proptest::collection::vec(
+            (0u8..3, 1.0f64..1e6, 1u8..9, 0u8..255), 1..40),
+    ) {
+        let mut p = MaxMinProblem::new();
+        let cs: Vec<CnstId> = caps.iter().map(|&c| p.add_constraint(c)).collect();
+        for (i, &(kind, b, w8, mask)) in vars.iter().enumerate() {
+            // Mix small bounds (the bound freezes first), large bounds (a
+            // constraint freezes first) and unbounded flows.
+            let bound = match kind {
+                0 => b,
+                1 => b * 1e6,
+                _ => f64::INFINITY,
+            };
+            p.add_weighted_variable(bound, w8 as f64 * 0.5, &subset(&cs, mask, i));
+        }
+        // `solve_heap` bypasses the size dispatch: these instances are small
+        // enough that `solve` would route them to the scan loop, and the
+        // point here is pinning the heap path itself.
+        let fast = p.solve_heap();
+        let reference = p.solve_reference();
+        prop_assert_eq!(fast.len(), reference.len());
+        for (v, (f, r)) in fast.iter().zip(reference.iter()).enumerate() {
+            prop_assert!(
+                f.to_bits() == r.to_bits(),
+                "var {} diverged: fast {:e} vs reference {:e}", v, f, r
+            );
+        }
+        // The public entry point must agree with both, whichever side of the
+        // size dispatch it lands on.
+        let dispatched = p.solve();
+        for (v, (d, r)) in dispatched.iter().zip(reference.iter()).enumerate() {
+            prop_assert!(
+                d.to_bits() == r.to_bits(),
+                "var {} diverged through dispatch: {:e} vs {:e}", v, d, r
+            );
+        }
+    }
+
+    /// Folding interchangeable members into one class variable is exact
+    /// under the uniform-round precondition (one weight, one bound
+    /// bit-pattern): every expanded member's rate equals its class
+    /// representative's rate bitwise, and the folded problem still agrees
+    /// with the reference solver.
+    #[test]
+    fn folded_classes_match_expanded_members_bitwise(
+        caps in proptest::collection::vec(1e3f64..1e9, 1..5),
+        classes in proptest::collection::vec((1u32..6, 0u8..255), 1..10),
+        bound_sel in 0u8..3,
+    ) {
+        // One bound bit-pattern for the whole problem (precondition P1).
+        let bound = match bound_sel {
+            0 => 1e4,
+            1 => 2.5e8,
+            _ => f64::INFINITY,
+        };
+        let mut expanded = MaxMinProblem::new();
+        let ce: Vec<CnstId> = caps.iter().map(|&c| expanded.add_constraint(c)).collect();
+        let mut folded = MaxMinProblem::new();
+        let cf: Vec<CnstId> = caps.iter().map(|&c| folded.add_constraint(c)).collect();
+        // Expanded member index → folded variable (= class) index.
+        let mut class_of = Vec::new();
+        for (ci, &(mult, mask)) in classes.iter().enumerate() {
+            folded.add_variable_class(bound, mult, &subset(&cf, mask, ci));
+            for _ in 0..mult {
+                expanded.add_variable(bound, &subset(&ce, mask, ci));
+                class_of.push(ci);
+            }
+        }
+        let re = expanded.solve();
+        let rf = folded.solve();
+        prop_assert_eq!(rf.len(), classes.len());
+        for (member, &class) in class_of.iter().enumerate() {
+            prop_assert!(
+                re[member].to_bits() == rf[class].to_bits(),
+                "member {} of class {} diverged: expanded {:e} vs folded {:e}",
+                member, class, re[member], rf[class]
+            );
+        }
+        // The folded problem is also an ordinary problem: both solver paths
+        // must still track the reference on it.
+        let rr = folded.solve_reference();
+        let rh = folded.solve_heap();
+        for (c, ((f, r), h)) in rf.iter().zip(rr.iter()).zip(rh.iter()).enumerate() {
+            prop_assert!(
+                f.to_bits() == r.to_bits() && h.to_bits() == r.to_bits(),
+                "class {} diverged from reference: {:e} / {:e} vs {:e}", c, f, h, r
+            );
+        }
+    }
+}
+
+/// Picks a non-empty constraint subset from `mask` (falling back to one
+/// deterministic constraint when the mask selects none).
+fn subset(cs: &[CnstId], mask: u8, fallback: usize) -> Vec<CnstId> {
+    let picked: Vec<CnstId> = cs
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| mask >> k & 1 == 1)
+        .map(|(_, &c)| c)
+        .collect();
+    if picked.is_empty() {
+        vec![cs[fallback % cs.len()]]
+    } else {
+        picked
     }
 }

@@ -568,7 +568,7 @@ pub fn run_sweep<W: Write + Send>(cfg: &SweepConfig, sink: W) -> io::Result<(Swe
     });
 
     let start = Instant::now();
-    let worker_stats: Vec<WorkerStats> = std::thread::scope(|s| {
+    let joined: Vec<std::thread::Result<WorkerStats>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.workers)
             .map(|w| {
                 let pool = &pool;
@@ -599,14 +599,29 @@ pub fn run_sweep<W: Write + Send>(cfg: &SweepConfig, sink: W) -> io::Result<(Swe
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+        handles.into_iter().map(|h| h.join()).collect()
     });
     let wall_s = start.elapsed().as_secs_f64();
 
-    let sh = shared.into_inner().unwrap();
+    // A panicking worker poisons the mutex; the survivors' results inside
+    // are still sound.
+    let sh = shared
+        .into_inner()
+        .unwrap_or_else(|poison| poison.into_inner());
+    let panicked = joined.iter().filter(|r| r.is_err()).count();
+    if panicked > 0 {
+        // Flush every buffered in-order result, marking each hole with an
+        // explicit gap record, so the JSON-lines stream stays usable and
+        // self-describing instead of silently truncating at the gap.
+        sh.emitter.abort()?;
+        return Err(io::Error::other(format!(
+            "{panicked} sweep worker(s) panicked; partial results flushed with sweep-gap records"
+        )));
+    }
+    let worker_stats: Vec<WorkerStats> = joined
+        .into_iter()
+        .map(|r| r.expect("checked above"))
+        .collect();
     if let Some(e) = sh.io_err {
         return Err(e);
     }
@@ -759,6 +774,52 @@ mod tests {
         let (report, _) = run_sweep(&cfg, Vec::new()).unwrap();
         assert_eq!(report.scenarios, 1);
         assert!(report.cells[0].makespan.min > 0.0);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_gap_and_flushes_tail() {
+        use std::sync::Mutex;
+        #[derive(Clone, Debug)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let plat = tiny_platform("p0", 4);
+        let trace = capture_ring(&plat.1);
+        let cfg = SweepConfig {
+            programs: vec![
+                // Scenario 0: the rank body panics, killing its worker.
+                Program::online("boom", 2, |_ctx| panic!("injected failure")),
+                Program::trace("ring", trace),
+            ],
+            platforms: vec![plat],
+            fabrics: vec![("surf".into(), FabricKind::surf())],
+            calibrations: vec![("affine".into(), TransferModel::default_affine())],
+            noises: vec![NoiseAxis::none()],
+            workers: 2,
+            seed: 7,
+            strip_hostdep: true,
+        };
+        let store = Arc::new(Mutex::new(Vec::new()));
+        let err = run_sweep(&cfg, Shared(Arc::clone(&store)))
+            .expect_err("a dead worker must fail the sweep");
+        assert!(err.to_string().contains("panicked"), "{err}");
+        // The surviving scenario was flushed behind an explicit gap record
+        // instead of being silently dropped with the reorder buffer.
+        let text = String::from_utf8(store.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "stream: {text}");
+        assert!(lines[0].contains("\"type\":\"sweep-gap\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"missing_from\":0"), "{}", lines[0]);
+        assert!(lines[0].contains("\"missing_to\":0"), "{}", lines[0]);
+        assert!(lines[1].contains("\"scenario\":1"), "{}", lines[1]);
+        assert!(lines[1].contains("\"program\":\"ring\""), "{}", lines[1]);
     }
 
     #[test]

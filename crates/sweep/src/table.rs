@@ -68,10 +68,31 @@ impl Distribution {
     }
 }
 
+/// The explicit error record written into the JSON-lines stream where
+/// scenarios `from..=to` should have been: a worker died before emitting
+/// them, and a silent hole would corrupt downstream id-based joins.
+fn gap_record(from: usize, to: usize) -> String {
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("type").str_val("sweep-gap");
+    j.key("missing_from").uint_val(from as u64);
+    j.key("missing_to").uint_val(to as u64);
+    j.key("error")
+        .str_val("worker died before these scenarios completed");
+    j.end_obj();
+    j.finish()
+}
+
 /// Reorder buffer turning out-of-order completions into an id-ordered
 /// stream of lines.
+///
+/// If the emitter is dropped (or [`abort`](Self::abort)ed) while lines are
+/// still buffered behind a missing id — a worker panicked mid-sweep — the
+/// buffered tail is flushed in id order with an explicit gap-record line
+/// marking each hole, instead of being silently discarded.
 pub struct OrderedEmitter<W: Write> {
-    sink: W,
+    /// `None` only after `finish`/`abort` moved the sink out.
+    sink: Option<W>,
     next: usize,
     pending: BTreeMap<usize, String>,
     high_water: usize,
@@ -81,7 +102,7 @@ impl<W: Write> OrderedEmitter<W> {
     /// Creates an emitter over `sink`, expecting ids `0, 1, 2, …`.
     pub fn new(sink: W) -> Self {
         OrderedEmitter {
-            sink,
+            sink: Some(sink),
             next: 0,
             pending: BTreeMap::new(),
             high_water: 0,
@@ -95,9 +116,10 @@ impl<W: Write> OrderedEmitter<W> {
         assert!(id >= self.next, "scenario {id} emitted twice");
         self.pending.insert(id, line);
         self.high_water = self.high_water.max(self.pending.len());
+        let sink = self.sink.as_mut().expect("emitter already finished");
         while let Some(line) = self.pending.remove(&self.next) {
-            self.sink.write_all(line.as_bytes())?;
-            self.sink.write_all(b"\n")?;
+            sink.write_all(line.as_bytes())?;
+            sink.write_all(b"\n")?;
             self.next += 1;
         }
         Ok(())
@@ -108,8 +130,29 @@ impl<W: Write> OrderedEmitter<W> {
         self.high_water
     }
 
+    /// Writes every still-buffered line in id order, preceding each id
+    /// discontinuity with a [`gap_record`] error line.
+    fn flush_with_gaps(&mut self) -> std::io::Result<()> {
+        let pending = std::mem::take(&mut self.pending);
+        let sink = self.sink.as_mut().expect("emitter already finished");
+        let mut expected = self.next;
+        for (id, line) in pending {
+            if id != expected {
+                sink.write_all(gap_record(expected, id - 1).as_bytes())?;
+                sink.write_all(b"\n")?;
+            }
+            sink.write_all(line.as_bytes())?;
+            sink.write_all(b"\n")?;
+            expected = id + 1;
+        }
+        self.next = expected;
+        sink.flush()
+    }
+
     /// Flushes and returns the sink. Panics if lines are still buffered
-    /// (a gap in the id sequence was never filled).
+    /// (a gap in the id sequence was never filled); the panic still leaves
+    /// a complete stream behind — the drop flush writes the tail with gap
+    /// records.
     pub fn finish(mut self) -> std::io::Result<W> {
         assert!(
             self.pending.is_empty(),
@@ -117,8 +160,28 @@ impl<W: Write> OrderedEmitter<W> {
             self.pending.len(),
             self.next
         );
-        self.sink.flush()?;
-        Ok(self.sink)
+        let mut sink = self.sink.take().expect("emitter already finished");
+        sink.flush()?;
+        Ok(sink)
+    }
+
+    /// Aborts the stream after a worker failure: flushes the buffered tail
+    /// with explicit gap records and returns the sink.
+    pub fn abort(mut self) -> std::io::Result<W> {
+        self.flush_with_gaps()?;
+        Ok(self.sink.take().expect("emitter already finished"))
+    }
+}
+
+impl<W: Write> Drop for OrderedEmitter<W> {
+    fn drop(&mut self) {
+        // Unwind path (e.g. a panicking sweep worker poisons the shared
+        // state and the emitter drops mid-flight): the buffered tail must
+        // reach the sink rather than vanish. Errors are ignored — this is
+        // best-effort salvage during teardown.
+        if self.sink.is_some() && !self.pending.is_empty() {
+            let _ = self.flush_with_gaps();
+        }
     }
 }
 
@@ -172,5 +235,53 @@ mod tests {
         let mut em = OrderedEmitter::new(Vec::new());
         em.push(1, "b".into()).unwrap();
         let _ = em.finish();
+    }
+
+    #[test]
+    fn abort_flushes_tail_with_gap_records() {
+        let mut em = OrderedEmitter::new(Vec::new());
+        em.push(0, "a".into()).unwrap();
+        // Ids 1 and 4 never arrive (their workers died).
+        em.push(2, "c".into()).unwrap();
+        em.push(3, "d".into()).unwrap();
+        em.push(5, "f".into()).unwrap();
+        let out = em.abort().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a");
+        assert!(lines[1].contains("\"type\":\"sweep-gap\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"missing_from\":1"), "{}", lines[1]);
+        assert!(lines[1].contains("\"missing_to\":1"), "{}", lines[1]);
+        assert_eq!(&lines[2..4], &["c", "d"]);
+        assert!(lines[4].contains("\"missing_from\":4"), "{}", lines[4]);
+        assert_eq!(lines[5], "f");
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    fn drop_flushes_tail_through_a_shared_sink() {
+        use std::sync::{Arc, Mutex};
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let store = Arc::new(Mutex::new(Vec::new()));
+        {
+            let mut em = OrderedEmitter::new(Shared(Arc::clone(&store)));
+            em.push(1, "b".into()).unwrap();
+            em.push(2, "c".into()).unwrap();
+            // Dropped with id 0 missing: the tail must still land.
+        }
+        let text = String::from_utf8(store.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"missing_from\":0"), "{}", lines[0]);
+        assert_eq!(&lines[1..], &["b", "c"]);
     }
 }
