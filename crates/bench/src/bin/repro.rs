@@ -4,7 +4,7 @@
 
 use smpi_bench::{
     ablations, contention_demo, e2e, fig_alltoall, fig_dt, fig_pingpong, fig_scatter, fig_schemes,
-    fig_speed, kernel_bench, obs_demo, replay_demo, scale, sweep_bench,
+    fig_speed, kernel_bench, obs_demo, replay_demo, scale, sweep_bench, trace_bench,
 };
 
 fn main() {
@@ -61,6 +61,7 @@ fn main() {
             "kernel" => kernel_bench::kernel_bench(),
             "scale" => scale::scale(),
             "sweep" => sweep_bench::sweep(),
+            "trace" => trace_bench::trace(),
             "ablations" => format!(
                 "{}\n{}\n{}",
                 ablations::segment_sweep(),

@@ -25,3 +25,4 @@ pub mod obs_demo;
 pub mod replay_demo;
 pub mod scale;
 pub mod sweep_bench;
+pub mod trace_bench;

@@ -1,16 +1,20 @@
 //! Parallel replication sweep benchmark (`repro -- sweep`).
 //!
 //! The capture-once/replay-many workflow at population scale: one NAS DT
-//! class-S run is captured on-line, then a scenario matrix — 2 platforms
-//! (griffon, gdx) × (surf kernel × 2 calibrated models + packet substrate)
-//! × 3 noise axes (none, 5% jitter, 20% jitter, with replications) — is
-//! expanded into 66 scenarios and executed by the `smpi-sweep` work-stealing
-//! pool at 1, 2 and 4 workers. The same matrix and seed every time, so the
-//! streamed results tables are byte-identical across worker counts (that is
+//! class-S run is captured on-line and saved as a `TITRACE2` file, then a
+//! scenario matrix — 2 platforms (griffon, gdx) × (surf kernel × 2
+//! calibrated models + packet substrate) × 3 noise axes (none, 5% jitter,
+//! 20% jitter, with replications) — is expanded into 66 scenarios and
+//! executed by the `smpi-sweep` work-stealing pool at 1, 2 and 4 workers,
+//! with every replay rank pulling ops from the shared block-streaming
+//! decoder (`TiV2Reader`). The same matrix and seed every time, so the
+//! streamed results tables are byte-identical across worker counts *and*
+//! byte-identical to a sweep fed from the materialized v1 trace (both are
 //! asserted here, not just tested in the crate).
 //!
 //! Artifacts:
 //!
+//! * `target/sweep/dt.tit2` — the `TITRACE2` capture the workers stream;
 //! * `target/sweep/results.jsonl` — the streamed per-scenario table (one
 //!   JSON line per scenario, stable scenario-id order);
 //! * `target/sweep/report.json` — the aggregated per-cell distributions of
@@ -32,10 +36,10 @@ use smpi_workloads::{build_graph, dt_rank, DtClass, DtGraph};
 use crate::common;
 
 /// Scenario throughput at 1 worker measured on the 1-core container this
-/// subsystem was developed in (66 DT-S scenarios, commit introducing
-/// `smpi-sweep`). The regression gate in CI compares against this within a
+/// subsystem was developed in (66 DT-S scenarios streamed from the shared
+/// `TiV2Reader`, commit introducing `TITRACE2`). The regression gate in CI compares against this within a
 /// generous cross-hardware factor.
-pub const BASELINE_1W_SCENARIOS_PER_S: f64 = 915.2;
+pub const BASELINE_1W_SCENARIOS_PER_S: f64 = 753.2;
 
 fn capture_dt_s() -> Arc<smpi::TiTrace> {
     let world = common::smpi_world(common::griffon_rp()).capture(true);
@@ -46,9 +50,9 @@ fn capture_dt_s() -> Arc<smpi::TiTrace> {
     Arc::new(report.ti_trace.expect("capture enabled"))
 }
 
-fn matrix(workers: usize, trace: Arc<smpi::TiTrace>) -> SweepConfig {
+fn matrix(workers: usize, program: Program) -> SweepConfig {
     SweepConfig {
-        programs: vec![Program::trace("dt-S", trace)],
+        programs: vec![program],
         platforms: vec![
             ("griffon".into(), common::griffon_rp()),
             ("gdx".into(), common::gdx_rp()),
@@ -83,11 +87,19 @@ pub fn sweep() -> String {
     let dir = std::path::Path::new("target/sweep");
     std::fs::create_dir_all(dir).expect("create target/sweep");
 
+    // Workers stream ops from the shared TITRACE2 block decoder instead of
+    // an in-memory trace: write the capture out once, open it once, and
+    // every scenario's replay ranks pull blocks through the weak cache.
+    let tit2 = dir.join("dt.tit2");
+    smpi_replay::save_trace_v2(&tit2, &trace).expect("write dt.tit2");
+    let reader = Arc::new(smpi::TiV2Reader::open(&tit2).expect("open dt.tit2"));
+    let stream_program = || Program::stream("dt-S", Arc::clone(&reader));
+
     let mut out = String::new();
     let _ = writeln!(
         out,
         "# sweep: 1 DT-S capture -> {} scenarios (2 platforms x (surf x 2 cals + packet) x 3 noise axes)",
-        matrix(1, Arc::clone(&trace)).scenario_count()
+        matrix(1, stream_program()).scenario_count()
     );
     let _ = writeln!(
         out,
@@ -95,20 +107,23 @@ pub fn sweep() -> String {
         "workers", "wall_s", "scenarios/s", "stolen", "reorder"
     );
 
+    // Cross-format reference: the same matrix fed from the materialized v1
+    // trace must produce the very bytes the streamed runs produce.
+    let ref_cfg = matrix(1, Program::trace("dt-S", Arc::clone(&trace)));
+    let (_, ref_lines) = run_sweep(&ref_cfg, Vec::new()).expect("reference sweep");
+    let reference = String::from_utf8(ref_lines).expect("utf8 table");
+
     let mut runs = Vec::new();
-    let mut first_table: Option<String> = None;
     let mut last_report = None;
     for workers in [1usize, 2, 4] {
-        let cfg = matrix(workers, Arc::clone(&trace));
+        let cfg = matrix(workers, stream_program());
         let (report, lines) = run_sweep(&cfg, Vec::new()).expect("sweep to memory");
         let table = String::from_utf8(lines).expect("utf8 table");
-        match &first_table {
-            None => first_table = Some(table.clone()),
-            Some(reference) => assert_eq!(
-                reference, &table,
-                "results table must be byte-identical at any worker count"
-            ),
-        }
+        assert_eq!(
+            reference, table,
+            "streamed results table must be byte-identical to the \
+             trace-fed table at any worker count"
+        );
         let _ = writeln!(
             out,
             "{:>8} {:>10.3} {:>14.2} {:>8} {:>10}",

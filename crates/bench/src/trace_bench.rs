@@ -1,0 +1,245 @@
+//! TITRACE2 codec benchmark (`repro -- trace`).
+//!
+//! Measures the binary delta-encoded trace codec against the `TITRACE v1`
+//! text format on a NAS DT capture (class S under `REPRO_FAST`, class A
+//! otherwise, both with regions on so collective annotations are in the
+//! stream):
+//!
+//! 1. **size** — v1 bytes vs v2 bytes; the compression ratio is gated in
+//!    CI (the format promises ≥ 5x on the DT golden workload);
+//! 2. **speed** — encode and decode throughput (best of three);
+//! 3. **streaming** — the same workload captured straight to disk with a
+//!    deliberately small block size/budget, then replayed from the
+//!    [`smpi::TiV2Reader`] block iterator; the streamed replay and the
+//!    materialized replay must both land on the on-line makespan exactly
+//!    (rel err 0 on the capture platform);
+//! 4. **memory** — the writer's staging high-water mark (bounded capture)
+//!    and the reader's resident-block high-water mark (bounded replay),
+//!    both reported next to what materializing the whole trace costs.
+//!
+//! Artifacts: `target/trace/dt.tit2` (the streamed capture) and
+//! `BENCH_trace.json` (see EXPERIMENTS.md for the schema and CI gates).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use smpi::{decode_v2, encode_v2, TiV2Reader};
+use smpi_replay as replay;
+use smpi_workloads::{build_graph, dt_rank, DtClass, DtGraph};
+
+use crate::common;
+
+/// Decode throughput (million ops/s, materializing decode, best of three)
+/// measured on the 1-core container this codec was developed in (DT-A with
+/// regions, commit introducing `TITRACE2`). CI compares within a generous
+/// cross-hardware factor.
+pub const BASELINE_DECODE_MOPS: f64 = 11.5;
+
+/// Streaming-capture tuning used here: blocks small enough that every
+/// rank spans several of them, so the bounded-memory claim is exercised,
+/// not just stated. DT has ~20–35 ops per rank in *both* classes (the
+/// class scales payload sizes, not op counts), hence the tiny blocks.
+const TUNING: (usize, usize) = (8, 16 * 1024);
+
+fn best_of_3<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (out.unwrap(), best)
+}
+
+/// Runs the codec benchmark, writes `BENCH_trace.json` and the trace
+/// artifact, and returns the human-readable summary.
+pub fn trace() -> String {
+    let class = if common::fast() {
+        DtClass::S
+    } else {
+        DtClass::A
+    };
+    let graph = Arc::new(build_graph(class, DtGraph::Bh));
+    let nranks = graph.num_nodes();
+
+    let dir = std::path::Path::new("target/trace");
+    std::fs::create_dir_all(dir).expect("create target/trace");
+    let tit2_path = dir.join("dt.tit2");
+
+    // On-line capture, in memory (the v1 path: whole trace materialized).
+    let world = common::smpi_world(common::griffon_rp())
+        .capture(true)
+        .metrics(true);
+    let g = Arc::clone(&graph);
+    let online = world.run(nranks, move |ctx| dt_rank(ctx, &g, class));
+    let trace = online.ti_trace.expect("capture enabled");
+    let ops = trace.summary().ops;
+
+    // Codec size and speed.
+    let v1_bytes = trace.encode().len();
+    let (v2, encode_s) = best_of_3(|| encode_v2(&trace));
+    let v2_bytes = v2.len();
+    let ratio = v1_bytes as f64 / v2_bytes as f64;
+    let (decoded, decode_s) = best_of_3(|| decode_v2(&v2).expect("decode own encoding"));
+    assert_eq!(decoded, trace, "v2 decode must reproduce the capture");
+    assert!(
+        ratio >= 5.0,
+        "TITRACE2 must stay >= 5x smaller than v1 on DT (got {ratio:.2}x)"
+    );
+    let encode_mb_s = v1_bytes as f64 / 1e6 / encode_s;
+    let decode_mops = ops as f64 / 1e6 / decode_s;
+
+    // Streaming capture: same run, trace goes straight to disk in sealed
+    // blocks; the report carries codec counters instead of the ops.
+    let (block_ops, budget_bytes) = TUNING;
+    let world = common::smpi_world(common::griffon_rp())
+        .capture_to(&tit2_path)
+        .capture_tuning(block_ops, budget_bytes)
+        .metrics(true);
+    let g = Arc::clone(&graph);
+    let streamed = world.run(nranks, move |ctx| dt_rank(ctx, &g, class));
+    assert!(streamed.ti_trace.is_none(), "streamed ops live on disk");
+    assert_eq!(streamed.sim_time, online.sim_time, "capture mode is inert");
+    let codec = streamed.profile.codec.expect("codec stats");
+    assert_eq!(codec.ops, ops as u64);
+
+    // The streamed file materializes back to the very trace the in-memory
+    // path captured: v1 <-> v2 cross-validation with rel err 0.
+    let reader = Arc::new(TiV2Reader::open(&tit2_path).expect("open streamed capture"));
+    assert_eq!(reader.materialize().expect("materialize"), trace);
+
+    // Replay, both ways, against the on-line makespan.
+    let replay_world = common::smpi_world(common::griffon_rp());
+    let t0 = Instant::now();
+    let from_mem = replay::replay(&replay_world, &trace);
+    let replay_mem_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let from_disk = replay::replay_stream(&replay_world, Arc::clone(&reader));
+    let replay_stream_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        from_mem.sim_time, online.sim_time,
+        "materialized replay drifted"
+    );
+    assert_eq!(
+        from_disk.sim_time, online.sim_time,
+        "streamed replay drifted"
+    );
+    assert_eq!(from_disk.finish_times, online.finish_times);
+
+    // Bounded memory, both sides. The materialized footprint estimate is
+    // deliberately conservative (op headers only, no heap payloads).
+    let rstats = reader.stats();
+    let materialized_est = ops * std::mem::size_of::<smpi::TiOp>();
+    assert!(
+        codec.blocks as usize > nranks,
+        "tuning must force multiple blocks per rank"
+    );
+    assert!(
+        (rstats.resident_peak_bytes as usize) < materialized_est,
+        "streamed replay must hold less than the materialized trace \
+         ({} resident vs {} materialized)",
+        rstats.resident_peak_bytes,
+        materialized_est
+    );
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# trace: TITRACE2 codec on DT-{class:?} (BH, {nranks} ranks, {ops} ops, regions on)"
+    );
+    let _ = writeln!(
+        out,
+        "size    v1 {} B -> v2 {} B  ({ratio:.2}x smaller, {} of {} blocks LZ, {} dict entries)",
+        v1_bytes, v2_bytes, codec.blocks_compressed, codec.blocks, codec.dict_entries
+    );
+    let _ = writeln!(
+        out,
+        "speed   encode {encode_mb_s:.1} MB/s (v1-equivalent)  decode {decode_mops:.2} Mops/s"
+    );
+    let _ = writeln!(
+        out,
+        "replay  materialized {replay_mem_s:.4} s  streamed {replay_stream_s:.4} s  (both rel err 0 vs online)"
+    );
+    let _ = writeln!(
+        out,
+        "memory  writer peak {} B (budget {} B)  reader peak {} B resident \
+         ({} blocks decoded, {} cache hits) vs ~{} B materialized",
+        codec.writer_peak_staged_bytes,
+        codec.writer_budget_bytes,
+        rstats.resident_peak_bytes,
+        rstats.blocks_decoded,
+        rstats.cache_hits,
+        materialized_est
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workload\": \"dt-{class:?}\",");
+    let _ = writeln!(json, "  \"ranks\": {nranks},");
+    let _ = writeln!(json, "  \"ops\": {ops},");
+    let _ = writeln!(json, "  \"v1_bytes\": {v1_bytes},");
+    let _ = writeln!(json, "  \"v2_bytes\": {v2_bytes},");
+    let _ = writeln!(json, "  \"ratio\": {ratio:.3},");
+    let _ = writeln!(json, "  \"encode_mb_s\": {encode_mb_s:.2},");
+    let _ = writeln!(json, "  \"decode_mops_per_s\": {decode_mops:.3},");
+    let _ = writeln!(json, "  \"replay_rel_err\": 0.0,");
+    let _ = writeln!(json, "  \"replay_stream_rel_err\": 0.0,");
+    let _ = writeln!(json, "  \"blocks\": {},", codec.blocks);
+    let _ = writeln!(
+        json,
+        "  \"blocks_compressed\": {},",
+        codec.blocks_compressed
+    );
+    let _ = writeln!(json, "  \"dict_entries\": {},", codec.dict_entries);
+    let _ = writeln!(
+        json,
+        "  \"writer_peak_staged_bytes\": {},",
+        codec.writer_peak_staged_bytes
+    );
+    let _ = writeln!(
+        json,
+        "  \"writer_budget_bytes\": {},",
+        codec.writer_budget_bytes
+    );
+    let _ = writeln!(
+        json,
+        "  \"reader_resident_peak_bytes\": {},",
+        rstats.resident_peak_bytes
+    );
+    let _ = writeln!(json, "  \"materialized_est_bytes\": {materialized_est},");
+    let _ = writeln!(
+        json,
+        "  \"baseline_decode_mops_per_s\": {BASELINE_DECODE_MOPS:.1}"
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");
+
+    let _ = writeln!(out, "wrote BENCH_trace.json, {}", tit2_path.display());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn trace_bench_produces_artifacts_and_holds_its_gates() {
+        std::env::set_var("REPRO_FAST", "1");
+        let out = super::trace();
+        assert!(out.contains("x smaller"));
+        assert!(out.contains("rel err 0"));
+        assert!(std::path::Path::new("target/trace/dt.tit2").exists());
+        let bench = std::fs::read_to_string("BENCH_trace.json").unwrap();
+        for key in [
+            "\"ratio\"",
+            "\"decode_mops_per_s\"",
+            "\"writer_peak_staged_bytes\"",
+            "\"reader_resident_peak_bytes\"",
+        ] {
+            assert!(bench.contains(key), "missing {key} in BENCH_trace.json");
+        }
+        // Under `cargo test` the cwd is the crate dir, not the workspace
+        // root where the committed BENCH file lives — don't leave a copy.
+        std::fs::remove_file("BENCH_trace.json").ok();
+    }
+}

@@ -80,6 +80,25 @@ pub enum TiOp {
         /// `true` on entry, `false` on exit.
         enter: bool,
     },
+    /// A collective operation recorded as a *logical* op. The capture layer
+    /// synthesizes one from each outermost collective region: the `span`
+    /// ops that follow (through the matching region exit) are the traffic
+    /// the on-line run's algorithm choice produced, and `algo` names that
+    /// choice. A replayer can either play the span faithfully or skip it
+    /// (`span` ops, `posts` post indices) and substitute its own traffic —
+    /// replay-time collective re-selection without re-capture.
+    Coll {
+        /// Collective name (`allreduce`, `bcast`, ...).
+        name: String,
+        /// Algorithm variant chosen on-line (empty when unannotated).
+        algo: String,
+        /// Number of following ops, up to and including the closing
+        /// region exit, that implement this collective.
+        span: u32,
+        /// Send/recv posts among those ops (post indices to skip over
+        /// when substituting).
+        posts: u32,
+    },
 }
 
 impl TiOp {
@@ -116,6 +135,45 @@ impl TiOp {
                 );
                 format!("region {} {name}", if *enter { "+" } else { "-" })
             }
+            TiOp::Coll {
+                name,
+                algo,
+                span,
+                posts,
+            } => {
+                let algo = if algo.is_empty() { "-" } else { algo };
+                format!("coll {name} {algo} {span} {posts}")
+            }
+        }
+    }
+
+    /// Renders the op for the `TITRACE v1` text format. Identical to
+    /// [`line`](Self::line) except that logical collectives degrade to their
+    /// v1 spelling (`region + <name>`): v1 predates [`TiOp::Coll`], and a
+    /// trace captured today must still encode byte-identically to the v1
+    /// goldens. The annotation survives only in the v2 binary format.
+    pub fn v1_line(&self) -> String {
+        match self {
+            TiOp::Coll { name, .. } => TiOp::Region {
+                name: name.clone(),
+                enter: true,
+            }
+            .line(),
+            other => other.line(),
+        }
+    }
+
+    /// The op with v2-only information erased: [`TiOp::Coll`] becomes the
+    /// region entry it replaced; everything else is unchanged. Mapping a
+    /// v2-decoded stream through this yields exactly the v1 view of the
+    /// same capture (the cross-format equality tests rely on it).
+    pub fn downgrade(&self) -> TiOp {
+        match self {
+            TiOp::Coll { name, .. } => TiOp::Region {
+                name: name.clone(),
+                enter: true,
+            },
+            other => other.clone(),
         }
     }
 }
@@ -211,47 +269,95 @@ impl TiTrace {
         s
     }
 
+    /// The trace with v2-only information erased (see [`TiOp::downgrade`]).
+    pub fn downgraded(&self) -> TiTrace {
+        TiTrace {
+            ranks: self
+                .ranks
+                .iter()
+                .map(|ops| ops.iter().map(TiOp::downgrade).collect())
+                .collect(),
+        }
+    }
+
     /// Serializes the trace in the versioned `TITRACE v1` text format.
     ///
     /// Floats use Rust's shortest-round-trip `Display`, so the codec is
     /// lossless and re-encoding a decoded trace reproduces the input
-    /// byte for byte.
+    /// byte for byte. Logical collectives are written in their v1 spelling
+    /// (see [`TiOp::v1_line`]), so v1 output is stable across the v2
+    /// capture changes.
     pub fn encode(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "TITRACE v1");
-        let _ = writeln!(out, "ranks {}", self.ranks.len());
+        let mut buf = Vec::new();
+        self.encode_to(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("TITRACE v1 is ASCII")
+    }
+
+    /// Streams the `TITRACE v1` text format into `w` without building the
+    /// whole document in memory. Wrap files in a
+    /// [`std::io::BufWriter`] — the encoder issues one write per line.
+    pub fn encode_to(&self, mut w: impl std::io::Write) -> std::io::Result<()> {
+        writeln!(w, "TITRACE v1")?;
+        writeln!(w, "ranks {}", self.ranks.len())?;
         for (r, ops) in self.ranks.iter().enumerate() {
-            let _ = writeln!(out, "rank {r} {}", ops.len());
+            writeln!(w, "rank {r} {}", ops.len())?;
             for op in ops {
-                let _ = writeln!(out, "{}", op.line());
+                writeln!(w, "{}", op.v1_line())?;
             }
-            let _ = writeln!(out, "end");
+            writeln!(w, "end")?;
         }
-        out
+        Ok(())
     }
 
     /// Parses a `TITRACE v1` document produced by [`encode`](Self::encode).
     pub fn decode(text: &str) -> Result<TiTrace, TiDecodeError> {
-        let err = |line: usize, message: String| TiDecodeError { line, message };
-        let mut lines = text.lines().enumerate();
-        let mut next = || lines.next().map(|(i, l)| (i + 1, l));
+        TiTrace::decode_from(std::io::Cursor::new(text)).map_err(|e| match e {
+            TraceIoError::Format(e) => e,
+            TraceIoError::Io(e) => TiDecodeError {
+                line: 0,
+                message: format!("i/o error reading in-memory text: {e}"),
+            },
+            TraceIoError::V2(e) => TiDecodeError {
+                line: 0,
+                message: format!("unexpected v2 error: {e}"),
+            },
+        })
+    }
 
-        let (ln, header) = next().ok_or_else(|| err(0, "empty document".into()))?;
+    /// Streams a `TITRACE v1` document out of a [`std::io::BufRead`],
+    /// decoding line by line (no whole-file string). Short reads and
+    /// malformed lines surface as typed [`TraceIoError`]s, never panics.
+    pub fn decode_from(r: impl std::io::BufRead) -> Result<TiTrace, TraceIoError> {
+        let err =
+            |line: usize, message: String| TraceIoError::Format(TiDecodeError { line, message });
+        let mut lines = r.lines().enumerate();
+        let mut next = || -> Result<Option<(usize, String)>, TraceIoError> {
+            match lines.next() {
+                None => Ok(None),
+                Some((i, Ok(l))) => Ok(Some((i + 1, l))),
+                Some((_, Err(e))) => Err(TraceIoError::Io(e)),
+            }
+        };
+
+        let (ln, header) = next()?.ok_or_else(|| err(0, "empty document".into()))?;
         if header.trim_end() != "TITRACE v1" {
             return Err(err(
                 ln,
                 format!("bad header {header:?} (expected \"TITRACE v1\")"),
             ));
         }
-        let (ln, ranks_line) = next().ok_or_else(|| err(0, "missing ranks line".into()))?;
+        let (ln, ranks_line) = next()?.ok_or_else(|| err(0, "missing ranks line".into()))?;
         let nranks: usize = ranks_line
             .strip_prefix("ranks ")
             .and_then(|s| s.trim().parse().ok())
             .ok_or_else(|| err(ln, format!("bad ranks line {ranks_line:?}")))?;
 
-        let mut ranks = Vec::with_capacity(nranks);
+        // Capacity hints are clamped: a corrupted count must yield a decode
+        // error further down, not an absurd up-front allocation.
+        let mut ranks = Vec::with_capacity(nranks.min(1 << 16));
         for r in 0..nranks {
-            let (ln, rank_line) = next().ok_or_else(|| err(0, format!("missing rank {r}")))?;
+            let (ln, rank_line) = next()?.ok_or_else(|| err(0, format!("missing rank {r}")))?;
             let mut head = rank_line.split_whitespace();
             let (kw, idx, nops) = (head.next(), head.next(), head.next());
             if kw != Some("rank") || idx != Some(&r.to_string()) {
@@ -263,21 +369,73 @@ impl TiTrace {
             let nops: usize = nops
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| err(ln, format!("bad op count in {rank_line:?}")))?;
-            let mut ops = Vec::with_capacity(nops);
+            let mut ops = Vec::with_capacity(nops.min(1 << 20));
             for _ in 0..nops {
-                let (ln, line) = next().ok_or_else(|| err(0, format!("rank {r} truncated")))?;
-                ops.push(decode_op(line).map_err(|m| err(ln, m))?);
+                let (ln, line) = next()?.ok_or_else(|| err(0, format!("rank {r} truncated")))?;
+                ops.push(decode_op(&line).map_err(|m| err(ln, m))?);
             }
-            let (ln, end) = next().ok_or_else(|| err(0, format!("rank {r} missing end")))?;
+            let (ln, end) = next()?.ok_or_else(|| err(0, format!("rank {r} missing end")))?;
             if end.trim_end() != "end" {
                 return Err(err(ln, format!("expected \"end\", got {end:?}")));
             }
             ranks.push(ops);
         }
-        if let Some((ln, extra)) = next() {
+        if let Some((ln, extra)) = next()? {
             return Err(err(ln, format!("trailing content {extra:?}")));
         }
         Ok(TiTrace { ranks })
+    }
+}
+
+/// Unified error for streaming trace i/o: an underlying [`std::io::Error`],
+/// a `TITRACE v1` format error, or a `TITRACE2` format error. This is what
+/// `smpi-replay`'s `save_trace`/`load_trace` return — loaders get a typed
+/// error for short reads and corruption instead of a panic.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+    /// The bytes parsed as `TITRACE v1` but were malformed.
+    Format(TiDecodeError),
+    /// The bytes parsed as `TITRACE2` but were malformed.
+    V2(crate::capture_v2::TiV2Error),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::Format(e) => write!(f, "{e}"),
+            TraceIoError::V2(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Format(e) => Some(e),
+            TraceIoError::V2(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<TiDecodeError> for TraceIoError {
+    fn from(e: TiDecodeError) -> Self {
+        TraceIoError::Format(e)
+    }
+}
+
+impl From<crate::capture_v2::TiV2Error> for TraceIoError {
+    fn from(e: crate::capture_v2::TiV2Error) -> Self {
+        TraceIoError::V2(e)
     }
 }
 
@@ -353,15 +511,93 @@ pub fn intern_region(name: &str) -> &'static str {
     leaked
 }
 
+/// An outermost collective region still open on a rank: where its
+/// synthesized [`TiOp::Coll`] sits in the staging buffer, and how many
+/// posts it has covered so far. While one of these is open the rank's
+/// staging buffer cannot flush past `ix` — the `span`/`posts`/`algo`
+/// fields are patched in place when the region closes.
+#[derive(Debug, Clone, Copy)]
+struct OpenColl {
+    /// Index of the `Coll` op in the rank's *staging* buffer.
+    ix: usize,
+    /// Posts recorded since the collective opened.
+    posts: u32,
+}
+
+/// Streaming sink configuration + state (present when the run streams its
+/// capture to disk instead of materializing a [`TiTrace`]).
+pub(crate) struct StreamSink {
+    writer: crate::capture_v2::TiV2Writer<Box<dyn std::io::Write + Send>>,
+    /// Ops per sealed block (v2 blocks are self-contained, so this bounds
+    /// both writer staging and replay residency).
+    block_ops: usize,
+    /// Global staging budget across all ranks, bytes (approximate, via
+    /// [`op_cost`]). Exceeding it force-flushes partial blocks.
+    budget_bytes: usize,
+    /// Current staged bytes across all ranks.
+    staged_bytes: usize,
+    /// High-water mark of `staged_bytes`.
+    peak_staged_bytes: usize,
+    /// Staged bytes per rank.
+    rank_bytes: Vec<usize>,
+    /// First write error, if any (sticky; surfaced by `finish`).
+    err: Option<std::io::Error>,
+}
+
+impl std::fmt::Debug for StreamSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSink")
+            .field("block_ops", &self.block_ops)
+            .field("budget_bytes", &self.budget_bytes)
+            .field("staged_bytes", &self.staged_bytes)
+            .field("peak_staged_bytes", &self.peak_staged_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Approximate in-memory size of a staged op (budget accounting only —
+/// deterministic, so identical runs flush at identical points).
+pub(crate) fn op_cost(op: &TiOp) -> usize {
+    let heap = match op {
+        TiOp::Wait { reqs, .. } => reqs.len() * 4,
+        TiOp::Region { name, .. } => name.len(),
+        TiOp::Coll { name, algo, .. } => name.len() + algo.len(),
+        _ => 0,
+    };
+    std::mem::size_of::<TiOp>() + heap
+}
+
 /// Maestro-side capture state (lives in [`crate::runtime::Runtime`]).
+///
+/// Two jobs happen here, both at the simcall boundary:
+///
+/// * **Collective synthesis.** The runtime reports collectives as plain
+///   observability regions. The capture layer turns each *outermost*
+///   region entry into a logical [`TiOp::Coll`], annotates it with the
+///   first nested region's name (the algorithm variant the collective
+///   dispatched to), and patches its `span`/`posts` when the region
+///   closes. Inner region entries/exits are kept verbatim, so a faithful
+///   replay carries the same region timeline as the on-line run.
+/// * **Streaming (optional).** With a [`StreamSink`] attached, sealed
+///   blocks of ops are handed to the `TITRACE2` writer as they fill, and
+///   the staging buffers stay within a fixed byte budget no matter how
+///   long the run is. The only flush barrier is an open collective: its
+///   `Coll` op cannot leave staging until the closing exit patches it.
 #[derive(Debug)]
 pub(crate) struct Capture {
-    /// Per-rank op sequences under construction.
+    /// Per-rank op sequences under construction (the whole trace when not
+    /// streaming; a bounded staging window when streaming).
     pub(crate) ops: Vec<Vec<TiOp>>,
     /// Next post index per rank (requests are named by post order).
     next_post: Vec<u32>,
     /// Global request id -> (owning rank's) post index.
     req_post: std::collections::HashMap<crate::runtime::ReqId, u32>,
+    /// Per-rank region nesting depth (for outermost-region detection).
+    depth: Vec<u32>,
+    /// Per-rank open outermost collective, if any.
+    open: Vec<Option<OpenColl>>,
+    /// Streaming sink, when capture goes straight to disk.
+    stream: Option<StreamSink>,
 }
 
 impl Capture {
@@ -370,21 +606,112 @@ impl Capture {
             ops: vec![Vec::new(); nranks],
             next_post: vec![0; nranks],
             req_post: std::collections::HashMap::new(),
+            depth: vec![0; nranks],
+            open: vec![None; nranks],
+            stream: None,
         }
+    }
+
+    /// Attaches a streaming sink: ops are encoded to `out` as `TITRACE2`
+    /// blocks of `block_ops`, keeping staged memory near `budget_bytes`.
+    pub(crate) fn new_streaming(
+        nranks: usize,
+        out: Box<dyn std::io::Write + Send>,
+        block_ops: usize,
+        budget_bytes: usize,
+    ) -> Self {
+        let mut cap = Capture::new(nranks);
+        cap.stream = Some(StreamSink {
+            writer: crate::capture_v2::TiV2Writer::new(out, nranks),
+            block_ops: block_ops.max(1),
+            budget_bytes,
+            staged_bytes: 0,
+            peak_staged_bytes: 0,
+            rank_bytes: vec![0; nranks],
+            err: None,
+        });
+        cap
     }
 
     /// Records a posted request (send or receive) and names it by its
     /// per-rank post index.
     pub(crate) fn on_post(&mut self, rank: u32, req: crate::runtime::ReqId, op: TiOp) {
-        let idx = self.next_post[rank as usize];
-        self.next_post[rank as usize] += 1;
+        let r = rank as usize;
+        let idx = self.next_post[r];
+        self.next_post[r] += 1;
         self.req_post.insert(req, idx);
-        self.ops[rank as usize].push(op);
+        if let Some(open) = &mut self.open[r] {
+            open.posts += 1;
+        }
+        self.push(r, op);
     }
 
-    /// Records a non-posting op.
+    /// Records a non-posting op, synthesizing logical collectives from
+    /// outermost region entries.
     pub(crate) fn on_op(&mut self, rank: u32, op: TiOp) {
-        self.ops[rank as usize].push(op);
+        let r = rank as usize;
+        match op {
+            TiOp::Region { name, enter: true } => {
+                let depth = self.depth[r];
+                self.depth[r] += 1;
+                if depth == 0 {
+                    // Outermost entry: becomes a logical collective whose
+                    // span/posts are patched at the matching exit. Pin the
+                    // flush floor *before* pushing — a budget-pressure
+                    // flush inside `push` must not carry the unpatched
+                    // `Coll` away.
+                    self.open[r] = Some(OpenColl {
+                        ix: self.ops[r].len(),
+                        posts: 0,
+                    });
+                    self.push(
+                        r,
+                        TiOp::Coll {
+                            name,
+                            algo: String::new(),
+                            span: 0,
+                            posts: 0,
+                        },
+                    );
+                } else {
+                    // First nested entry names the algorithm variant the
+                    // collective dispatched to.
+                    if depth == 1 {
+                        if let Some(open) = self.open[r] {
+                            if let TiOp::Coll { algo, .. } = &mut self.ops[r][open.ix] {
+                                if algo.is_empty() {
+                                    algo.push_str(&name);
+                                    if let Some(s) = &mut self.stream {
+                                        s.staged_bytes += name.len();
+                                        s.rank_bytes[r] += name.len();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    self.push(r, TiOp::Region { name, enter: true });
+                }
+            }
+            TiOp::Region { name, enter: false } => {
+                self.depth[r] = self.depth[r].saturating_sub(1);
+                if self.depth[r] == 0 && self.open[r].is_some() {
+                    // Push while the collective is still pinned (the exit
+                    // op belongs to its span), then patch and unpin.
+                    self.push(r, TiOp::Region { name, enter: false });
+                    let open = self.open[r].take().expect("checked above");
+                    let end = self.ops[r].len() - 1;
+                    if let TiOp::Coll { span, posts: p, .. } = &mut self.ops[r][open.ix] {
+                        *span = (end - open.ix) as u32;
+                        *p = open.posts;
+                    }
+                    // The barrier is gone — staged ops may flush now.
+                    self.maybe_flush(r);
+                    return;
+                }
+                self.push(r, TiOp::Region { name, enter: false });
+            }
+            other => self.push(r, other),
+        }
     }
 
     /// Records a wait, translating global request ids to post indices.
@@ -398,11 +725,101 @@ impl Capture {
                     .expect("waited request was captured at post")
             })
             .collect();
-        self.ops[rank as usize].push(TiOp::Wait { reqs, mode });
+        self.push(rank as usize, TiOp::Wait { reqs, mode });
     }
 
+    fn push(&mut self, r: usize, op: TiOp) {
+        if let Some(s) = &mut self.stream {
+            let cost = op_cost(&op);
+            s.staged_bytes += cost;
+            s.rank_bytes[r] += cost;
+            s.peak_staged_bytes = s.peak_staged_bytes.max(s.staged_bytes);
+        }
+        self.ops[r].push(op);
+        self.maybe_flush(r);
+    }
+
+    /// How many staged ops of rank `r` are free to leave the buffer: all of
+    /// them, unless an open collective pins the tail starting at its `Coll`.
+    fn flush_floor(&self, r: usize) -> usize {
+        self.open[r].map_or(self.ops[r].len(), |o| o.ix)
+    }
+
+    /// Flushes full blocks of rank `r`, then — if the global budget is
+    /// still exceeded — force-flushes partial blocks, largest rank first.
+    fn maybe_flush(&mut self, r: usize) {
+        let Some(s) = &self.stream else { return };
+        let (block_ops, budget) = (s.block_ops, s.budget_bytes);
+        while self.flush_floor(r) >= block_ops {
+            self.seal(r, block_ops);
+        }
+        if self.stream.as_ref().unwrap().staged_bytes <= budget {
+            return;
+        }
+        // Over budget: drain every rank's flushable tail (partial blocks
+        // included). Anything still staged afterwards is pinned by open
+        // collectives, which are bounded by the widest single collective.
+        for rr in 0..self.ops.len() {
+            let n = self.flush_floor(rr);
+            if n > 0 {
+                self.seal(rr, n);
+            }
+        }
+    }
+
+    /// Seals `n` staged ops of rank `r` into one v2 block.
+    fn seal(&mut self, r: usize, n: usize) {
+        let s = self.stream.as_mut().expect("seal requires a stream");
+        let drained: Vec<TiOp> = self.ops[r].drain(..n).collect();
+        let freed: usize = drained.iter().map(op_cost).sum();
+        s.staged_bytes -= freed.min(s.staged_bytes);
+        s.rank_bytes[r] -= freed.min(s.rank_bytes[r]);
+        if let Some(open) = &mut self.open[r] {
+            debug_assert!(open.ix >= n, "flush crossed an open collective");
+            open.ix -= n;
+        }
+        if s.err.is_none() {
+            if let Err(e) = s.writer.write_block(r as u32, &drained) {
+                s.err = Some(e);
+            }
+        }
+    }
+
+    /// Finishes an in-memory capture. Must not be called on a streaming
+    /// capture (ops have already left the building).
     pub(crate) fn into_trace(self) -> TiTrace {
+        assert!(
+            self.stream.is_none(),
+            "into_trace on a streaming capture; use finish_stream"
+        );
         TiTrace { ranks: self.ops }
+    }
+
+    pub(crate) fn is_streaming(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Flushes everything and finalizes the `TITRACE2` file, returning the
+    /// codec counters. Any write error observed during the run or while
+    /// writing the footer surfaces here.
+    pub(crate) fn finish_stream(mut self) -> std::io::Result<smpi_obs::CodecStats> {
+        for r in 0..self.ops.len() {
+            // A still-open collective at end of run means the app stopped
+            // inside one; flush it unpatched rather than lose the tail.
+            self.open[r] = None;
+            let n = self.ops[r].len();
+            if n > 0 {
+                self.seal(r, n);
+            }
+        }
+        let mut s = self.stream.take().expect("finish_stream requires a stream");
+        if let Some(e) = s.err.take() {
+            return Err(e);
+        }
+        let (_out, mut stats) = s.writer.finish()?;
+        stats.writer_peak_staged_bytes = s.peak_staged_bytes as u64;
+        stats.writer_budget_bytes = s.budget_bytes as u64;
+        Ok(stats)
     }
 }
 

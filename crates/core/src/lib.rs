@@ -29,6 +29,7 @@
 //! paper's accuracy figures.
 
 pub mod capture;
+pub mod capture_v2;
 pub mod coll;
 pub mod comm;
 pub mod ctx;
@@ -48,7 +49,11 @@ pub mod state;
 pub mod trace;
 pub mod world;
 
-pub use capture::{TiDecodeError, TiOp, TiSummary, TiTrace};
+pub use capture::{TiDecodeError, TiOp, TiSummary, TiTrace, TraceIoError};
+pub use capture_v2::{
+    decode_v2, encode_v2, ReaderStats, TiOpIter, TiV2Error, TiV2Reader, TiV2Writer,
+    DEFAULT_BLOCK_OPS, DEFAULT_WRITER_BUDGET,
+};
 pub use coll::alltoall::pairwise_peers;
 pub use coll::tree;
 pub use comm::Comm;

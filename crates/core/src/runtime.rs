@@ -474,6 +474,7 @@ impl Runtime {
             sim_time: self.now(),
             wall_seconds: 0.0,
             kernel: self.fabric.kernel_profile(),
+            codec: None, // filled by the World runner after the stream is finished
         }
     }
 
@@ -492,9 +493,43 @@ impl Runtime {
         self.capture = Some(Capture::new(self.finish_times.len()));
     }
 
-    /// Takes the captured time-independent trace, if capture was enabled.
+    /// Enables *streaming* capture: ops are encoded to `out` in the
+    /// `TITRACE2` format as the run progresses, holding at most
+    /// `budget_bytes` of staged ops (see [`crate::capture_v2`]). The sink
+    /// is finalized by [`take_capture_stats`](Self::take_capture_stats).
+    pub fn enable_capture_stream(
+        &mut self,
+        out: Box<dyn std::io::Write + Send>,
+        block_ops: usize,
+        budget_bytes: usize,
+    ) {
+        self.capture = Some(Capture::new_streaming(
+            self.finish_times.len(),
+            out,
+            block_ops,
+            budget_bytes,
+        ));
+    }
+
+    /// Takes the captured time-independent trace, if in-memory capture was
+    /// enabled (`None` for streaming capture — the ops are on disk).
     pub fn take_capture(&mut self) -> Option<TiTrace> {
-        self.capture.take().map(Capture::into_trace)
+        match &self.capture {
+            Some(cap) if !cap.is_streaming() => self.capture.take().map(Capture::into_trace),
+            _ => None,
+        }
+    }
+
+    /// Finalizes a streaming capture (flush + footer), returning the codec
+    /// counters. `None` unless [`enable_capture_stream`](Self::enable_capture_stream)
+    /// was used.
+    pub fn take_capture_stats(&mut self) -> Option<std::io::Result<smpi_obs::CodecStats>> {
+        match &self.capture {
+            Some(cap) if cap.is_streaming() => {
+                Some(self.capture.take().expect("just matched").finish_stream())
+            }
+            _ => None,
+        }
     }
 
     fn record(&mut self, kind: TraceKind) {

@@ -50,6 +50,9 @@ pub struct World {
     placement: Option<Vec<HostIx>>,
     tracing: bool,
     capture: bool,
+    capture_path: Option<std::path::PathBuf>,
+    capture_block_ops: usize,
+    capture_budget: usize,
     stack_size: usize,
     timeseries: bool,
     ts_budget: usize,
@@ -107,6 +110,9 @@ impl World {
             placement: None,
             tracing: false,
             capture: false,
+            capture_path: None,
+            capture_block_ops: crate::capture_v2::DEFAULT_BLOCK_OPS,
+            capture_budget: crate::capture_v2::DEFAULT_WRITER_BUDGET,
             stack_size: simix::DEFAULT_STACK_SIZE,
             timeseries: false,
             ts_budget: DEFAULT_TS_BUDGET,
@@ -184,6 +190,29 @@ impl World {
     /// on (ranks skip the region simcall entirely otherwise).
     pub fn capture(mut self, enabled: bool) -> Self {
         self.capture = enabled;
+        self
+    }
+
+    /// Enables *streaming* capture straight to a `TITRACE2` file: sealed
+    /// blocks of ops leave the maestro as the run progresses, so capture
+    /// memory is bounded by the writer budget rather than by trace length
+    /// (see [`crate::capture_v2`]). The run report's `ti_trace` stays
+    /// `None` (the ops are on disk — open them with `TiV2Reader`), and
+    /// `profile.codec` carries the codec counters. Implies
+    /// [`capture`](Self::capture).
+    pub fn capture_to(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.capture = true;
+        self.capture_path = Some(path.into());
+        self
+    }
+
+    /// Overrides the streaming-capture block size (ops per sealed block)
+    /// and global staging budget in bytes. Only meaningful together with
+    /// [`capture_to`](Self::capture_to).
+    pub fn capture_tuning(mut self, block_ops: usize, budget_bytes: usize) -> Self {
+        assert!(block_ops > 0, "block size must be non-zero");
+        self.capture_block_ops = block_ops;
+        self.capture_budget = budget_bytes;
         self
     }
 
@@ -334,7 +363,15 @@ impl World {
         if self.tracing {
             runtime.enable_tracing();
         }
-        if self.capture {
+        if let Some(path) = &self.capture_path {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create capture file {}: {e}", path.display()));
+            runtime.enable_capture_stream(
+                Box::new(std::io::BufWriter::new(file)),
+                self.capture_block_ops,
+                self.capture_budget,
+            );
+        } else if self.capture {
             runtime.enable_capture();
         }
         if self.run_config.obs {
@@ -363,6 +400,10 @@ impl World {
         let mut profile = runtime.self_profile();
         profile.wall_seconds = wall.as_secs_f64();
         profile.local_simcalls = shared.local_calls();
+        if let Some(stats) = runtime.take_capture_stats() {
+            profile.codec =
+                Some(stats.unwrap_or_else(|e| panic!("streaming capture write failed: {e}")));
+        }
 
         Ok(RunReport {
             sim_time: runtime.now(),

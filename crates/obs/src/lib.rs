@@ -32,7 +32,7 @@ mod sweep_stats;
 mod timeseries;
 
 pub use attribution::{ContentionReport, FlowAttribution, FlowRecord, LinkRollup};
-pub use profile::{KernelHist, KernelProfile, SelfProfile};
+pub use profile::{CodecStats, KernelHist, KernelProfile, SelfProfile};
 pub use recorder::{MemoryRecorder, NullRecorder, Rec, Recorder, StateEvent, StateOp};
 pub use report::{HistogramSnapshot, MetricsReport, TimelineSnapshot};
 pub use sweep_stats::{SweepStats, WorkerStats};

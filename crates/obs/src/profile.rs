@@ -160,6 +160,72 @@ impl KernelProfile {
     }
 }
 
+/// Counters of the TITRACE v2 streaming trace codec, filled by the
+/// capture writer when a run streams its time-independent trace to disk
+/// (`World::capture_to`). Every field is a pure function of the simcall
+/// stream and the writer configuration — nothing here measures the host —
+/// so identical runs report identical codec stats.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CodecStats {
+    /// Ops encoded across all ranks.
+    pub ops: u64,
+    /// Sealed blocks written.
+    pub blocks: u64,
+    /// Blocks that took the LZ path (compressed smaller than raw).
+    pub blocks_compressed: u64,
+    /// Shared-dictionary entries (region/collective names).
+    pub dict_entries: u64,
+    /// Uncompressed block-payload bytes (post delta/varint, pre LZ).
+    pub bytes_raw: u64,
+    /// Total bytes written to the sink (header + blocks + footer).
+    pub bytes_written: u64,
+    /// High-water mark of the writer's staging buffers, bytes (the bounded
+    /// capture memory; stays near `writer_budget_bytes` regardless of how
+    /// many ops the run emits).
+    pub writer_peak_staged_bytes: u64,
+    /// Configured staging budget, bytes.
+    pub writer_budget_bytes: u64,
+}
+
+impl CodecStats {
+    /// Human-readable summary lines (indented for the self-profile).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  trace codec: {} ops -> {} blocks ({} compressed), {} dict entries\n",
+            self.ops, self.blocks, self.blocks_compressed, self.dict_entries
+        ));
+        let ratio = if self.bytes_written > 0 {
+            self.bytes_raw as f64 / self.bytes_written as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  trace codec: {} raw payload B -> {} file B ({ratio:.2}x block stage), staged peak {} B (budget {} B)\n",
+            self.bytes_raw, self.bytes_written, self.writer_peak_staged_bytes, self.writer_budget_bytes
+        ));
+        out
+    }
+
+    /// JSON object for machine consumption.
+    pub fn to_json(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("ops").uint_val(self.ops);
+        j.key("blocks").uint_val(self.blocks);
+        j.key("blocks_compressed").uint_val(self.blocks_compressed);
+        j.key("dict_entries").uint_val(self.dict_entries);
+        j.key("bytes_raw").uint_val(self.bytes_raw);
+        j.key("bytes_written").uint_val(self.bytes_written);
+        j.key("writer_peak_staged_bytes")
+            .uint_val(self.writer_peak_staged_bytes);
+        j.key("writer_budget_bytes")
+            .uint_val(self.writer_budget_bytes);
+        j.end_obj();
+        j.finish()
+    }
+}
+
 /// Wall-clock and throughput profile of one simulation run.
 ///
 /// Counters are always collected (they are plain integer increments);
@@ -186,6 +252,9 @@ pub struct SelfProfile {
     /// Flow-kernel introspection, when the fabric exposes one (always
     /// collected by the surf backend; `None` for the packet backend).
     pub kernel: Option<KernelProfile>,
+    /// TITRACE v2 streaming-capture codec counters, when the run streamed
+    /// its trace to disk (`None` for in-memory capture or no capture).
+    pub codec: Option<CodecStats>,
 }
 
 impl SelfProfile {
@@ -278,6 +347,9 @@ impl SelfProfile {
         if let Some(k) = &self.kernel {
             out.push_str(&k.render());
         }
+        if let Some(c) = &self.codec {
+            out.push_str(&c.render());
+        }
         out
     }
 
@@ -302,6 +374,9 @@ impl SelfProfile {
         if let Some(k) = &self.kernel {
             j.key("kernel").raw_val(&k.to_json());
         }
+        if let Some(c) = &self.codec {
+            j.key("codec").raw_val(&c.to_json());
+        }
         j.end_obj();
         j.finish()
     }
@@ -321,6 +396,7 @@ mod tests {
             sim_time: 1.5,
             wall_seconds: 0.004,
             kernel: None,
+            codec: None,
         }
     }
 

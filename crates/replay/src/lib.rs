@@ -1,7 +1,8 @@
 //! # smpi-replay — off-line replay of time-independent traces
 //!
 //! The complement of the paper's on-line simulator: capture a run once
-//! (with [`World::capture`]), then re-simulate its time-independent trace
+//! (with [`World::capture`] or, for bounded-memory streaming capture,
+//! `World::capture_to`), then re-simulate its time-independent trace
 //! against *any* platform spec and network model — no rank bodies, no
 //! application compute, no payload allocation. Only the simulation kernel
 //! runs, which is what makes thousands-of-run sensitivity sweeps (swap the
@@ -27,6 +28,23 @@
 //! assert_eq!(replayed.sim_time, online.sim_time);
 //! ```
 //!
+//! ## Trace sources
+//!
+//! The engine is generic over [`OpSource`]: anything that can hand each
+//! rank an op iterator. Two sources ship:
+//!
+//! * [`TiTrace`] — a fully decoded in-memory trace (v1 text files, or the
+//!   `ti_trace` field of a captured run report).
+//! * [`smpi::TiV2Reader`] — a block-streaming `TITRACE2` reader
+//!   ([`replay_stream`]): ops are decoded block-by-block as each rank's
+//!   cursor advances, so replay memory is bounded by block size rather
+//!   than trace length, and concurrent replays of the same file share
+//!   decoded blocks (stream once, replay many).
+//!
+//! [`save_trace`]/[`load_trace`] stream through `BufWriter`/`BufRead` and
+//! return typed [`TraceIoError`]s; `load_trace` sniffs the leading magic,
+//! so v1 text and v2 binary files load through the same call forever.
+//!
 //! ## Semantics under model swap
 //!
 //! The trace fixes each rank's *order* of simcalls; the target world fixes
@@ -41,18 +59,112 @@
 //! replay, skipping waits that become empty. On the capture platform
 //! nothing is ever filtered and the replay is bit-identical.
 //!
+//! ## Collective re-selection
+//!
+//! Captures record each collective as a logical [`TiOp::Coll`] annotated
+//! with the algorithm variant the on-line run chose, followed by the
+//! point-to-point traffic that variant produced. By default the replayer
+//! plays that traffic faithfully. A [`ReplayOptions::coll_hook`] may
+//! instead claim a collective: the hook issues whatever substitute traffic
+//! it wants through the [`Ctx`] (e.g. calls a different algorithm), the
+//! engine skips the captured span, and later waits stay aligned because
+//! the skipped post indices are accounted for. Algorithm sweeps therefore
+//! no longer require re-capturing the application.
+//!
 //! Replay is faithful only for applications whose communication structure
 //! does not depend on message *values* or wall-clock races (the standard
 //! time-independent-trace caveat); wildcard receives replay correctly as
 //! long as their matching order stays deterministic.
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{BufRead, Write};
 use std::path::Path;
 use std::sync::Arc;
 
 use smpi::capture::intern_region;
-use smpi::{Ctx, ReqId, RunReport, TiOp, TiTrace, World};
+use smpi::capture_v2::{TiV2Reader, TiV2Writer, DEFAULT_BLOCK_OPS, TIT2_MAGIC};
+use smpi::{Ctx, ReqId, RunReport, TiOp, TiTrace, TraceIoError, World};
+
+/// A per-rank supplier of time-independent ops. Implemented by in-memory
+/// traces and by the streaming `TITRACE2` reader; the replay engine never
+/// needs the whole trace at once.
+pub trait OpSource: Send + Sync + 'static {
+    /// Number of ranks the source describes.
+    fn num_ranks(&self) -> usize;
+    /// An owning iterator over rank `rank`'s ops, in capture order.
+    fn rank_ops(self: Arc<Self>, rank: usize) -> Box<dyn Iterator<Item = TiOp> + Send>;
+}
+
+/// Owning cursor over one rank of an `Arc`'d in-memory trace.
+struct TraceCursor {
+    trace: Arc<TiTrace>,
+    rank: usize,
+    ix: usize,
+}
+
+impl Iterator for TraceCursor {
+    type Item = TiOp;
+
+    fn next(&mut self) -> Option<TiOp> {
+        let op = self.trace.ranks[self.rank].get(self.ix)?.clone();
+        self.ix += 1;
+        Some(op)
+    }
+}
+
+impl OpSource for TiTrace {
+    fn num_ranks(&self) -> usize {
+        TiTrace::num_ranks(self)
+    }
+
+    fn rank_ops(self: Arc<Self>, rank: usize) -> Box<dyn Iterator<Item = TiOp> + Send> {
+        Box::new(TraceCursor {
+            trace: self,
+            rank,
+            ix: 0,
+        })
+    }
+}
+
+impl OpSource for TiV2Reader {
+    fn num_ranks(&self) -> usize {
+        TiV2Reader::num_ranks(self)
+    }
+
+    fn rank_ops(self: Arc<Self>, rank: usize) -> Box<dyn Iterator<Item = TiOp> + Send> {
+        Box::new(self.rank_iter(rank))
+    }
+}
+
+/// One captured collective, as presented to a [`CollHook`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollSite<'a> {
+    /// Replaying rank.
+    pub rank: usize,
+    /// Collective name (`allreduce`, `bcast`, ...).
+    pub name: &'a str,
+    /// Algorithm variant the on-line run dispatched to (empty when the
+    /// collective had no nested variant region).
+    pub algo: &'a str,
+    /// Captured ops implementing this collective (skipped if claimed).
+    pub span: u32,
+    /// Send/recv posts among those ops.
+    pub posts: u32,
+}
+
+/// Replay-time collective interceptor. Returning `true` claims the
+/// collective: the hook has issued substitute traffic through the [`Ctx`]
+/// (or chosen to elide it) and the engine skips the captured span.
+/// Returning `false` replays the captured traffic faithfully.
+pub type CollHook = dyn Fn(&Ctx, &CollSite<'_>) -> bool + Send + Sync;
+
+/// Knobs of [`replay_with`].
+#[derive(Clone, Default)]
+pub struct ReplayOptions {
+    /// Collective interceptor (see [`CollHook`]). `None` replays
+    /// everything faithfully.
+    pub coll_hook: Option<Arc<CollHook>>,
+}
 
 /// Re-simulates a captured trace on `world` and returns the ordinary run
 /// report (same observability artifacts as an on-line run: metrics, Paje
@@ -72,30 +184,54 @@ pub fn replay(world: &World, trace: &TiTrace) -> RunReport<()> {
 /// `Send` while the trace and the parsed platform stay shared and
 /// immutable.
 pub fn replay_shared(world: &World, trace: Arc<TiTrace>) -> RunReport<()> {
-    let nranks = trace.num_ranks();
+    replay_source(world, trace)
+}
+
+/// Replays a streaming `TITRACE2` file through its shared block decoder:
+/// each rank's cursor holds one decoded block at a time, and concurrent
+/// replays of the same reader share in-flight blocks. Peak decoded memory
+/// is bounded by block size, not trace length.
+pub fn replay_stream(world: &World, reader: Arc<TiV2Reader>) -> RunReport<()> {
+    replay_source(world, reader)
+}
+
+/// Replays any [`OpSource`] with default options.
+pub fn replay_source<S: OpSource>(world: &World, source: Arc<S>) -> RunReport<()> {
+    replay_with(world, source, ReplayOptions::default())
+}
+
+/// Replays any [`OpSource`] with explicit [`ReplayOptions`].
+pub fn replay_with<S: OpSource>(
+    world: &World,
+    source: Arc<S>,
+    opts: ReplayOptions,
+) -> RunReport<()> {
+    let nranks = source.num_ranks();
     assert!(nranks > 0, "cannot replay an empty trace");
+    let hook = opts.coll_hook;
     world.run(nranks, move |ctx| {
-        replay_rank(ctx, &trace.ranks[ctx.rank()])
+        let ops = Arc::clone(&source).rank_ops(ctx.rank());
+        replay_rank(ctx, ops, hook.as_deref());
     })
 }
 
-/// Replays one rank's op sequence (the whole replay "application").
-fn replay_rank(ctx: &Ctx, ops: &[TiOp]) {
+/// Replays one rank's op stream (the whole replay "application").
+fn replay_rank(ctx: &Ctx, mut ops: impl Iterator<Item = TiOp>, hook: Option<&CollHook>) {
     // Requests are named by post index in the trace; `live` maps the index
     // of each not-yet-consumed request to its id in this replay.
     let mut n_posted: u32 = 0;
     let mut live: HashMap<u32, ReqId> = HashMap::new();
-    for op in ops {
+    while let Some(op) = ops.next() {
         match op {
-            TiOp::Compute { flops } => ctx.compute(*flops),
-            TiOp::Sleep { secs } => ctx.sleep(*secs),
+            TiOp::Compute { flops } => ctx.compute(flops),
+            TiOp::Sleep { secs } => ctx.sleep(secs),
             TiOp::Send {
                 dst,
                 cid,
                 tag,
                 bytes,
             } => {
-                let req = ctx.replay_send(*dst, *cid, *tag, *bytes);
+                let req = ctx.replay_send(dst, cid, tag, bytes);
                 live.insert(n_posted, req);
                 n_posted += 1;
             }
@@ -105,7 +241,7 @@ fn replay_rank(ctx: &Ctx, ops: &[TiOp]) {
                 tag,
                 max_bytes,
             } => {
-                let req = ctx.replay_recv(*src, *cid, *tag, *max_bytes);
+                let req = ctx.replay_recv(src, cid, tag, max_bytes);
                 live.insert(n_posted, req);
                 n_posted += 1;
             }
@@ -120,12 +256,44 @@ fn replay_rank(ctx: &Ctx, ops: &[TiOp]) {
                     continue; // captured wait already satisfied here
                 }
                 let ids = waited.iter().map(|(_, r)| *r).collect();
-                for c in ctx.replay_wait(ids, *mode) {
+                for c in ctx.replay_wait(ids, mode) {
                     live.remove(&waited[c.index].0);
                 }
             }
             TiOp::Region { name, enter } => {
-                ctx.replay_region(intern_region(name), *enter);
+                ctx.replay_region(intern_region(&name), enter);
+            }
+            TiOp::Coll {
+                name,
+                algo,
+                span,
+                posts,
+            } => {
+                let claimed = hook.is_some_and(|h| {
+                    h(
+                        ctx,
+                        &CollSite {
+                            rank: ctx.rank(),
+                            name: &name,
+                            algo: &algo,
+                            span,
+                            posts,
+                        },
+                    )
+                });
+                if claimed {
+                    // Skip the captured implementation (through the closing
+                    // region exit) and advance the post counter past its
+                    // posts, so later captured waits keep their index
+                    // alignment; waits naming the skipped indices find
+                    // nothing live and are filtered.
+                    for _ in 0..span {
+                        ops.next();
+                    }
+                    n_posted += posts;
+                } else {
+                    ctx.replay_region(intern_region(&name), true);
+                }
             }
         }
     }
@@ -165,16 +333,48 @@ pub fn cross_validate<R>(world: &World, online: &RunReport<R>) -> CrossValidatio
     }
 }
 
-/// Writes a trace to `path` in the `TITRACE v1` text format.
-pub fn save_trace(path: impl AsRef<Path>, trace: &TiTrace) -> io::Result<()> {
-    std::fs::write(path, trace.encode())
+/// Writes a trace to `path` in the `TITRACE v1` text format, streaming
+/// line-by-line through a [`std::io::BufWriter`].
+pub fn save_trace(path: impl AsRef<Path>, trace: &TiTrace) -> Result<(), TraceIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    trace.encode_to(&mut w)?;
+    w.flush()?;
+    Ok(())
 }
 
-/// Reads a `TITRACE v1` file. Decode failures surface as
-/// [`io::ErrorKind::InvalidData`].
-pub fn load_trace(path: impl AsRef<Path>) -> io::Result<TiTrace> {
-    let text = std::fs::read_to_string(path)?;
-    TiTrace::decode(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+/// Writes a trace to `path` in the binary `TITRACE2` format, streaming
+/// block-by-block (the whole encoded document never exists in memory).
+pub fn save_trace_v2(path: impl AsRef<Path>, trace: &TiTrace) -> Result<(), TraceIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = TiV2Writer::new(std::io::BufWriter::new(file), trace.num_ranks());
+    for (r, ops) in trace.ranks.iter().enumerate() {
+        for chunk in ops.chunks(DEFAULT_BLOCK_OPS) {
+            w.write_block(r as u32, chunk)?;
+        }
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Reads a trace file into memory, sniffing the format from the leading
+/// magic: `TITRACE2` binary containers and `TITRACE v1` text documents
+/// both load here, forever. Short reads, truncation and corruption all
+/// surface as typed [`TraceIoError`]s — never a panic.
+///
+/// For block-streaming access to a v2 file (bounded memory, shared
+/// decoding), open it with [`smpi::TiV2Reader`] instead.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<TiTrace, TraceIoError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    let mut r = std::io::BufReader::new(file);
+    let head = r.fill_buf()?;
+    if head.starts_with(TIT2_MAGIC) {
+        drop(r);
+        TiV2Reader::open(path)?.materialize()
+    } else {
+        TiTrace::decode_from(r)
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +429,70 @@ mod tests {
         let trace = online.ti_trace.unwrap();
         let replayed = replay(&world, &trace);
         assert_eq!(replayed.ti_trace.unwrap(), trace);
+    }
+
+    #[test]
+    fn recapturing_a_metrics_replay_reproduces_colls() {
+        // With metrics on, captures carry logical collectives. Replaying
+        // them faithfully re-issues the same region simcalls, so a capture
+        // of the replay re-synthesizes identical Coll ops.
+        let world = small_world().capture(true).metrics(true);
+        let online = world.run(4, app);
+        let trace = online.ti_trace.unwrap();
+        let has_coll = trace
+            .ranks
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, TiOp::Coll { name, algo, .. } if name == "allreduce" && !algo.is_empty()));
+        assert!(has_coll, "metrics capture synthesizes annotated colls");
+        let replayed = replay(&world, &trace);
+        assert_eq!(replayed.sim_time, online.sim_time);
+        assert_eq!(replayed.ti_trace.unwrap(), trace);
+    }
+
+    #[test]
+    fn coll_hook_substitutes_collectives() {
+        let world = small_world().capture(true).metrics(true);
+        let online = world.run(4, app);
+        let trace = Arc::new(online.ti_trace.clone().unwrap());
+
+        // Claim every allreduce and substitute the *same* collective via
+        // the normal API: on the same platform the makespan must come out
+        // identical (the hook re-runs what the capture recorded).
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let opts = ReplayOptions {
+            coll_hook: Some(Arc::new(move |ctx: &Ctx, site: &CollSite<'_>| {
+                if site.name != "allreduce" {
+                    return false;
+                }
+                seen2
+                    .lock()
+                    .unwrap()
+                    .push((site.algo.to_string(), site.span, site.posts));
+                let x = [0.0f64];
+                ctx.allreduce(&x, &smpi::op::sum::<f64>(), &ctx.world());
+                true
+            })),
+        };
+        let substituted = replay_with(&world, Arc::clone(&trace), opts);
+        assert_eq!(substituted.sim_time, online.sim_time);
+
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 4, "one claimed allreduce per rank");
+        assert!(seen
+            .iter()
+            .all(|(algo, span, _)| !algo.is_empty() && *span > 0));
+
+        // Eliding the collective entirely must finish too (wait filtering
+        // absorbs the skipped posts) and finish strictly earlier.
+        let opts = ReplayOptions {
+            coll_hook: Some(Arc::new(|_: &Ctx, site: &CollSite<'_>| {
+                site.name == "allreduce"
+            })),
+        };
+        let elided = replay_with(&world, trace, opts);
+        assert!(elided.sim_time < online.sim_time);
     }
 
     #[test]
@@ -335,13 +599,61 @@ mod tests {
     }
 
     #[test]
+    fn save_and_load_roundtrip_v2() {
+        // The binary format keeps the Coll annotations a v1 text save
+        // degrades, so a metrics capture round-trips exactly.
+        let world = small_world().capture(true).metrics(true);
+        let trace = world.run(3, app).ti_trace.unwrap();
+        let dir = std::env::temp_dir().join("smpi_replay_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.tit2");
+        save_trace_v2(&path, &trace).unwrap();
+        assert_eq!(load_trace(&path).unwrap(), trace);
+        // And the streaming reader agrees with the materializing loader.
+        let reader = TiV2Reader::open(&path).unwrap();
+        assert_eq!(reader.materialize().unwrap(), trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_replay_matches_in_memory_replay() {
+        let dir = std::env::temp_dir().join("smpi_replay_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streamed.tit2");
+        // Capture straight to disk with a tiny budget to force many blocks.
+        let world = small_world()
+            .capture_to(&path)
+            .capture_tuning(16, 1024)
+            .metrics(true);
+        let online = world.run(4, app);
+        assert!(online.ti_trace.is_none(), "streamed capture stays on disk");
+        let codec = online.profile.codec.as_ref().expect("codec stats");
+        assert!(codec.ops > 0 && codec.blocks > 1);
+
+        let reader = Arc::new(TiV2Reader::open(&path).unwrap());
+        let replay_world = small_world().metrics(true);
+        let streamed = replay_stream(&replay_world, Arc::clone(&reader));
+        assert_eq!(streamed.sim_time, online.sim_time);
+        assert_eq!(streamed.finish_times, online.finish_times);
+
+        // The streamed ops equal an in-memory capture of the same run.
+        let mem = small_world().capture(true).metrics(true).run(4, app);
+        assert_eq!(reader.materialize().unwrap(), mem.ti_trace.unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn load_rejects_garbage() {
         let dir = std::env::temp_dir().join("smpi_replay_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("garbage.tit");
         std::fs::write(&path, "not a trace\n").unwrap();
         let err = load_trace(&path).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, TraceIoError::Format(_)), "got {err:?}");
+        // A truncated v2 container is a typed v2 error, not a panic.
+        std::fs::write(&path, b"TITRACE2\x04").unwrap();
+        let err = load_trace(&path).unwrap_err();
+        assert!(matches!(err, TraceIoError::V2(_)), "got {err:?}");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -58,6 +58,11 @@ pub enum Workload {
     /// Replay of a captured time-independent trace (no application code,
     /// no payload memory — the sweep fast path).
     Trace(Arc<TiTrace>),
+    /// Replay straight from a shared streaming `TITRACE2` decoder: workers
+    /// pull ops block-by-block, sharing in-flight decoded blocks, so the
+    /// trace is decoded (at most) once while N scenarios replay it and
+    /// per-worker memory stays bounded by block size.
+    Stream(Arc<smpi::TiV2Reader>),
     /// Capture-on-the-fly: run a rank body on-line. Needed when the swept
     /// axis changes the simcall stream itself (e.g. collective algorithm
     /// variants), which a fixed trace cannot express.
@@ -84,6 +89,14 @@ impl Program {
         Program {
             name: name.into(),
             workload: Workload::Trace(trace),
+        }
+    }
+
+    /// A streaming-replay program over a shared `TITRACE2` decoder.
+    pub fn stream(name: impl Into<String>, reader: Arc<smpi::TiV2Reader>) -> Self {
+        Program {
+            name: name.into(),
+            workload: Workload::Stream(reader),
         }
     }
 
@@ -490,6 +503,7 @@ fn run_scenario(cfg: &SweepConfig, sc: &ScenarioSpec) -> Outcome {
     }
     let report: RunReport<()> = match &cfg.programs[sc.program].workload {
         Workload::Trace(trace) => smpi_replay::replay_shared(&world, Arc::clone(trace)),
+        Workload::Stream(reader) => smpi_replay::replay_stream(&world, Arc::clone(reader)),
         Workload::Online { ranks, body } => {
             let body = Arc::clone(body);
             world.run(*ranks, move |ctx| body(ctx))
@@ -753,6 +767,40 @@ mod tests {
         // Render and JSON don't panic and mention a cell.
         assert!(report.render().contains("ring"));
         assert!(report.to_json().contains("\"cells\""));
+    }
+
+    #[test]
+    fn stream_fed_sweep_is_byte_identical_to_trace_fed() {
+        // Feeding workers from the shared TITRACE2 block decoder must not
+        // change a single output byte relative to the in-memory trace path.
+        let cfg = small_config();
+        let trace = match &cfg.programs[0].workload {
+            Workload::Trace(t) => Arc::clone(t),
+            _ => unreachable!("small_config is trace-fed"),
+        };
+        // Per-process path: concurrent test invocations must not race on
+        // the capture file.
+        let dir =
+            std::env::temp_dir().join(format!("smpi_sweep_stream_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring.tit2");
+        smpi_replay::save_trace_v2(&path, &trace).unwrap();
+        let reader = Arc::new(smpi::TiV2Reader::open(&path).unwrap());
+
+        let mut stream_cfg = cfg.clone();
+        stream_cfg.programs = vec![Program::stream("ring", Arc::clone(&reader))];
+
+        let (mut report_t, lines_t) = run_sweep(&cfg, Vec::new()).unwrap();
+        let (mut report_s, lines_s) = run_sweep(&stream_cfg, Vec::new()).unwrap();
+        assert_eq!(lines_t, lines_s, "scenario lines diverge");
+        report_t.strip_wallclock();
+        report_s.strip_wallclock();
+        assert_eq!(report_t.to_json(), report_s.to_json());
+        // The decoder was shared: blocks decoded at most once per residency
+        // window, far fewer times than scenarios replayed.
+        let stats = reader.stats();
+        assert!(stats.blocks_decoded + stats.cache_hits > 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

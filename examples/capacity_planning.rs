@@ -41,17 +41,21 @@ fn candidate(name: &str, bw: f64, lat: f64) -> (String, Arc<RoutedPlatform>) {
 fn main() {
     let chunk = 128 * 1024; // 1 MiB per peer
 
-    // Capture the workload once, on the cheapest candidate.
+    // Capture the workload once, on the cheapest candidate — streamed
+    // straight to a TITRACE2 file, so capture memory stays bounded no
+    // matter how long the expected workload runs.
+    let tit2 = std::env::temp_dir().join("capacity_planning.tit2");
     let gbe = candidate("1gbe-50us", 125e6, 50e-6);
-    let world = World::smpi(Arc::clone(&gbe.1), TransferModel::default_affine()).capture(true);
-    let report = world.run(16, move |ctx| {
+    let world = World::smpi(Arc::clone(&gbe.1), TransferModel::default_affine()).capture_to(&tit2);
+    world.run(16, move |ctx| {
         timed_alltoall(ctx, chunk);
     });
-    let trace = Arc::new(report.ti_trace.expect("capture enabled"));
+    // Every sweep worker streams ops from this one shared block decoder.
+    let reader = Arc::new(smpi_suite::smpi::TiV2Reader::open(&tit2).expect("open capture"));
 
     // The purchase matrix: platforms × models × weather.
     let cfg = SweepConfig {
-        programs: vec![Program::trace("alltoall-1MiB", trace)],
+        programs: vec![Program::stream("alltoall-1MiB", reader)],
         platforms: vec![gbe, candidate("10gbe-30us", 1.25e9, 30e-6)],
         fabrics: vec![
             ("surf".into(), FabricKind::surf()),

@@ -175,3 +175,45 @@ fn captured_trace_matches_golden_file() {
     let report = replay::replay(&griffon_world(), &trace);
     assert_eq!(report.sim_time, online.sim_time);
 }
+
+/// The checked-in `TITRACE2` golden: the same DT-S capture as the v1
+/// golden, in the binary delta-encoded container. Guards the v2 wire
+/// format (opcodes, deltas, dictionary, anchor compression) against
+/// silent drift, and pins the v1 <-> v2 relationship: the binary golden
+/// decodes to exactly the captured trace, while the v1 text golden is its
+/// lossy downgrade (logical collectives re-spelled as region entries).
+/// Regenerate both with `BLESS=1 cargo test --test replay_e2e`.
+#[test]
+fn captured_trace_matches_v2_golden_file() {
+    use smpi_suite::smpi::{decode_v2, encode_v2};
+
+    let world = griffon_world().capture(true).metrics(true);
+    let online = dt_online(&world, DtClass::S, DtGraph::Bh);
+    let trace = online.ti_trace.as_ref().unwrap();
+    let encoded = encode_v2(trace);
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/dt_s_bh.tit2");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(golden_path, &encoded).unwrap();
+    }
+    let golden = std::fs::read(golden_path).expect("golden file (run with BLESS=1)");
+    assert_eq!(
+        encoded, golden,
+        "captured v2 trace drifted from the golden file"
+    );
+
+    // Cross-format equality: v2 is lossless, v1 is the downgrade.
+    let v2 = decode_v2(&golden).unwrap();
+    assert_eq!(&v2, trace, "binary golden must decode to the capture");
+    let v1_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/dt_s_bh.tit");
+    let v1 = TiTrace::decode(&std::fs::read_to_string(v1_path).unwrap()).unwrap();
+    assert_eq!(
+        v1,
+        v2.downgraded(),
+        "v1 and v2 goldens must describe the same capture"
+    );
+
+    // Replaying the binary golden reproduces the on-line makespan with
+    // rel err 0 on the capture platform.
+    let report = replay::replay(&griffon_world(), &v2);
+    assert_eq!(report.sim_time, online.sim_time);
+}
