@@ -3,12 +3,26 @@
 //! Usage: `repro [fig3 fig4 ... | all]`. `REPRO_FAST=1` trims sweeps.
 
 use smpi_bench::{
-    ablations, contention_demo, e2e, fig_alltoall, fig_dt, fig_pingpong, fig_scatter, fig_schemes,
-    fig_speed, kernel_bench, obs_demo, replay_demo, scale, sweep_bench, trace_bench,
+    ablations, contention_demo, diff_demo, e2e, fig_alltoall, fig_dt, fig_pingpong, fig_scatter,
+    fig_schemes, fig_speed, gate, kernel_bench, obs_demo, replay_demo, scale, sweep_bench,
+    trace_bench,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `gate` consumes the rest of the argument list as gate-set filters
+    // (e.g. `repro -- gate kernel scale`); exit 1 on a failed gate.
+    if args.first().map(String::as_str) == Some("gate") {
+        let sets: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+        let out = gate::gate(&sets);
+        println!("{out}");
+        if !out.contains("GATE: PASS") {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig3",
@@ -55,6 +69,7 @@ fn main() {
             "fig18" => fig_speed::fig18().render(),
             "obs" => obs_demo::obs(),
             "contention" => contention_demo::contention(),
+            "diff" => diff_demo::diff(),
             "replay" => replay_demo::replay_demo(),
             "dt" => e2e::dt_report(),
             "ep" => e2e::ep_report(),

@@ -13,6 +13,7 @@
 pub mod ablations;
 pub mod common;
 pub mod contention_demo;
+pub mod diff_demo;
 pub mod e2e;
 pub mod fig_alltoall;
 pub mod fig_dt;
@@ -20,6 +21,7 @@ pub mod fig_pingpong;
 pub mod fig_scatter;
 pub mod fig_schemes;
 pub mod fig_speed;
+pub mod gate;
 pub mod kernel_bench;
 pub mod obs_demo;
 pub mod replay_demo;

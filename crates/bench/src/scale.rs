@@ -76,8 +76,6 @@ struct Tier {
     parallel_components: u64,
     /// `"timeseries"` JSON section of the tier's run.
     timeseries_json: String,
-    /// Chrome Trace Event Format export (counter tracks).
-    chrome_json: String,
 }
 
 /// A tier the host could not run, recorded in the JSON instead of silently
@@ -153,7 +151,7 @@ fn run_tier(ranks: usize, sim_time_hint: Option<f64>) -> Tier {
     let local_simcalls = report.profile.local_simcalls;
     let wall_s = report.wall.as_secs_f64();
     let k = report.profile.kernel.as_ref();
-    Tier {
+    let tier = Tier {
         ranks,
         wall_s,
         sim_time: report.sim_time,
@@ -171,8 +169,21 @@ fn run_tier(ranks: usize, sim_time_hint: Option<f64>) -> Tier {
             .as_ref()
             .map(|ts| ts.to_json())
             .unwrap_or_default(),
-        chrome_json: report.chrome_trace(),
-    }
+    };
+
+    // Stream the Chrome Trace Event export straight to disk: at the 16k+
+    // tiers the materialized string costs tens of MB of transient heap for
+    // no reason. Each tier overwrites the file, so it ends up holding the
+    // largest tier that ran — same final state as the old buffered write.
+    let dir = std::path::Path::new("target/obs");
+    std::fs::create_dir_all(dir).expect("create target/obs");
+    let f = std::fs::File::create(dir.join("chrome_trace.json")).expect("create chrome_trace");
+    let mut w = std::io::BufWriter::new(f);
+    report
+        .write_chrome_trace(&mut w)
+        .expect("stream chrome trace");
+    std::io::Write::flush(&mut w).expect("flush chrome trace");
+    tier
 }
 
 /// Runs the scaling tiers, writes `BENCH_scale.json`, and returns the
@@ -199,14 +210,13 @@ pub fn scale() -> String {
         results.push(run_tier(n, hint));
     }
 
-    // Telemetry artifacts of the largest tier.
+    // Telemetry artifacts of the largest tier (the Chrome Trace export is
+    // already streamed to target/obs/chrome_trace.json inside run_tier).
     if let Some(t) = results.last() {
         let dir = std::path::Path::new("target/obs");
         std::fs::create_dir_all(dir).expect("create target/obs");
         std::fs::write(dir.join("timeseries.json"), &t.timeseries_json)
             .expect("write timeseries.json");
-        std::fs::write(dir.join("chrome_trace.json"), &t.chrome_json)
-            .expect("write chrome_trace.json");
     }
 
     let mut json = String::from("{\n  \"tiers\": [\n");

@@ -1,19 +1,26 @@
 //! Byte-for-byte regression tests against golden `repro -- dt` / `-- ep`
 //! reports captured before the O(active) kernel refactor. Any change to the
 //! engine's completion-time or rate arithmetic shows up here first.
+//!
+//! Mismatches go through [`smpi_diff::assert_golden`], which panics with a
+//! first-divergence report (the offending lines plus context) instead of a
+//! raw string inequality, and drops the machine-readable divergence under
+//! `target/diff/<name>.divergence.json` for CI to upload.
+
+use smpi_diff::assert_golden;
 
 #[test]
 fn dt_report_matches_golden() {
     let got = smpi_bench::e2e::dt_report();
     let want = include_str!("golden/dt_report.txt");
-    assert_eq!(got, want, "dt e2e report diverged from pre-refactor golden");
+    assert_golden("dt_report", want, &got);
 }
 
 #[test]
 fn ep_report_matches_golden() {
     let got = smpi_bench::e2e::ep_report();
     let want = include_str!("golden/ep_report.txt");
-    assert_eq!(got, want, "ep e2e report diverged from pre-refactor golden");
+    assert_golden("ep_report", want, &got);
 }
 
 // Class folding is exact, not approximate: disabling it must reproduce the
@@ -24,12 +31,12 @@ fn ep_report_matches_golden() {
 fn dt_report_is_byte_identical_without_class_folding() {
     let got = smpi_bench::e2e::dt_report_unfolded();
     let want = include_str!("golden/dt_report.txt");
-    assert_eq!(got, want, "folding ablation changed the dt e2e report");
+    assert_golden("dt_report_unfolded", want, &got);
 }
 
 #[test]
 fn ep_report_is_byte_identical_without_class_folding() {
     let got = smpi_bench::e2e::ep_report_unfolded();
     let want = include_str!("golden/ep_report.txt");
-    assert_eq!(got, want, "folding ablation changed the ep e2e report");
+    assert_golden("ep_report_unfolded", want, &got);
 }

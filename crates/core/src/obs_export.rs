@@ -20,6 +20,8 @@
 //!   (load in `chrome://tracing` or Perfetto): one complete ("X") event
 //!   per rank-state interval from the metrics timelines, plus counter
 //!   ("C") tracks sampled from the time series;
+//!   [`RunReport::write_chrome_trace`] streams the same bytes to any
+//!   sink, so large runs never materialize the export in memory;
 //! * [`RunReport::critical_path`] — the longest dependency chain through
 //!   the trace, attributing each segment to a rank or — when contention
 //!   attribution names a bottleneck — to a specific network link.
@@ -329,44 +331,46 @@ impl<R> RunReport<R> {
     /// high-water mark. Timestamps are simulated microseconds. Either half
     /// may be absent; the metadata header is always emitted.
     pub fn chrome_trace(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_chrome_trace(&mut buf)
+            .expect("in-memory chrome-trace write cannot fail");
+        String::from_utf8(buf).expect("chrome trace is UTF-8")
+    }
+
+    /// Streaming variant of [`RunReport::chrome_trace`]: writes the same
+    /// bytes event by event to any [`io::Write`] sink. A long run's
+    /// counter tracks (three events per time-series bucket) never have to
+    /// be materialized as one giant string — mirror of
+    /// [`RunReport::write_json`].
+    pub fn write_chrome_trace<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
+        use smpi_obs::json::escape;
         let us = |t: f64| t * 1e6;
-        let mut j = JsonBuf::new();
-        j.begin_obj();
-        j.key("displayTimeUnit").str_val("ms");
-        j.key("traceEvents").begin_arr();
+        write!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
         // Metadata: name the process and one thread per rank.
-        j.begin_obj();
-        j.key("name").str_val("process_name");
-        j.key("ph").str_val("M");
-        j.key("pid").uint_val(0);
-        j.key("args").begin_obj();
-        j.key("name").str_val("smpi simulation");
-        j.end_obj();
-        j.end_obj();
+        write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+             \"args\":{{\"name\":\"smpi simulation\"}}}}"
+        )?;
         for r in 0..self.finish_times.len() {
-            j.begin_obj();
-            j.key("name").str_val("thread_name");
-            j.key("ph").str_val("M");
-            j.key("pid").uint_val(0);
-            j.key("tid").uint_val(r as u64);
-            j.key("args").begin_obj();
-            j.key("name").str_val(&format!("rank {r}"));
-            j.end_obj();
-            j.end_obj();
+            write!(
+                out,
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{r},\
+                 \"args\":{{\"name\":\"rank {r}\"}}}}"
+            )?;
         }
         // Rank-state intervals: walk each rank's push/pop/set stack; every
         // closed (or end-of-run truncated) state becomes an "X" event.
         if let Some(m) = &self.metrics {
-            let mut emit = |rank: u32, state: &str, t0: f64, t1: f64| {
-                j.begin_obj();
-                j.key("name").str_val(state);
-                j.key("cat").str_val("rank");
-                j.key("ph").str_val("X");
-                j.key("ts").num_val(us(t0));
-                j.key("dur").num_val(us(t1 - t0));
-                j.key("pid").uint_val(0);
-                j.key("tid").uint_val(rank as u64);
-                j.end_obj();
+            let emit = |out: &mut W, rank: u32, state: &str, t0: f64, t1: f64| {
+                write!(
+                    out,
+                    ",{{\"name\":\"{}\",\"cat\":\"rank\",\"ph\":\"X\",\"ts\":{},\
+                     \"dur\":{},\"pid\":0,\"tid\":{rank}}}",
+                    escape(state),
+                    num(us(t0)),
+                    num(us(t1 - t0)),
+                )
             };
             for tl in m.timelines_of("rank") {
                 let mut stack: Vec<(&str, f64)> = Vec::new();
@@ -375,12 +379,12 @@ impl<R> RunReport<R> {
                         smpi_obs::StateOp::Push(s) => stack.push((s, ev.time)),
                         smpi_obs::StateOp::Pop => {
                             if let Some((s, t0)) = stack.pop() {
-                                emit(tl.id, s, t0, ev.time);
+                                emit(out, tl.id, s, t0, ev.time)?;
                             }
                         }
                         smpi_obs::StateOp::Set(s) => {
                             if let Some((prev, t0)) = stack.pop() {
-                                emit(tl.id, prev, t0, ev.time);
+                                emit(out, tl.id, prev, t0, ev.time)?;
                             }
                             stack.push((s, ev.time));
                         }
@@ -388,7 +392,7 @@ impl<R> RunReport<R> {
                 }
                 // States still open at the end of the run.
                 while let Some((s, t0)) = stack.pop() {
-                    emit(tl.id, s, t0, self.sim_time);
+                    emit(out, tl.id, s, t0, self.sim_time)?;
                 }
             }
         }
@@ -396,39 +400,38 @@ impl<R> RunReport<R> {
         if let Some(ts) = &self.timeseries {
             let mut t = 0.0;
             for s in &ts.samples {
-                let counter = |j: &mut JsonBuf, name: &str, args: &[(&str, f64)]| {
-                    j.begin_obj();
-                    j.key("name").str_val(name);
-                    j.key("ph").str_val("C");
-                    j.key("ts").num_val(us(t));
-                    j.key("pid").uint_val(0);
-                    j.key("args").begin_obj();
-                    for &(k, v) in args {
-                        j.key(k).num_val(v);
+                let counter = |out: &mut W, name: &str, args: &[(&str, f64)]| {
+                    write!(
+                        out,
+                        ",{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"args\":{{",
+                        num(us(t))
+                    )?;
+                    for (i, &(k, v)) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(out, ",")?;
+                        }
+                        write!(out, "\"{k}\":{}", num(v))?;
                     }
-                    j.end_obj();
-                    j.end_obj();
+                    write!(out, "}}}}")
                 };
                 counter(
-                    &mut j,
+                    out,
                     "activity",
                     &[("simcalls", s.simcalls as f64), ("woken", s.woken as f64)],
-                );
+                )?;
                 counter(
-                    &mut j,
+                    out,
                     "network",
                     &[
                         ("active_max", s.active_max as f64),
                         ("util_max", s.util_max),
                     ],
-                );
-                counter(&mut j, "memory", &[("mem_hwm", s.mem_hwm as f64)]);
+                )?;
+                counter(out, "memory", &[("mem_hwm", s.mem_hwm as f64)])?;
                 t += ts.interval;
             }
         }
-        j.end_arr();
-        j.end_obj();
-        j.finish()
+        write!(out, "]}}")
     }
 
     /// Longest dependency chain through the event trace (`None` when
@@ -538,6 +541,18 @@ impl<R> RunReport<R> {
             steps,
             message_hops,
         })
+    }
+}
+
+impl<R> smpi_obs::Deterministic for RunReport<R> {
+    /// Strips every host-dependent field of the report tree: the
+    /// wall-clock duration, the self-profile's timing half and the time
+    /// series' solver timings. Two reports of identical simulated runs
+    /// compare — and serialize — byte-identically afterwards.
+    fn strip_nondeterminism(&mut self) {
+        self.wall = std::time::Duration::ZERO;
+        self.profile.strip_nondeterminism();
+        self.timeseries.strip_nondeterminism();
     }
 }
 
@@ -746,6 +761,63 @@ mod tests {
         assert!(ct.contains("\"ph\":\"C\""));
         assert!(ct.contains("\"name\":\"activity\""));
         assert!(ct.contains("\"mem_hwm\":128"));
+        // The streaming export writes the same bytes, event for event —
+        // including the exact counter formatting the builder produced.
+        let mut buf = Vec::new();
+        report.write_chrome_trace(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), ct);
+        assert!(ct.contains(
+            "{\"name\":\"activity\",\"ph\":\"C\",\"ts\":1,\"pid\":0,\
+             \"args\":{\"simcalls\":5,\"woken\":1}}"
+        ));
+        assert!(ct.ends_with("]}"));
+    }
+
+    #[test]
+    fn chrome_trace_streams_rank_state_intervals() {
+        use smpi_obs::{MetricsReport, StateEvent, StateOp, TimelineSnapshot};
+        let mut m = MetricsReport::default();
+        m.timelines.push(TimelineSnapshot {
+            kind: "rank",
+            id: 1,
+            events: vec![
+                StateEvent {
+                    time: 0.0,
+                    op: StateOp::Push("compute"),
+                },
+                StateEvent {
+                    time: 2.0,
+                    op: StateOp::Set("wait"),
+                },
+            ],
+        });
+        let report = RunReport::<()> {
+            sim_time: 5.0,
+            wall: std::time::Duration::ZERO,
+            finish_times: vec![5.0, 5.0],
+            results: vec![],
+            memory: Default::default(),
+            metrics: Some(m),
+            profile: Default::default(),
+            trace: vec![],
+            ti_trace: None,
+            contention: None,
+            timeseries: None,
+        };
+        let ct = report.chrome_trace();
+        // Closed interval (compute, 0 -> 2 s) and the end-of-run
+        // truncated one (wait, 2 -> 5 s), both on tid 1.
+        assert!(ct.contains(
+            "{\"name\":\"compute\",\"cat\":\"rank\",\"ph\":\"X\",\"ts\":0,\
+             \"dur\":2000000,\"pid\":0,\"tid\":1}"
+        ));
+        assert!(ct.contains(
+            "{\"name\":\"wait\",\"cat\":\"rank\",\"ph\":\"X\",\"ts\":2000000,\
+             \"dur\":3000000,\"pid\":0,\"tid\":1}"
+        ));
+        let mut buf = Vec::new();
+        report.write_chrome_trace(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), ct);
     }
 
     #[test]

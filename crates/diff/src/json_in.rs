@@ -1,0 +1,355 @@
+//! Minimal JSON *reader* (the environment has no serde_json).
+//!
+//! The workspace's observability exports write JSON through
+//! `smpi_obs::json::JsonBuf`; this module is the matching input side, just
+//! big enough for the benchmark-trend gates: parse a `BENCH_*.json`
+//! document into a [`JsonValue`] tree and pull numbers out of it with a
+//! small selector language (see [`JsonValue::select`]).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Objects use a sorted map so traversal order (and
+/// any re-rendering) is deterministic regardless of input order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also produced by the workspace writer for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Resolves a dotted selector path, e.g. `speedup`,
+    /// `runs[workers=1].scenarios_per_s` or `tiers[2].ranks`. Each
+    /// segment is an object key, optionally followed by one `[...]`
+    /// subscript: a plain integer indexes an array, `field=value` scans an
+    /// array of objects for the first element whose `field` equals the
+    /// numeric `value`.
+    pub fn select(&self, path: &str) -> Option<&JsonValue> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            let (key, sub) = match seg.find('[') {
+                Some(i) => {
+                    let close = seg.rfind(']')?;
+                    (&seg[..i], Some(&seg[i + 1..close]))
+                }
+                None => (seg, None),
+            };
+            if !key.is_empty() {
+                cur = cur.get(key)?;
+            }
+            if let Some(sub) = sub {
+                let arr = match cur {
+                    JsonValue::Arr(a) => a,
+                    _ => return None,
+                };
+                cur = match sub.split_once('=') {
+                    Some((field, want)) => {
+                        let want: f64 = want.parse().ok()?;
+                        arr.iter()
+                            .find(|e| e.get(field).and_then(JsonValue::as_f64) == Some(want))?
+                    }
+                    None => {
+                        let idx: usize = sub.parse().ok()?;
+                        arr.get(idx)?
+                    }
+                };
+            }
+        }
+        Some(cur)
+    }
+
+    /// Shorthand: [`JsonValue::select`] then [`JsonValue::as_f64`].
+    pub fn select_f64(&self, path: &str) -> Option<f64> {
+        self.select(path).and_then(JsonValue::as_f64)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                c as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut m = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(m));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            m.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(m));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut a = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(a));
+        }
+        loop {
+            self.skip_ws();
+            a.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(a));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            // Surrogate pairs are not produced by the
+                            // workspace writer; map them to U+FFFD.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|b| b as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so slicing
+                    // on char boundaries is safe via chars()).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = text.chars().next().ok_or("unterminated string")?;
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v =
+            JsonValue::parse(r#"{"a":1.5,"b":[true,null,"x\n"],"c":{"d":-2e3},"e":""}"#).unwrap();
+        assert_eq!(v.select_f64("a"), Some(1.5));
+        assert_eq!(v.select("b[0]"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.select("b[1]"), Some(&JsonValue::Null));
+        assert_eq!(v.select("b[2]"), Some(&JsonValue::Str("x\n".into())));
+        assert_eq!(v.select_f64("c.d"), Some(-2000.0));
+        assert_eq!(v.select("e"), Some(&JsonValue::Str(String::new())));
+    }
+
+    #[test]
+    fn field_filter_selects_matching_array_element() {
+        let v = JsonValue::parse(r#"{"tiers":[{"ranks":1024,"rate":10},{"ranks":4096,"rate":7}]}"#)
+            .unwrap();
+        assert_eq!(v.select_f64("tiers[ranks=4096].rate"), Some(7.0));
+        assert_eq!(v.select_f64("tiers[ranks=2048].rate"), None);
+        assert_eq!(v.select_f64("tiers[0].rate"), Some(10.0));
+    }
+
+    #[test]
+    fn roundtrips_workspace_writer_output() {
+        use smpi_obs::json::JsonBuf;
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("name").str_val("a \"quoted\" name");
+        j.key("nan").num_val(f64::NAN);
+        j.key("vals")
+            .begin_arr()
+            .uint_val(3)
+            .num_val(0.25)
+            .end_arr();
+        j.end_obj();
+        let v = JsonValue::parse(&j.finish()).unwrap();
+        assert_eq!(
+            v.select("name"),
+            Some(&JsonValue::Str("a \"quoted\" name".into()))
+        );
+        assert_eq!(v.select("nan"), Some(&JsonValue::Null));
+        assert_eq!(v.select_f64("vals[1]"), Some(0.25));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("{} x").is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! Property tests for the trace-diff alignment layer (ISSUE 10 S3).
+//!
+//! Two families of inputs:
+//!
+//! * **distinct-op traces** — every op carries a unique payload, so a
+//!   single injected mutation / insertion / deletion has exactly one
+//!   minimal alignment and the diff must localize it to the right rank
+//!   *and* the right op index, with exact edit counts;
+//! * **small-vocabulary traces** (the TITRACE2 codec's own generator
+//!   style) — repetitive streams where alignments can be ambiguous; here
+//!   the properties assert the invariants that hold regardless of which
+//!   minimal alignment the resync picks (identity, length accounting,
+//!   codec-roundtrip transparency for both v1 and v2 inputs).
+
+use proptest::prelude::*;
+use smpi::{decode_v2, encode_v2, TiOp, TiTrace, WaitMode};
+use smpi_diff::{diff_trace_files, diff_traces, AlignConfig};
+
+// ---------------------------------------------------------------- generators
+
+/// Builds an op of the kind selected by `kind`, with every payload field
+/// derived from `uid` so no two ops in one trace compare equal.
+fn op_for(kind: u8, uid: u64) -> TiOp {
+    match kind % 6 {
+        0 => TiOp::Compute { flops: uid as f64 },
+        1 => TiOp::Send {
+            dst: 0,
+            cid: 0,
+            tag: uid as i32,
+            bytes: uid,
+        },
+        2 => TiOp::Recv {
+            src: 0,
+            cid: 0,
+            tag: uid as i32,
+            max_bytes: uid,
+        },
+        3 => TiOp::Sleep {
+            secs: uid as f64 * 1e-6,
+        },
+        4 => TiOp::Wait {
+            reqs: vec![uid as u32],
+            mode: WaitMode::All,
+        },
+        _ => TiOp::Region {
+            name: format!("r{uid}"),
+            enter: true,
+        },
+    }
+}
+
+/// An op that can never appear in a generated trace: `op_for` only makes
+/// integral flop counts (uids start at 1), so a fractional one is safe to
+/// inject as a guaranteed-foreign mutation or insertion.
+fn mutant() -> TiOp {
+    TiOp::Compute { flops: 0.5 }
+}
+
+/// Turns a grid of kind selectors into a trace of pairwise-distinct ops.
+fn distinct_trace(kinds: &[Vec<u8>]) -> TiTrace {
+    let mut uid = 0u64;
+    let ranks = kinds
+        .iter()
+        .map(|ops| {
+            ops.iter()
+                .map(|&k| {
+                    uid += 1;
+                    op_for(k, uid)
+                })
+                .collect()
+        })
+        .collect();
+    TiTrace { ranks }
+}
+
+/// Kind-selector grid: 1-5 ranks of 1-30 ops each (never empty, so an
+/// edit site always exists).
+fn arb_kinds() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(0u8..6, 1..30), 1..6)
+}
+
+/// Small-vocabulary trace: heavy repetition, including empty ranks.
+fn arb_repetitive_trace() -> impl Strategy<Value = TiTrace> {
+    let op = prop_oneof![
+        (0u64..4).prop_map(|n| TiOp::Compute {
+            flops: (n * 1000) as f64
+        }),
+        (0u32..3).prop_map(|dst| TiOp::Send {
+            dst,
+            cid: 0,
+            tag: 7,
+            bytes: 4096,
+        }),
+        (0i32..3).prop_map(|src| TiOp::Recv {
+            src,
+            cid: 0,
+            tag: 7,
+            max_bytes: 4096,
+        }),
+        Just(TiOp::Sleep { secs: 1.5e-6 }),
+    ];
+    proptest::collection::vec(proptest::collection::vec(op, 0..40), 1..5)
+        .prop_map(|ranks| TiTrace { ranks })
+}
+
+/// Total op count of a trace.
+fn total_ops(t: &TiTrace) -> u64 {
+    t.ranks.iter().map(|r| r.len() as u64).sum()
+}
+
+/// Asserts that every rank other than `rank` is identical, and returns
+/// rank `rank`'s diff.
+macro_rules! only_rank_diverges {
+    ($d:expr, $rank:expr) => {{
+        for rd in &$d.ranks {
+            prop_assert!(
+                rd.is_identical() == (rd.rank != $rank),
+                "rank {} identical={} (edit was in rank {})",
+                rd.rank,
+                rd.is_identical(),
+                $rank
+            );
+        }
+        &$d.ranks[$rank]
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn identical_traces_diff_empty(kinds in arb_kinds()) {
+        let t = distinct_trace(&kinds);
+        let d = diff_traces(&t, &t, &AlignConfig::default());
+        prop_assert!(d.is_identical());
+        let (matched, mutated, added, removed, _) = d.totals();
+        prop_assert_eq!(matched, total_ops(&t));
+        prop_assert_eq!(mutated + added + removed, 0);
+        // Determinism: repeat invocations serialize byte-identically.
+        prop_assert_eq!(
+            d.to_json(),
+            diff_traces(&t, &t, &AlignConfig::default()).to_json()
+        );
+    }
+
+    #[test]
+    fn identical_repetitive_traces_diff_empty_via_both_codecs(
+        t in arb_repetitive_trace()
+    ) {
+        // A trace compared against its own v1 and v2 codec round-trips
+        // must diff empty: the codecs are transparent to the aligner.
+        let v1 = TiTrace::decode(&t.encode()).expect("v1 round-trip");
+        let v2 = decode_v2(&encode_v2(&t)).expect("v2 round-trip");
+        let d1 = diff_traces(&t, &v1, &AlignConfig::default());
+        prop_assert!(d1.is_identical(), "v1 round-trip diverged:\n{}", d1.render());
+        let d2 = diff_traces(&t, &v2, &AlignConfig::default());
+        prop_assert!(d2.is_identical(), "v2 round-trip diverged:\n{}", d2.render());
+    }
+
+    #[test]
+    fn single_mutation_is_localized_to_rank_and_index(
+        kinds in arb_kinds(),
+        sel in (0u64..1 << 32, 0u64..1 << 32),
+    ) {
+        let a = distinct_trace(&kinds);
+        let rank = (sel.0 % a.ranks.len() as u64) as usize;
+        let i = (sel.1 % a.ranks[rank].len() as u64) as usize;
+        let mut b = a.clone();
+        b.ranks[rank][i] = mutant();
+
+        let d = diff_traces(&a, &b, &AlignConfig::default());
+        let rd = only_rank_diverges!(&d, rank);
+        let f = rd.first.as_ref().expect("mutated rank diverges");
+        prop_assert_eq!((f.index_a, f.index_b), (i as u64, i as u64));
+        prop_assert_eq!(f.kind, "mismatch");
+        prop_assert_eq!(&f.a[0], &a.ranks[rank][i].line());
+        prop_assert_eq!(&f.b[0], &mutant().line());
+        let (matched, mutated, added, removed, _) = d.totals();
+        prop_assert_eq!(
+            (matched, mutated, added, removed),
+            (total_ops(&a) - 1, 1, 0, 0)
+        );
+    }
+
+    #[test]
+    fn single_insertion_is_localized_to_rank_and_index(
+        kinds in arb_kinds(),
+        sel in (0u64..1 << 32, 0u64..1 << 32),
+    ) {
+        let a = distinct_trace(&kinds);
+        let rank = (sel.0 % a.ranks.len() as u64) as usize;
+        let i = (sel.1 % (a.ranks[rank].len() as u64 + 1)) as usize; // 0..=len
+        let mut b = a.clone();
+        b.ranks[rank].insert(i, mutant());
+
+        let d = diff_traces(&a, &b, &AlignConfig::default());
+        let rd = only_rank_diverges!(&d, rank);
+        let f = rd.first.as_ref().expect("rank with insertion diverges");
+        prop_assert_eq!((f.index_a, f.index_b), (i as u64, i as u64));
+        let at_end = i == a.ranks[rank].len();
+        prop_assert_eq!(f.kind, if at_end { "tail_b" } else { "mismatch" });
+        let (matched, mutated, added, removed, _) = d.totals();
+        prop_assert_eq!(
+            (matched, mutated, added, removed),
+            (total_ops(&a), 0, 1, 0)
+        );
+    }
+
+    #[test]
+    fn single_deletion_is_localized_to_rank_and_index(
+        kinds in arb_kinds(),
+        sel in (0u64..1 << 32, 0u64..1 << 32),
+    ) {
+        let a = distinct_trace(&kinds);
+        let rank = (sel.0 % a.ranks.len() as u64) as usize;
+        let i = (sel.1 % a.ranks[rank].len() as u64) as usize;
+        let mut b = a.clone();
+        b.ranks[rank].remove(i);
+
+        let d = diff_traces(&a, &b, &AlignConfig::default());
+        let rd = only_rank_diverges!(&d, rank);
+        let f = rd.first.as_ref().expect("rank with deletion diverges");
+        prop_assert_eq!((f.index_a, f.index_b), (i as u64, i as u64));
+        let at_end = i + 1 == a.ranks[rank].len();
+        prop_assert_eq!(f.kind, if at_end { "tail_a" } else { "mismatch" });
+        let (matched, mutated, added, removed, _) = d.totals();
+        prop_assert_eq!(
+            (matched, mutated, added, removed),
+            (total_ops(&a) - 1, 0, 0, 1)
+        );
+    }
+
+    #[test]
+    fn length_accounting_holds_for_unrelated_traces(
+        ta in arb_repetitive_trace(),
+        tb in arb_repetitive_trace(),
+    ) {
+        // Whatever alignment the resync picks, every op of each stream is
+        // classified exactly once.
+        let d = diff_traces(&ta, &tb, &AlignConfig::default());
+        for rd in &d.ranks {
+            prop_assert_eq!(rd.matched + rd.mutated + rd.removed, rd.len_a);
+            prop_assert_eq!(rd.matched + rd.mutated + rd.added, rd.len_b);
+        }
+        let by_kind_edits: u64 = d
+            .by_kind
+            .iter()
+            .map(|(_, c)| c.mutated + c.added + c.removed)
+            .sum();
+        let (_, mutated, added, removed, _) = d.totals();
+        prop_assert_eq!(by_kind_edits, mutated + added + removed);
+    }
+}
+
+proptest! {
+    // File-based round trips do real IO; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn file_diff_streams_v1_against_v2(
+        kinds in arb_kinds(),
+        sel in (0u64..1 << 32, 0u64..1 << 32),
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let a = distinct_trace(&kinds);
+        let rank = (sel.0 % a.ranks.len() as u64) as usize;
+        let i = (sel.1 % a.ranks[rank].len() as u64) as usize;
+        let mut b = a.clone();
+        b.ranks[rank][i] = mutant();
+
+        let dir = std::env::temp_dir().join(format!(
+            "smpi_diff_props_{}_{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pa = dir.join("a.tit");
+        let pb = dir.join("b.tit2");
+        std::fs::write(&pa, a.encode()).unwrap();
+        std::fs::write(&pb, encode_v2(&b)).unwrap();
+
+        // v1 text against v2 binary of the mutated twin: the streaming
+        // file path finds the same single divergence as the in-memory one.
+        let d = diff_trace_files(&pa, &pb, &AlignConfig::default()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let rd = only_rank_diverges!(&d, rank);
+        let f = rd.first.as_ref().expect("mutated rank diverges");
+        prop_assert_eq!((f.index_a, f.index_b), (i as u64, i as u64));
+        prop_assert_eq!(d.totals().1, 1);
+
+        // And the self-diff through both files stays empty.
+        let mem = diff_traces(&a, &b, &AlignConfig::default());
+        prop_assert_eq!(d.to_json(), mem.to_json());
+    }
+}

@@ -20,9 +20,13 @@
 //! * [`TimeSeries`] — bounded-memory time-resolved telemetry (per-link
 //!   utilization, active actions, simcall rate, …) sampled by the maestro,
 //!   with resolution halving so any run length fits a fixed budget;
-//! * [`json`] — a tiny dependency-free JSON writer used by the exports.
+//! * [`json`] — a tiny dependency-free JSON writer used by the exports;
+//! * [`Deterministic`] — the byte-stability discipline as a trait: one
+//!   call strips every host-dependent field from a report tree, leaving
+//!   only exactly-reproducible simulated quantities.
 
 mod attribution;
+mod deterministic;
 mod json_mod;
 mod paje_mod;
 mod profile;
@@ -32,6 +36,7 @@ mod sweep_stats;
 mod timeseries;
 
 pub use attribution::{ContentionReport, FlowAttribution, FlowRecord, LinkRollup};
+pub use deterministic::Deterministic;
 pub use profile::{CodecStats, KernelHist, KernelProfile, SelfProfile};
 pub use recorder::{MemoryRecorder, NullRecorder, Rec, Recorder, StateEvent, StateOp};
 pub use report::{HistogramSnapshot, MetricsReport, TimelineSnapshot};

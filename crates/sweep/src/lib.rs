@@ -305,7 +305,15 @@ impl SweepReport {
         self.scenarios_per_s = 0.0;
         self.stats.strip_wallclock();
     }
+}
 
+impl smpi_obs::Deterministic for SweepReport {
+    fn strip_nondeterminism(&mut self) {
+        self.strip_wallclock();
+    }
+}
+
+impl SweepReport {
     /// Serializes the report as a single JSON object.
     pub fn to_json(&self) -> String {
         let mut j = JsonBuf::new();

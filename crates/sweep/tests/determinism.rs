@@ -84,7 +84,10 @@ fn worker_count_never_changes_results() {
         let (mut report, lines) = run_sweep(&cfg, Vec::new()).unwrap();
         assert_eq!(report.workers, workers);
         assert_eq!(report.stats.total_scenarios(), 30);
-        report.strip_wallclock();
+        {
+            use smpi_obs::Deterministic as _;
+            report.strip_nondeterminism();
+        }
         tables.push(String::from_utf8(lines).unwrap());
         reports.push(report);
     }

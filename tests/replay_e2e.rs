@@ -81,13 +81,14 @@ fn griffon_trace_replays_against_gdx() {
 }
 
 /// Determinism: two identical online runs produce byte-identical captured
-/// traces and byte-identical `to_json()` reports. The only
-/// host-dependent report fields — `wall`, and the wall-clock half of the
-/// self-profile (`wall_seconds`, per-phase timings, kernel solve
-/// histogram) — are removed by `SelfProfile::strip_wallclock` before
-/// comparing; the time series is also stripped of its solver timings.
+/// traces and byte-identical `to_json()` reports. The host-dependent
+/// report fields — `wall`, the wall-clock half of the self-profile
+/// (`wall_seconds`, per-phase timings, kernel solve histogram), and the
+/// time series' solver timings — are removed in one call through the
+/// [`smpi_obs::Deterministic`] trait before comparing.
 #[test]
 fn identical_runs_are_byte_identical() {
+    use smpi_obs::Deterministic as _;
     let run = || {
         let world = griffon_world()
             .capture(true)
@@ -95,9 +96,7 @@ fn identical_runs_are_byte_identical() {
             .tracing(true)
             .timeseries(true);
         let mut report = dt_online(&world, DtClass::S, DtGraph::Bh);
-        report.wall = std::time::Duration::ZERO;
-        report.profile.strip_wallclock();
-        report.timeseries.as_mut().unwrap().strip_wallclock();
+        report.strip_nondeterminism();
         (
             report.ti_trace.as_ref().unwrap().encode(),
             report.to_json(),
@@ -141,10 +140,11 @@ fn replay_reproduces_the_timeseries_byte_identically() {
     let mut replayed = replay::replay(&replay_world, &trace);
     assert_eq!(replayed.sim_time, online.sim_time);
 
+    use smpi_obs::Deterministic as _;
     let mut ts_online = online.timeseries.take().unwrap();
     let mut ts_replay = replayed.timeseries.take().unwrap();
-    ts_online.strip_wallclock();
-    ts_replay.strip_wallclock();
+    ts_online.strip_nondeterminism();
+    ts_replay.strip_nondeterminism();
     assert_eq!(
         ts_online.to_json(),
         ts_replay.to_json(),
